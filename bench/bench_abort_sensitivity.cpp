@@ -1,0 +1,69 @@
+// Abort-pressure sensitivity (extension bench).
+//
+// The paper's update-heavy result (Sec. 5.2) hinges on what happens when
+// hardware transactions abort often: SPHT's fallback claims a global lock
+// that serializes *everything* (and its subscription aborts every running
+// hardware transaction), while NV-HALT falls back to a fine-grained
+// software path that preserves disjoint concurrency. On this single-CPU
+// container, contention-induced aborts cannot arise naturally, so this
+// bench recreates the paper's mechanism by injecting spurious aborts at
+// increasing rates and measuring how gracefully each HyTM degrades.
+//
+// Expected shape (paper Sec. 5.2): as abort pressure rises, SPHT's
+// throughput collapses (fallback fraction -> serialized execution), while
+// NV-HALT degrades proportionally only to the per-path cost difference.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace nvhalt;
+using namespace nvhalt::bench;
+
+namespace {
+
+void bench_cell(benchmark::State& state, TmKind kind, double spurious, int threads,
+                const BenchScale& scale) {
+  for (auto _ : state) {
+    BenchParams p;
+    p.kind = kind;
+    p.structure = Structure::kAbTree;
+    p.read_pct = 50;
+    p.threads = threads;
+    p.key_range = scale.key_range;
+    p.duration_ms = scale.duration_ms;
+    p.spurious_abort_prob = spurious;
+    const BenchResult r = run_structure_bench(p);
+    state.counters["ops/s"] = r.ops_per_sec;
+    state.counters["fallback_frac"] =
+        r.tm.commits == 0
+            ? 0.0
+            : static_cast<double>(r.tm.fallbacks) / static_cast<double>(r.tm.commits);
+    state.counters["hw_aborts"] = static_cast<double>(r.tm.hw_aborts);
+    state.counters["serialized_frac"] = r.serialized_frac;
+    state.SetItemsProcessed(static_cast<std::int64_t>(r.total_ops));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchScale scale = read_scale_from_env();
+  const int threads = scale.thread_counts.back();
+  for (const TmKind kind : {TmKind::kNvHalt, TmKind::kNvHaltCl, TmKind::kSpht}) {
+    for (const double spurious : {0.0, 0.01, 0.05, 0.20}) {
+      const std::string name = std::string("abort_sensitivity/50ro/") + tm_kind_name(kind) +
+                               "/p" + std::to_string(static_cast<int>(spurious * 100)) + "/t" +
+                               std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [=](benchmark::State& s) {
+                                     bench_cell(s, kind, spurious, threads, scale);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

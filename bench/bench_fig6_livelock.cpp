@@ -1,0 +1,110 @@
+// Figure 6 / Sec. 3.6: the progress pathology that motivates NV-HALT-SP.
+// Two threads run the opposing array-scan transactions of Fig. 6 on the
+// software path; the weakly progressive variant can abort both conflicting
+// transactions repeatedly, the strongly progressive variant guarantees a
+// winner per conflict round. The benchmark reports commit throughput and
+// the aborts-per-commit ratio for both variants.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "util/barrier.hpp"
+
+using namespace nvhalt;
+using namespace nvhalt::bench;
+
+namespace {
+
+struct LivelockResult {
+  double commits_per_sec = 0;
+  double aborts_per_commit = 0;
+};
+
+LivelockResult run_fig6(TmKind kind, int duration_ms, bool hw_path_enabled) {
+  RunnerConfig cfg;
+  cfg.kind = kind;
+  cfg.pmem.capacity_words = std::size_t{1} << 18;
+  if (!hw_path_enabled) cfg.nvhalt.htm_attempts = 0;  // pure software paths
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  constexpr std::size_t kSlots = 32;
+  const gaddr_t arr = runner.alloc().raw_alloc_large(kSlots);
+
+  std::atomic<bool> stop{false};
+  SpinBarrier barrier(3);
+  std::uint64_t commits[2] = {0, 0};
+  std::thread workers[2];
+  for (int tid = 0; tid < 2; ++tid) {
+    workers[tid] = std::thread([&, tid] {
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // T1: update the front, read ascending. T2: update the back, read
+        // descending — Fig. 6's mutually-aborting pattern.
+        tm.run(tid, [&](Tx& tx) {
+          if (tid == 0) {
+            tx.write(arr, tx.read(arr) + 1);
+            for (std::size_t s = 1; s < kSlots; ++s) (void)tx.read(arr + s);
+          } else {
+            tx.write(arr + kSlots - 1, tx.read(arr + kSlots - 1) + 1);
+            for (std::size_t s = kSlots - 1; s-- > 0;) (void)tx.read(arr + s);
+          }
+        });
+        ++commits[tid];
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  workers[0].join();
+  workers[1].join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  LivelockResult r;
+  const TmStats s = tm.stats();
+  r.commits_per_sec = static_cast<double>(commits[0] + commits[1]) / secs;
+  r.aborts_per_commit = s.commits == 0
+                            ? 0.0
+                            : static_cast<double>(s.sw_aborts + s.hw_aborts) /
+                                  static_cast<double>(s.commits);
+  return r;
+}
+
+void bench_fig6(benchmark::State& state, TmKind kind, bool hw) {
+  const BenchScale scale = read_scale_from_env();
+  for (auto _ : state) {
+    const LivelockResult r = run_fig6(kind, scale.duration_ms, hw);
+    state.counters["commits/s"] = r.commits_per_sec;
+    state.counters["aborts_per_commit"] = r.aborts_per_commit;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("fig6_livelock/NV-HALT/sw_only",
+                               [](benchmark::State& s) { bench_fig6(s, TmKind::kNvHalt, false); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "fig6_livelock/NV-HALT-SP/sw_only",
+      [](benchmark::State& s) { bench_fig6(s, TmKind::kNvHaltSp, false); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig6_livelock/NV-HALT/full",
+                               [](benchmark::State& s) { bench_fig6(s, TmKind::kNvHalt, true); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig6_livelock/NV-HALT-SP/full",
+                               [](benchmark::State& s) { bench_fig6(s, TmKind::kNvHaltSp, true); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

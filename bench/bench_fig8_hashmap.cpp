@@ -1,0 +1,59 @@
+// Figure 8, row 2: hashmap (one bucket per key, chained, remove marks
+// empty) throughput vs thread count for the five TMs at the paper's four
+// workload mixes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace nvhalt;
+using namespace nvhalt::bench;
+
+namespace {
+
+void bench_cell(benchmark::State& state, TmKind kind, int read_pct, int threads,
+                const BenchScale& scale) {
+  for (auto _ : state) {
+    BenchParams p;
+    p.kind = kind;
+    p.structure = Structure::kHashMap;
+    p.read_pct = read_pct;
+    p.threads = threads;
+    p.key_range = scale.key_range;
+    p.duration_ms = scale.duration_ms;
+    p.dist = scale.dist;
+    const BenchResult r = run_structure_bench(p);
+    state.counters["ops/s"] = r.ops_per_sec;
+    state.counters["hw_commit_frac"] =
+        r.tm.commits == 0 ? 0.0
+                          : static_cast<double>(r.tm.hw_commits) / static_cast<double>(r.tm.commits);
+    state.counters["hw_aborts"] = static_cast<double>(r.tm.hw_aborts);
+    state.counters["sw_aborts"] = static_cast<double>(r.tm.sw_aborts);
+    state.counters["flushes/op"] = r.flushes_per_op;
+    state.counters["fences/op"] = r.fences_per_op;
+    state.SetItemsProcessed(static_cast<std::int64_t>(r.total_ops));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchScale scale = read_scale_from_env();
+  for (const int read_pct : fig8_read_pcts()) {
+    for (const TmKind kind : fig8_tms()) {
+      for (const int threads : scale.thread_counts) {
+        const std::string name = "fig8_hashmap/" + workload_name(read_pct) + "/" +
+                                 tm_kind_name(kind) + "/t" + std::to_string(threads);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [=](benchmark::State& s) {
+                                       bench_cell(s, kind, read_pct, threads, scale);
+                                     })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 9: ablation study of NV-HALT-CL and SPHT on the (a,b)-tree,
+// progressively removing the three persistence-overhead classes:
+//   BASE               — everything on
+//   NO-FLUSH-FENCE     — class 1 removed: flush/fence are no-ops
+//   NO-NVRAM           — classes 1+2: also DRAM-speed stores (no NVM latency)
+//   NO-PERSISTENT-HTXN — classes 1+2+3: also no synchronization for
+//                        persisting hardware transactions (volatile-only)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace nvhalt;
+using namespace nvhalt::bench;
+
+namespace {
+
+struct AblationLevel {
+  const char* name;
+  bool flushes;
+  bool eadr;
+  bool nvm_latency;
+  bool persist_htxns;
+};
+
+const AblationLevel kLevels[] = {
+    {"BASE", true, false, true, true},
+    // Extension beyond the paper's three levels: an eADR platform removes
+    // flushes/fences but keeps NVM store latency — between BASE and
+    // NO-FLUSH-FENCE in the overhead taxonomy (paper Sec. 5 notes eADR
+    // "would not require these instructions").
+    {"EADR", false, true, true, true},
+    {"NO-FLUSH-FENCE", false, false, true, true},
+    {"NO-NVRAM", false, false, false, true},
+    {"NO-PERSISTENT-HTXN", false, false, false, false},
+};
+
+void bench_cell(benchmark::State& state, TmKind kind, const AblationLevel& level, int read_pct,
+                int threads, const BenchScale& scale) {
+  for (auto _ : state) {
+    BenchParams p;
+    p.kind = kind;
+    p.structure = Structure::kAbTree;
+    p.read_pct = read_pct;
+    p.threads = threads;
+    p.key_range = scale.key_range;
+    p.duration_ms = scale.duration_ms;
+    p.flushes_enabled = level.flushes;
+    p.eadr = level.eadr;
+    if (!level.nvm_latency) {
+      p.flush_latency_ns = 0;
+      p.fence_latency_ns = 0;
+      p.nvm_store_latency_ns = 0;
+    }
+    p.persist_htxns = level.persist_htxns;
+    const BenchResult r = run_structure_bench(p);
+    state.counters["ops/s"] = r.ops_per_sec;
+    state.SetItemsProcessed(static_cast<std::int64_t>(r.total_ops));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchScale scale = read_scale_from_env();
+  const int threads = scale.thread_counts.back();  // the contended point
+  for (const int read_pct : fig8_read_pcts()) {
+    for (const TmKind kind : {TmKind::kNvHaltCl, TmKind::kSpht}) {
+      for (const AblationLevel& level : kLevels) {
+        const std::string name = "fig9_ablation/" + workload_name(read_pct) + "/" +
+                                 std::string(tm_kind_name(kind)) + "/" + level.name + "/t" +
+                                 std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& s) { bench_cell(s, kind, level, read_pct, threads, scale); })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-cost benchmarks for the design choices DESIGN.md calls out:
+//   * hardware-path read instrumentation (lock subscription) cost
+//   * hardware-assisted locking (write instrumentation) cost
+//   * Trinity record persistence cost per written word
+//   * software-path full-read-set revalidation cost vs read-set size
+// These quantify the per-access overheads behind the Fig. 8/9 shapes.
+#include <benchmark/benchmark.h>
+
+#include "api/tm_factory.hpp"
+
+using namespace nvhalt;
+
+namespace {
+
+RunnerConfig micro_cfg(TmKind kind) {
+  RunnerConfig cfg;
+  cfg.kind = kind;
+  cfg.pmem.capacity_words = std::size_t{1} << 18;
+  return cfg;
+}
+
+// Cost of a read-only hardware transaction over N words, with and without
+// lock-subscribing reads (ablation knob hw_read_check_locks).
+void BM_HwReadTxn(benchmark::State& state) {
+  RunnerConfig cfg = micro_cfg(TmKind::kNvHalt);
+  cfg.nvhalt.hw_read_check_locks = state.range(1) != 0;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gaddr_t arr = runner.alloc().raw_alloc_large(n);
+  word_t sink = 0;
+  for (auto _ : state) {
+    tm.run(0, [&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) sink += tx.read(arr + i);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HwReadTxn)
+    ->ArgsProduct({{8, 64}, {0, 1}})
+    ->ArgNames({"words", "lock_checks"});
+
+// Cost of a writing hardware transaction: lock acquisition + undo logging +
+// post-xend persistence, vs the volatile-only configuration.
+void BM_HwWriteTxn(benchmark::State& state) {
+  RunnerConfig cfg = micro_cfg(TmKind::kNvHalt);
+  cfg.nvhalt.persist_hw_txns = state.range(1) != 0;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gaddr_t arr = runner.alloc().raw_alloc_large(n);
+  word_t v = 0;
+  for (auto _ : state) {
+    ++v;
+    tm.run(0, [&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) tx.write(arr + i, v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HwWriteTxn)->ArgsProduct({{1, 8}, {0, 1}})->ArgNames({"words", "persist"});
+
+// Software path: full read-set revalidation on every read is O(n^2) in the
+// read-set size — the price of opacity on the fallback path.
+void BM_SwReadTxnScaling(benchmark::State& state) {
+  RunnerConfig cfg = micro_cfg(TmKind::kNvHalt);
+  cfg.nvhalt.htm_attempts = 0;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gaddr_t arr = runner.alloc().raw_alloc_large(n);
+  word_t sink = 0;
+  for (auto _ : state) {
+    tm.run(0, [&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) sink += tx.read(arr + i);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SwReadTxnScaling)->Arg(8)->Arg(32)->Arg(128);
+
+// Trinity (TL2) read-only transactions validate per read against the
+// global clock only — O(n), the contrast to the NV-HALT fallback.
+void BM_TrinityReadTxnScaling(benchmark::State& state) {
+  TmRunner runner(micro_cfg(TmKind::kTrinity));
+  auto& tm = runner.tm();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gaddr_t arr = runner.alloc().raw_alloc_large(n);
+  word_t sink = 0;
+  for (auto _ : state) {
+    tm.run(0, [&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) sink += tx.read(arr + i);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrinityReadTxnScaling)->Arg(8)->Arg(32)->Arg(128);
+
+// Per-word persistence cost: Trinity record write + flush + fence, at
+// different simulated NVM latencies.
+void BM_PersistPerWord(benchmark::State& state) {
+  RunnerConfig cfg = micro_cfg(TmKind::kNvHalt);
+  cfg.pmem.flush_latency_ns = static_cast<std::uint64_t>(state.range(0));
+  cfg.pmem.fence_latency_ns = cfg.pmem.flush_latency_ns / 2;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  word_t v = 0;
+  for (auto _ : state) {
+    tm.run(0, [&](Tx& tx) { tx.write(a, ++v); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PersistPerWord)->Arg(0)->Arg(150)->Arg(500)->ArgName("flush_ns");
+
+// SPHT ordering overhead: a single uncontended writer still pays the log
+// append + marker persistence on every commit.
+void BM_SphtCommitOverhead(benchmark::State& state) {
+  RunnerConfig cfg = micro_cfg(TmKind::kSpht);
+  cfg.spht.persist_txns = state.range(0) != 0;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 0);
+  });
+  word_t v = 0;
+  for (auto _ : state) {
+    tm.run(0, [&](Tx& tx) { tx.write(a, ++v); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SphtCommitOverhead)->Arg(1)->Arg(0)->ArgName("persist");
+
+}  // namespace
+
+BENCHMARK_MAIN();

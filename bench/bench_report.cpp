@@ -1,0 +1,102 @@
+// One-shot evaluation report: runs a compact version of the paper's whole
+// evaluation (Fig. 8 both structures, Fig. 9 ablation, Fig. 6 progress)
+// and prints the tables side by side, in the layout of the paper's
+// figures. Scale knobs are the usual NVHALT_BENCH_* environment variables.
+//
+//   $ NVHALT_BENCH_MS=300 ./build/bench/bench_report
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace nvhalt;
+using namespace nvhalt::bench;
+
+namespace {
+
+void print_fig8(Structure structure, const char* title, const BenchScale& scale) {
+  std::printf("\n== Fig. 8 %s — ops/s (key range %zu, %d ms windows) ==\n", title,
+              scale.key_range, scale.duration_ms);
+  std::printf("%-8s %-4s", "workload", "thr");
+  for (const TmKind kind : fig8_tms()) std::printf(" %12s", tm_kind_name(kind));
+  std::printf("\n");
+  for (const int read_pct : fig8_read_pcts()) {
+    for (const int threads : scale.thread_counts) {
+      std::printf("%-8s %-4d", workload_name(read_pct).c_str(), threads);
+      for (const TmKind kind : fig8_tms()) {
+        BenchParams p;
+        p.kind = kind;
+        p.structure = structure;
+        p.read_pct = read_pct;
+        p.threads = threads;
+        p.key_range = scale.key_range;
+        p.duration_ms = scale.duration_ms;
+        p.dist = scale.dist;
+        const BenchResult r = run_structure_bench(p);
+        std::printf(" %11.0fk", r.ops_per_sec / 1e3);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void print_fig9(const BenchScale& scale) {
+  struct Level {
+    const char* name;
+    bool flushes, eadr, latency, persist;
+  };
+  const Level levels[] = {
+      {"BASE", true, false, true, true},
+      {"EADR", false, true, true, true},
+      {"NO-FLUSH-FENCE", false, false, true, true},
+      {"NO-NVRAM", false, false, false, true},
+      {"NO-PERSIST-HTXN", false, false, false, false},
+  };
+  const int threads = scale.thread_counts.back();
+  std::printf("\n== Fig. 9 ablation — (a,b)-tree, t%d, ops/s ==\n", threads);
+  std::printf("%-8s %-12s", "workload", "tm");
+  for (const auto& l : levels) std::printf(" %16s", l.name);
+  std::printf("\n");
+  for (const int read_pct : fig8_read_pcts()) {
+    for (const TmKind kind : {TmKind::kNvHaltCl, TmKind::kSpht}) {
+      std::printf("%-8s %-12s", workload_name(read_pct).c_str(), tm_kind_name(kind));
+      for (const auto& l : levels) {
+        BenchParams p;
+        p.kind = kind;
+        p.structure = Structure::kAbTree;
+        p.read_pct = read_pct;
+        p.threads = threads;
+        p.key_range = scale.key_range;
+        p.duration_ms = scale.duration_ms;
+        p.flushes_enabled = l.flushes;
+        p.eadr = l.eadr;
+        if (!l.latency) {
+          p.flush_latency_ns = 0;
+          p.fence_latency_ns = 0;
+          p.nvm_store_latency_ns = 0;
+        }
+        p.persist_htxns = l.persist;
+        const BenchResult r = run_structure_bench(p);
+        std::printf(" %15.0fk", r.ops_per_sec / 1e3);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = read_scale_from_env();
+  std::printf("NV-HALT evaluation report (simulated HTM + simulated NVM; see EXPERIMENTS.md\n"
+              "for the distortion analysis — shapes, not absolute numbers, are meaningful)\n");
+  print_fig8(Structure::kAbTree, "row 1: (a,b)-tree", scale);
+  print_fig8(Structure::kHashMap, "row 2: hashmap", scale);
+  print_fig9(scale);
+  std::printf("\nFor Fig. 6 (progress pathology) run build/bench/bench_fig6_livelock;\n"
+              "for abort-pressure sensitivity run build/bench/bench_abort_sensitivity.\n");
+  return 0;
+}

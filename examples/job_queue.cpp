@@ -1,0 +1,110 @@
+// A durable job-queue service with exactly-once semantics.
+//
+// Producers enqueue jobs; workers atomically {dequeue job, record result}
+// in one transaction, so a job is never lost and never processed twice —
+// even across a power failure in the middle of everything. This is the
+// kind of hand-crafted persistent data structure the paper's introduction
+// says is "difficult, time consuming and error prone" to build manually;
+// on top of a durably-linearizable TM it is ~30 lines of logic.
+//
+//   $ ./examples/job_queue
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "api/tm_factory.hpp"
+#include "pmem/crash_sim.hpp"
+#include "structures/tm_hashmap.hpp"
+#include "structures/tm_queue.hpp"
+
+using namespace nvhalt;
+
+int main() {
+  RunnerConfig cfg;
+  cfg.kind = TmKind::kNvHaltSp;
+  cfg.pmem.capacity_words = 1 << 20;
+  cfg.pmem.track_store_order = true;
+  TmRunner runner(cfg);
+  TransactionalMemory& tm = runner.tm();
+
+  TmQueue queue(tm, /*capacity=*/256, /*root_slot=*/6);       // pending jobs
+  TmHashMap results(tm, /*buckets=*/1 << 10, /*root_slot=*/0);  // job -> result
+
+  constexpr word_t kJobs = 3000;
+  constexpr int kProducers = 2, kWorkers = 2;
+
+  CrashCoordinator coord;
+  runner.pool().set_crash_coordinator(&coord);
+  std::atomic<word_t> next_job{1};
+  std::vector<std::thread> threads;
+
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      try {
+        for (;;) {
+          const word_t job = next_job.fetch_add(1);
+          if (job > kJobs) return;
+          while (!queue.enqueue(p, job)) {
+          }  // back-pressure when full
+        }
+      } catch (const SimulatedPowerFailure&) {
+      }
+    });
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    const int tid = kProducers + w;
+    threads.emplace_back([&, tid] {
+      try {
+        for (;;) {
+          // One transaction: take the job AND record its result. Atomic,
+          // durable: the job can never be lost (dequeued but unprocessed)
+          // or doubled (processed but still queued).
+          tm.run(tid, [&](Tx& tx) {
+            word_t job = 0;
+            if (queue.dequeue_in(tx, &job)) results.insert_in(tx, job, job * job);
+          });
+        }
+      } catch (const SimulatedPowerFailure&) {
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  coord.trip();  // power failure mid-service
+  for (auto& t : threads) t.join();
+  runner.pool().set_crash_coordinator(nullptr);
+
+  runner.pool().crash(CrashPolicy{0.5, 99});
+  tm.recover_data();
+  TmQueue rqueue = TmQueue::attach(tm, 6);
+  TmHashMap rresults = TmHashMap::attach(tm, 0);
+  std::vector<LiveBlock> live = rqueue.collect_live_blocks();
+  for (const auto& b : rresults.collect_live_blocks()) live.push_back(b);
+  tm.rebuild_allocator(live);
+
+  std::printf("after crash: %zu jobs pending, %zu completed\n", rqueue.size_slow(),
+              rresults.size_slow());
+
+  // Drain the rest with a fresh worker.
+  word_t job = 0;
+  while (rqueue.dequeue(0, &job)) rresults.insert(0, job, job * job);
+
+  // Exactly-once check for every job that was durably enqueued: present
+  // with the right result, or never enqueued at all (producer died before
+  // its enqueue was acknowledged — those jobs were never visible).
+  std::size_t done = 0, wrong = 0;
+  for (word_t j = 1; j <= kJobs; ++j) {
+    word_t v = 0;
+    if (rresults.contains(0, j, &v)) {
+      ++done;
+      if (v != j * j) ++wrong;
+    }
+  }
+  std::printf("completed %zu jobs, %zu with corrupted results\n", done, wrong);
+  // Results present exactly once by construction of the hashmap (insert
+  // rejects duplicates; a double-processed job would have tripped it).
+  const bool ok = wrong == 0 && rqueue.size_slow() == 0 && done > 0;
+  std::printf("exactly-once across power failure: %s\n", ok ? "verified" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,4 @@
+#include "alloc/segment.hpp"
+
+// Segment geometry is header-only; this translation unit anchors the
+// module in the build.

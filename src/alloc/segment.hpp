@@ -1,0 +1,57 @@
+// Segment geometry for the transactional allocator.
+//
+// The allocator (paper Sec. 4, "Memory Allocation in Transactions") is
+// mimalloc-flavoured: the heap is carved into fixed-size segments, each
+// dedicated to one size class and owned by one thread at a time. Keeping
+// per-thread free lists outside the transactional word space means
+// allocation does not inflate transaction write sets — the paper's stated
+// reason for not running the allocator on top of the TM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+/// Words per segment. Every segment serves exactly one size class.
+inline constexpr std::size_t kSegmentWords = std::size_t{1} << 14;
+
+/// Allocation size classes, in words. Chosen to cover the data-structure
+/// node sizes used in the evaluation ((a,b)-tree nodes are 34/35 words).
+inline constexpr std::array<std::uint32_t, 10> kSizeClasses = {1, 2, 4, 8, 16, 32, 48, 64, 96, 128};
+
+/// Returns the index of the smallest class holding `nwords`, or -1 if the
+/// request exceeds the largest class.
+inline int size_class_for(std::size_t nwords) {
+  for (std::size_t i = 0; i < kSizeClasses.size(); ++i) {
+    if (kSizeClasses[i] >= nwords) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Geometry of the segmented heap within [heap_begin, heap_end) words.
+struct SegmentSpace {
+  gaddr_t heap_begin = 0;
+  std::size_t segment_count = 0;
+
+  SegmentSpace() = default;
+  SegmentSpace(gaddr_t begin, gaddr_t end)
+      : heap_begin(begin), segment_count((end - begin) / kSegmentWords) {}
+
+  gaddr_t segment_base(std::size_t seg) const { return heap_begin + seg * kSegmentWords; }
+
+  /// Segment containing address `a`; caller guarantees a >= heap_begin.
+  std::size_t segment_of(gaddr_t a) const { return (a - heap_begin) / kSegmentWords; }
+
+  std::size_t slot_of(gaddr_t a, std::uint32_t class_words) const {
+    return (a - segment_base(segment_of(a))) / class_words;
+  }
+
+  static std::size_t slots_per_segment(std::uint32_t class_words) {
+    return kSegmentWords / class_words;
+  }
+};
+
+}  // namespace nvhalt

@@ -1,0 +1,223 @@
+#include "alloc/tx_allocator.hpp"
+
+#include <algorithm>
+
+#include "htm/htm_tls.hpp"
+#include "htm/htm_types.hpp"
+
+namespace nvhalt {
+
+TxAllocator::TxAllocator(PmemPool& pool, gaddr_t heap_begin)
+    : pool_(pool), space_(heap_begin, pool.capacity_words()) {
+  if (space_.segment_count == 0)
+    throw TmLogicError("pool too small for at least one allocator segment");
+  heaps_.resize(kMaxThreads);
+  for (auto& h : heaps_) h.classes.resize(kSizeClasses.size());
+  global_free_.resize(kSizeClasses.size());
+}
+
+gaddr_t TxAllocator::fast_alloc(int tid, int cls) {
+  ClassHeap& ch = heaps_[tid].classes[static_cast<std::size_t>(cls)];
+  if (!ch.free_list.empty()) {
+    const gaddr_t a = ch.free_list.back();
+    ch.free_list.pop_back();
+    return a;
+  }
+  if (ch.bump_base != kNullAddr) {
+    const std::uint32_t cw = kSizeClasses[static_cast<std::size_t>(cls)];
+    if (ch.bump_slot < SegmentSpace::slots_per_segment(cw)) {
+      return ch.bump_base + (ch.bump_slot++) * cw;
+    }
+    ch.bump_base = kNullAddr;
+  }
+  return kNullAddr;
+}
+
+void TxAllocator::refill_from_global(int tid, int cls) {
+  std::lock_guard<std::mutex> g(global_mu_);
+  auto& gf = global_free_[static_cast<std::size_t>(cls)];
+  if (gf.empty()) return;
+  auto& fl = heaps_[tid].classes[static_cast<std::size_t>(cls)].free_list;
+  const std::size_t take = std::min<std::size_t>(gf.size(), 64);
+  fl.insert(fl.end(), gf.end() - static_cast<std::ptrdiff_t>(take), gf.end());
+  gf.resize(gf.size() - take);
+}
+
+void TxAllocator::acquire_segment(int tid, int cls) {
+  std::size_t seg;
+  {
+    std::lock_guard<std::mutex> g(global_mu_);
+    if (!free_segments_.empty()) {
+      seg = free_segments_.back();
+      free_segments_.pop_back();
+    } else {
+      if (seg_bump_ >= space_.segment_count) throw TmLogicError("persistent heap exhausted");
+      seg = seg_bump_++;
+    }
+  }
+  ClassHeap& ch = heaps_[tid].classes[static_cast<std::size_t>(cls)];
+  ch.bump_base = space_.segment_base(seg);
+  ch.bump_slot = 0;
+  heaps_[tid].stats.segments_acquired++;
+}
+
+gaddr_t TxAllocator::alloc_impl(int tid, std::size_t nwords, bool in_txn) {
+  const int cls = size_class_for(nwords);
+  if (cls < 0) throw TmLogicError("allocation exceeds largest size class");
+  gaddr_t a = fast_alloc(tid, cls);
+  if (a == kNullAddr) {
+    // Global work (mutex, possibly fresh segment) cannot run inside a
+    // hardware transaction; on real RTM it would abort anyway.
+    if (htm::in_hw_txn()) throw htm::HtmAbort{htm::AbortCause::kExplicit, kAllocAbortCode};
+    refill_from_global(tid, cls);
+    a = fast_alloc(tid, cls);
+    if (a == kNullAddr) {
+      acquire_segment(tid, cls);
+      a = fast_alloc(tid, cls);
+    }
+  }
+  heaps_[tid].stats.allocs++;
+  if (in_txn)
+    heaps_[tid].pending_allocs.push_back({a, static_cast<std::uint32_t>(nwords)});
+  return a;
+}
+
+gaddr_t TxAllocator::tx_alloc(int tid, std::size_t nwords) {
+  return alloc_impl(tid, nwords, /*in_txn=*/true);
+}
+
+gaddr_t TxAllocator::raw_alloc(int tid, std::size_t nwords) {
+  return alloc_impl(tid, nwords, /*in_txn=*/false);
+}
+
+gaddr_t TxAllocator::raw_alloc_large(std::size_t nwords) {
+  if (htm::in_hw_txn()) throw htm::HtmAbort{htm::AbortCause::kExplicit, kAllocAbortCode};
+  const std::size_t nsegs = (nwords + kSegmentWords - 1) / kSegmentWords;
+  std::lock_guard<std::mutex> g(global_mu_);
+  if (seg_bump_ + nsegs > space_.segment_count) throw TmLogicError("persistent heap exhausted");
+  const std::size_t first = seg_bump_;
+  seg_bump_ += nsegs;
+  return space_.segment_base(first);
+}
+
+void TxAllocator::push_free(int tid, gaddr_t a, std::size_t nwords) {
+  const int cls = size_class_for(nwords);
+  if (cls < 0) throw TmLogicError("free exceeds largest size class");
+  heaps_[tid].classes[static_cast<std::size_t>(cls)].free_list.push_back(a);
+  heaps_[tid].stats.frees++;
+}
+
+void TxAllocator::tx_free(int tid, gaddr_t a, std::size_t nwords) {
+  heaps_[tid].pending_frees.push_back({a, static_cast<std::uint32_t>(nwords)});
+}
+
+void TxAllocator::raw_free(int tid, gaddr_t a, std::size_t nwords) { push_free(tid, a, nwords); }
+
+void TxAllocator::on_commit(int tid) {
+  ThreadHeap& h = heaps_[tid];
+  // Frees take effect only now that the transaction is durably committed.
+  for (const LiveBlock& b : h.pending_frees) push_free(tid, b.addr, b.nwords);
+  h.pending_frees.clear();
+  h.pending_allocs.clear();
+}
+
+void TxAllocator::on_abort(int tid) {
+  ThreadHeap& h = heaps_[tid];
+  // The transaction never happened: its allocations return to the heap and
+  // its frees are forgotten.
+  for (const LiveBlock& b : h.pending_allocs) push_free(tid, b.addr, b.nwords);
+  h.pending_allocs.clear();
+  h.pending_frees.clear();
+}
+
+void TxAllocator::reset() {
+  std::lock_guard<std::mutex> g(global_mu_);
+  seg_bump_ = 0;
+  free_segments_.clear();
+  for (auto& gf : global_free_) gf.clear();
+  for (auto& h : heaps_) {
+    for (auto& ch : h.classes) {
+      ch.free_list.clear();
+      ch.bump_base = kNullAddr;
+      ch.bump_slot = 0;
+    }
+    h.pending_allocs.clear();
+    h.pending_frees.clear();
+  }
+}
+
+void TxAllocator::rebuild(std::span<const LiveBlock> live) {
+  reset();
+  if (live.empty()) return;
+
+  // Pass 1: derive each touched segment's size class from its live blocks
+  // and mark used slots.
+  struct SegInfo {
+    int cls = -1;
+    std::vector<bool> used;
+  };
+  std::vector<SegInfo> segs(space_.segment_count);
+  std::size_t max_seg = 0;
+  for (const LiveBlock& b : live) {
+    if (b.addr < space_.heap_begin) throw TmLogicError("live block below heap");
+    const std::size_t seg = space_.segment_of(b.addr);
+    if (seg >= space_.segment_count) throw TmLogicError("live block beyond heap");
+    const int cls = size_class_for(b.nwords);
+    if (cls < 0) {
+      // Large block: occupies whole segments, never recycled.
+      const std::size_t nsegs = (b.nwords + kSegmentWords - 1) / kSegmentWords;
+      for (std::size_t s = seg; s < seg + nsegs; ++s) {
+        if (segs[s].cls >= 0)
+          throw TmLogicError("small live block inside a large-object segment");
+        segs[s].cls = -2;  // large-object segment: excluded from free lists
+        max_seg = std::max(max_seg, s);
+      }
+      continue;
+    }
+    SegInfo& si = segs[seg];
+    if (si.cls == -2) throw TmLogicError("small live block inside a large-object segment");
+    const std::uint32_t cw = kSizeClasses[static_cast<std::size_t>(cls)];
+    if (si.cls == -1) {
+      si.cls = cls;
+      si.used.assign(SegmentSpace::slots_per_segment(cw), false);
+    } else if (si.cls != cls) {
+      throw TmLogicError("live blocks of mixed size classes within one segment");
+    }
+    const std::size_t slot = space_.slot_of(b.addr, cw);
+    if ((b.addr - space_.segment_base(seg)) % cw != 0)
+      throw TmLogicError("live block not aligned to its size class slot");
+    si.used[slot] = true;
+    max_seg = std::max(max_seg, seg);
+  }
+
+  // Pass 2: free slots of touched segments go to the global reclaimed
+  // lists (threads refill from there in batches); untouched segments below
+  // the high-water mark are recycled whole.
+  seg_bump_ = max_seg + 1;
+  for (std::size_t seg = 0; seg < seg_bump_; ++seg) {
+    SegInfo& si = segs[seg];
+    if (si.cls == -2) continue;  // large object: fully in use
+    if (si.cls == -1) {
+      free_segments_.push_back(seg);
+      continue;
+    }
+    const std::uint32_t cw = kSizeClasses[static_cast<std::size_t>(si.cls)];
+    const gaddr_t base = space_.segment_base(seg);
+    for (std::size_t slot = 0; slot < si.used.size(); ++slot) {
+      if (si.used[slot]) continue;
+      global_free_[static_cast<std::size_t>(si.cls)].push_back(base + slot * cw);
+    }
+  }
+}
+
+AllocStats TxAllocator::stats() const {
+  AllocStats agg;
+  for (const auto& h : heaps_) {
+    agg.allocs += h.stats.allocs;
+    agg.frees += h.stats.frees;
+    agg.segments_acquired += h.stats.segments_acquired;
+  }
+  return agg;
+}
+
+}  // namespace nvhalt

@@ -1,0 +1,124 @@
+// Transaction-aware allocator over the persistent pool (paper Sec. 4).
+//
+// Allocation and freeing are tied to transaction outcomes: memory
+// allocated during a transaction is returned if the transaction aborts,
+// and frees are deferred until the transaction commits, so an abort can
+// never leak and a doomed transaction can never recycle memory another
+// thread still reads. The allocator's internal state is *volatile* —
+// unlike Trinity's — and is reconstructed during recovery from a
+// user-supplied iterator over live blocks.
+//
+// Allocation from per-thread heaps is transaction-neutral: it touches no
+// shared transactional state, so it cannot abort a hardware transaction.
+// Acquiring a fresh segment, however, is global work; done inside a
+// hardware transaction it would abort it on real hardware, and we model
+// exactly that by raising an explicit HTM abort (code kAllocAbortCode) so
+// the attempt is retried with a pre-warmed heap or falls back to software.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "alloc/segment.hpp"
+#include "pmem/pmem_pool.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+/// xabort code used when allocation needs global work inside a HW txn.
+inline constexpr std::uint8_t kAllocAbortCode = 0xA1;
+
+struct LiveBlock {
+  gaddr_t addr;
+  std::uint32_t nwords;
+};
+
+struct AllocStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t segments_acquired = 0;
+};
+
+class TxAllocator {
+ public:
+  /// Manages words [heap_begin, pool.capacity_words()). heap_begin defaults
+  /// to one line past null so word 0 is never handed out.
+  explicit TxAllocator(PmemPool& pool, gaddr_t heap_begin = kWordsPerLine);
+
+  TxAllocator(const TxAllocator&) = delete;
+  TxAllocator& operator=(const TxAllocator&) = delete;
+
+  // ---- Transactional interface ----------------------------------------
+  /// Allocates within the calling thread's current transaction. The block
+  /// is recorded and returned to the heap if the transaction aborts.
+  gaddr_t tx_alloc(int tid, std::size_t nwords);
+
+  /// Defers the free until the current transaction commits.
+  void tx_free(int tid, gaddr_t a, std::size_t nwords);
+
+  /// Transaction outcome hooks, called by the TM runtime.
+  void on_commit(int tid);
+  void on_abort(int tid);
+
+  // ---- Non-transactional interface (setup / tests) ---------------------
+  gaddr_t raw_alloc(int tid, std::size_t nwords);
+  void raw_free(int tid, gaddr_t a, std::size_t nwords);
+
+  /// Allocates a large contiguous block (whole segments) outside any
+  /// transaction — e.g. a hash table's bucket array. Never recycled.
+  gaddr_t raw_alloc_large(std::size_t nwords);
+
+  // ---- Recovery ---------------------------------------------------------
+  /// Rebuilds the volatile allocator state from the set of live blocks
+  /// (paper Sec. 4: "the user must provide an iterator that the allocator
+  /// can utilize to determine which parts of memory are in use").
+  void rebuild(std::span<const LiveBlock> live);
+
+  /// Drops all state back to a pristine heap (tests).
+  void reset();
+
+  AllocStats stats() const;
+  gaddr_t heap_begin() const { return space_.heap_begin; }
+  std::size_t segment_count() const { return space_.segment_count; }
+
+ private:
+  struct ClassHeap {
+    std::vector<gaddr_t> free_list;
+    gaddr_t bump_base = kNullAddr;  // current segment base, or null
+    std::size_t bump_slot = 0;      // next fresh slot in the segment
+  };
+
+  struct alignas(kCacheLineBytes) ThreadHeap {
+    std::vector<ClassHeap> classes;  // one per size class
+    std::vector<LiveBlock> pending_allocs;
+    std::vector<LiveBlock> pending_frees;
+    AllocStats stats;
+  };
+
+  /// Allocates from the per-thread heap only; returns null if it needs a
+  /// fresh segment.
+  gaddr_t fast_alloc(int tid, int cls);
+
+  /// Acquires a segment for (tid, cls). Must not run inside a HW txn.
+  void acquire_segment(int tid, int cls);
+
+  /// Pulls a batch from the global reclaimed list for (tid, cls).
+  void refill_from_global(int tid, int cls);
+
+  gaddr_t alloc_impl(int tid, std::size_t nwords, bool in_txn);
+  void push_free(int tid, gaddr_t a, std::size_t nwords);
+
+  PmemPool& pool_;
+  SegmentSpace space_;
+
+  std::mutex global_mu_;
+  std::size_t seg_bump_ = 0;                            // next never-used segment
+  std::vector<std::size_t> free_segments_;               // fully recycled segments
+  std::vector<std::vector<gaddr_t>> global_free_;        // reclaimed blocks per class
+
+  std::vector<ThreadHeap> heaps_;
+};
+
+}  // namespace nvhalt

@@ -1,0 +1,58 @@
+#include "api/root_registry.hpp"
+
+namespace nvhalt {
+
+std::uint64_t RootRegistry::hash_name(const std::string& name) {
+  // FNV-1a, with 0 reserved as the empty-slot marker.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+void RootRegistry::set(int tid, const std::string& name, std::uint64_t value) {
+  const std::uint64_t h = hash_name(name);
+  int free_entry = -1;
+  for (int e = 0; e < kCapacity; ++e) {
+    const std::uint64_t cur = pool_.load_root(name_slot(e));
+    if (cur == h) {
+      pool_.store_root_persist(tid, value_slot(e), value);
+      return;
+    }
+    if (cur == 0 && free_entry < 0) free_entry = e;
+  }
+  if (free_entry < 0) throw TmLogicError("root registry full");
+  // Value first, then name: a crash in between leaves an unnamed (hence
+  // invisible) value, never a name pointing at garbage.
+  pool_.store_root_persist(tid, value_slot(free_entry), value);
+  pool_.store_root_persist(tid, name_slot(free_entry), h);
+}
+
+std::optional<std::uint64_t> RootRegistry::get(const std::string& name) const {
+  const std::uint64_t h = hash_name(name);
+  for (int e = 0; e < kCapacity; ++e) {
+    if (pool_.load_root(name_slot(e)) == h) return pool_.load_root(value_slot(e));
+  }
+  return std::nullopt;
+}
+
+bool RootRegistry::erase(int tid, const std::string& name) {
+  const std::uint64_t h = hash_name(name);
+  for (int e = 0; e < kCapacity; ++e) {
+    if (pool_.load_root(name_slot(e)) == h) {
+      pool_.store_root_persist(tid, name_slot(e), 0);
+      return true;
+    }
+  }
+  return false;
+}
+
+int RootRegistry::size() const {
+  int n = 0;
+  for (int e = 0; e < kCapacity; ++e) n += pool_.load_root(name_slot(e)) != 0;
+  return n;
+}
+
+}  // namespace nvhalt

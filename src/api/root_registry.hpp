@@ -1,0 +1,48 @@
+// Named persistent roots.
+//
+// Structures accept raw root-slot indices; applications that manage many
+// persistent objects want names instead. The registry maps short names to
+// 64-bit values (usually gaddrs or slot indices) in the reserved upper
+// root-slot range, durably: entries survive crashes and are found again by
+// name after recovery.
+//
+// Crash consistency: an entry is (name-hash slot, value slot); the value
+// is persisted before the name, so a name, once visible, always refers to
+// a fully-persisted value.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pmem/pmem_pool.hpp"
+
+namespace nvhalt {
+
+class RootRegistry {
+ public:
+  explicit RootRegistry(PmemPool& pool) : pool_(pool) {}
+
+  static constexpr int kCapacity = (PmemPool::kRootSlots - PmemPool::kDirectRootSlots) / 2;
+
+  /// Creates or updates the named root. Durable when it returns.
+  /// Throws TmLogicError when the registry is full.
+  void set(int tid, const std::string& name, std::uint64_t value);
+
+  /// Looks the name up; empty when absent.
+  std::optional<std::uint64_t> get(const std::string& name) const;
+
+  /// Removes the name. Returns false when absent.
+  bool erase(int tid, const std::string& name);
+
+  /// Number of occupied entries.
+  int size() const;
+
+ private:
+  static std::uint64_t hash_name(const std::string& name);
+  static int name_slot(int entry) { return PmemPool::kDirectRootSlots + 2 * entry; }
+  static int value_slot(int entry) { return PmemPool::kDirectRootSlots + 2 * entry + 1; }
+
+  PmemPool& pool_;
+};
+
+}  // namespace nvhalt

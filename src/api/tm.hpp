@@ -1,0 +1,98 @@
+// Public transactional-memory interface.
+//
+// All five TMs evaluated in the paper (NV-HALT, NV-HALT-CL, NV-HALT-SP,
+// Trinity, SPHT) implement this word-based interface, so data structures,
+// tests and benchmarks are TM-agnostic.
+//
+// Usage:
+//   tm.run(tid, [&](Tx& tx) {
+//     word_t v = tx.read(a);
+//     tx.write(b, v + 1);
+//   });
+//
+// The body may be executed multiple times (aborted attempts are retried),
+// so it must not have side effects other than through the Tx handle.
+#pragma once
+
+#include <span>
+
+#include "alloc/tx_allocator.hpp"
+#include "core/tm_stats.hpp"
+#include "pmem/pmem_pool.hpp"
+#include "util/common.hpp"
+#include "util/function_ref.hpp"
+
+namespace nvhalt {
+
+/// Thrown by user code (or Tx::abort) to voluntarily abort the current
+/// transaction; run() then returns false without retrying.
+struct TxUserAbort {};
+
+/// Internal control-flow exception: the software path detected a conflict
+/// and the attempt will be retried. Not part of the public API surface but
+/// visible so tests can assert on it.
+struct TxConflictAbort {};
+
+/// Handle to the current transaction attempt.
+class Tx {
+ public:
+  /// Transactional read of one word.
+  virtual word_t read(gaddr_t a) = 0;
+
+  /// Transactional write of one word.
+  virtual void write(gaddr_t a, word_t v) = 0;
+
+  /// Allocates nwords within this transaction (undone on abort).
+  virtual gaddr_t alloc(std::size_t nwords) = 0;
+
+  /// Frees a block at commit of this transaction.
+  virtual void free(gaddr_t a, std::size_t nwords) = 0;
+
+  /// True when this attempt runs on the hardware fast path.
+  virtual bool on_hw_path() const = 0;
+
+  /// Voluntarily aborts the transaction (no retry).
+  [[noreturn]] void abort() { throw TxUserAbort{}; }
+
+ protected:
+  ~Tx() = default;
+};
+
+using TxBody = FunctionRef<void(Tx&)>;
+
+/// A durably-linearizable word-based transactional memory.
+class TransactionalMemory {
+ public:
+  virtual ~TransactionalMemory() = default;
+
+  /// Executes `body` as one atomic durable transaction on behalf of thread
+  /// `tid` (a dense id in [0, kMaxThreads)). Retries internally on
+  /// conflicts/aborts. Returns true if the transaction committed, false if
+  /// the body voluntarily aborted.
+  virtual bool run(int tid, TxBody body) = 0;
+
+  /// Post-crash recovery, phase 1: restores the volatile image from the
+  /// durable state (reverting in-flight transactions / replaying logs) and
+  /// resets volatile TM metadata. Must be called quiescently, before any
+  /// new transactions.
+  virtual void recover_data() = 0;
+
+  /// Post-crash recovery, phase 2: rebuilds the volatile allocator state
+  /// from the live blocks the user's iterator discovered by walking the
+  /// recovered data (paper Sec. 4).
+  virtual void rebuild_allocator(std::span<const LiveBlock> live) = 0;
+
+  /// Convenience for callers that know the live set up front.
+  void recover(std::span<const LiveBlock> live) {
+    recover_data();
+    rebuild_allocator(live);
+  }
+
+  virtual PmemPool& pool() = 0;
+  virtual TxAllocator& allocator() = 0;
+  virtual const char* name() const = 0;
+  virtual TmStats stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace nvhalt

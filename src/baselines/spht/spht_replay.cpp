@@ -1,0 +1,152 @@
+// SPHT log replay and recovery.
+//
+// The persistent logs are redo logs: the NVM heap image lags and must be
+// brought up to date by replaying records in timestamp order (only up to
+// the persistent marker). Replay is last-writer-wins per address, applied
+// by a configurable number of threads over disjoint address partitions —
+// the paper reports this phase scales poorly and uses 16 threads.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/spht/spht_tm.hpp"
+#include "pmem/crash_sim.hpp"
+
+namespace nvhalt {
+
+namespace {
+/// Must match the global-lock LocId in spht_tm.cpp.
+constexpr htm::LocId kGlLoc = htm::make_loc(htm::LocKind::kGlobal, 0x3001);
+}  // namespace
+
+namespace {
+/// Reduces collected records to the final value per address (records must
+/// be applied in timestamp order; sorting makes last-write-wins exact).
+std::vector<std::pair<gaddr_t, word_t>> reduce_records(std::vector<SphtLog::TxnRec>& recs) {
+  std::sort(recs.begin(), recs.end(),
+            [](const SphtLog::TxnRec& a, const SphtLog::TxnRec& b) { return a.ts < b.ts; });
+  std::unordered_map<gaddr_t, word_t> last;
+  for (const auto& r : recs) {
+    for (const auto& [a, v] : r.writes) last[a] = v;
+  }
+  std::vector<std::pair<gaddr_t, word_t>> out(last.begin(), last.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+void SphtTm::replay(int nthreads) {
+  std::vector<SphtLog::TxnRec> recs;
+  log_.collect(gpm_volatile_.value.load(std::memory_order_acquire), recs);
+  const auto final_writes = reduce_records(recs);
+
+  if (!final_writes.empty()) {
+    const int workers = std::max(1, std::min<int>(nthreads, static_cast<int>(final_writes.size())));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    const std::size_t per = (final_writes.size() + static_cast<std::size_t>(workers) - 1) /
+                            static_cast<std::size_t>(workers);
+    std::atomic<bool> power_failed{false};
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          const std::size_t lo = static_cast<std::size_t>(w) * per;
+          const std::size_t hi = std::min(final_writes.size(), lo + per);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto [a, v] = final_writes[i];
+            // The NVM heap image lives in the records' `cur` field; replay
+            // writes it and persists the line. `old`/`pver` are unused by
+            // SPHT (they are Trinity machinery).
+            PRecord r = pool_.read_record(a);
+            pool_.record_write(/*tid=*/w, a, r.old, v, /*seq=*/0);
+            pool_.flush_record(/*tid=*/w, a);
+          }
+          pool_.fence(w);
+        } catch (const SimulatedPowerFailure&) {
+          // Replay is idempotent redo: a power failure mid-replay simply
+          // means recovery replays again. Surfaced on the calling thread.
+          power_failed.store(true, std::memory_order_release);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (power_failed.load(std::memory_order_acquire)) throw SimulatedPowerFailure{};
+  }
+
+  // Logs are durable in the heap image now; truncate them. A crash between
+  // the fences above and this truncation replays idempotently.
+  log_.truncate_all(/*tid=*/0);
+}
+
+void SphtTm::replay_full_logs(int tid) {
+  // A thread hit a full log mid-commit. Quiesce writers by taking the
+  // global lock (new hardware transactions abort on subscription), wait
+  // for in-flight persist phases to finish, then replay and truncate.
+  std::uint64_t expected = 0;
+  const std::uint64_t me = static_cast<std::uint64_t>(tid) + 1;
+  const bool already_held = htm_.nontx_load(tid, kGlLoc, &global_lock_.value) == me;
+  if (!already_held) {
+    while (!htm_.nontx_cas(tid, kGlLoc, &global_lock_.value, expected, me)) {
+      expected = 0;
+      std::this_thread::yield();
+    }
+  }
+  const auto gl_acquired_at = std::chrono::steady_clock::now();
+  for (int t = 0; t < cfg_.max_threads; ++t) {
+    if (t == tid) continue;
+    while (!((ts_pub_[t].value.load(std::memory_order_seq_cst) & 1) != 0))
+      std::this_thread::yield();
+  }
+  replay(cfg_.replay_threads);
+  if (!already_held) {
+    gl_held_ns_.value.fetch_add(
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       std::chrono::steady_clock::now() - gl_acquired_at)
+                                       .count()),
+        std::memory_order_relaxed);
+    htm_.nontx_store(tid, kGlLoc, &global_lock_.value, 0);
+  }
+}
+
+void SphtTm::recover_data() {
+  // Post-crash: the staged view equals the durable one. Bring the NVM heap
+  // image up to the durable marker, then rebuild the volatile image.
+  gpm_volatile_.value.store(pool_.raw_load(gpm_raw_idx_), std::memory_order_relaxed);
+  gpm_durable_.value.store(gpm_volatile_.value.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  replay(1);
+
+  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a)
+    pool_.store(a, pool_.read_record(a).cur);
+
+  htm_.reset();
+  global_lock_.value.store(0, std::memory_order_relaxed);
+  // Timestamps must stay monotonic across the crash so new transactions
+  // order after every replayed one.
+  ts_source_.value.store(gpm_durable_.value.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  for (int t = 0; t < kMaxThreads; ++t)
+    ts_pub_[t].value.store(1 /*pub_pack(0, true)*/, std::memory_order_relaxed);
+}
+
+void SphtTm::rebuild_allocator(std::span<const LiveBlock> live) {
+  // SPHT's bump blocks are not size-class aligned, so the shared carver is
+  // rebuilt with one large in-use block covering everything up to the live
+  // high-water mark; fresh chunks continue beyond it. (SPHT never recycles
+  // memory — the artificially cheap allocator the paper calls out.)
+  const gaddr_t heap_begin = alloc_iface_.heap_begin();
+  gaddr_t max_end = heap_begin;
+  for (const LiveBlock& b : live) max_end = std::max<gaddr_t>(max_end, b.addr + b.nwords);
+  if (max_end > heap_begin) {
+    const LiveBlock whole{heap_begin, static_cast<std::uint32_t>(max_end - heap_begin)};
+    alloc_iface_.rebuild(std::span<const LiveBlock>(&whole, 1));
+  } else {
+    alloc_iface_.rebuild({});
+  }
+  for (int t = 0; t < kMaxThreads; ++t) bump_[t] = BumpState{};
+}
+
+}  // namespace nvhalt

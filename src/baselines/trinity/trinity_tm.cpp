@@ -1,0 +1,265 @@
+#include "baselines/trinity/trinity_tm.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "htm/small_map.hpp"
+#include "pmem/crash_sim.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt {
+
+struct alignas(kCacheLineBytes) TrinityTm::ThreadCtx {
+  struct ReadEnt {
+    std::atomic<std::uint64_t>* lock_s;
+    std::uint64_t seen;  // sandwich snapshot (unlocked, version <= rv)
+  };
+  struct WriteEnt {
+    gaddr_t addr;
+    word_t val;
+    std::atomic<std::uint64_t>* lock_s;
+  };
+  std::vector<ReadEnt> rdset;
+  std::vector<WriteEnt> wrset;
+  htm::SmallIndexMap wr_index;                    // gaddr -> wrset index
+  htm::SmallIndexMap lock_dedupe;                 // lock ptr -> first wrset index
+  std::vector<std::atomic<std::uint64_t>*> held;  // locks acquired this commit
+  std::uint64_t rv = 0;
+  std::uint64_t pver = 0;
+  bool pver_loaded = false;
+  TmThreadStats stats;
+  Xoshiro256 rng;
+};
+
+TrinityTm::TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& alloc)
+    : cfg_(cfg),
+      pool_(pool),
+      alloc_(alloc),
+      locks_(LockMode::kTable, cfg.lock_table_entries, pool.capacity_words()) {
+  gv_.value.store(0, std::memory_order_relaxed);
+  ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
+  for (int t = 0; t < kMaxThreads; ++t)
+    ctx_[t].rng.reseed(0x7121717 + static_cast<std::uint64_t>(t));
+}
+
+TrinityTm::~TrinityTm() = default;
+
+/// Tx handle for one TL2 attempt.
+class TrinityTx final : public Tx {
+ public:
+  TrinityTx(TrinityTm& tm, TrinityTm::ThreadCtx& ctx, int tid)
+      : tm_(tm), ctx_(ctx), tid_(tid) {}
+
+  word_t read(gaddr_t a) override {
+    const std::uint32_t found = ctx_.wr_index.find(a);
+    if (found != htm::SmallIndexMap::kNotFound) return ctx_.wrset[found].val;
+
+    LockRef lk = tm_.locks_.ref(a);
+    // TL2 read: value sandwiched by identical lock snapshots that are
+    // unlocked with version <= rv — i.e. written before we started.
+    const std::uint64_t l1 = lk.s->load(std::memory_order_seq_cst);
+    if (lockword::is_locked(l1) || lockword::version(l1) > ctx_.rv) throw TxConflictAbort{};
+    const word_t val = tm_.pool_.word_ptr(a)->load(std::memory_order_seq_cst);
+    const std::uint64_t l2 = lk.s->load(std::memory_order_seq_cst);
+    if (l1 != l2) throw TxConflictAbort{};
+    ctx_.rdset.push_back({lk.s, l1});
+    return val;
+  }
+
+  void write(gaddr_t a, word_t v) override {
+    const std::uint32_t found = ctx_.wr_index.find(a);
+    if (found != htm::SmallIndexMap::kNotFound) {
+      ctx_.wrset[found].val = v;
+      return;
+    }
+    LockRef lk = tm_.locks_.ref(a);
+    if (lockword::is_locked(lk.s->load(std::memory_order_seq_cst))) throw TxConflictAbort{};
+    ctx_.wr_index.insert(a, static_cast<std::uint32_t>(ctx_.wrset.size()));
+    ctx_.wrset.push_back({a, v, lk.s});
+  }
+
+  gaddr_t alloc(std::size_t nwords) override { return tm_.alloc_.tx_alloc(tid_, nwords); }
+  void free(gaddr_t a, std::size_t nwords) override { tm_.alloc_.tx_free(tid_, a, nwords); }
+  bool on_hw_path() const override { return false; }
+
+  void commit() {
+    if (ctx_.wrset.empty()) {
+      ctx_.stats.read_only_commits++;
+      return;  // per-read validation suffices for read-only transactions
+    }
+
+    // Fixed-order lock acquisition => strong progressiveness (Sec. 2.1.1).
+    std::sort(ctx_.wrset.begin(), ctx_.wrset.end(),
+              [](const auto& x, const auto& y) { return x.addr < y.addr; });
+
+    ctx_.lock_dedupe.clear();
+    ctx_.held.clear();
+    for (std::uint32_t i = 0; i < ctx_.wrset.size(); ++i) {
+      auto& w = ctx_.wrset[i];
+      const std::uint64_t key = reinterpret_cast<std::uintptr_t>(w.lock_s);
+      if (ctx_.lock_dedupe.find(key) != htm::SmallIndexMap::kNotFound) continue;
+      std::uint64_t cur = w.lock_s->load(std::memory_order_seq_cst);
+      // Commit-time (encounter-free) acquisition: lock must be free with a
+      // version not beyond rv (otherwise our buffered value may be stale).
+      if (lockword::is_locked(cur) || lockword::version(cur) > ctx_.rv ||
+          !w.lock_s->compare_exchange_strong(cur, lockword::make(lockword::version(cur), true, tid_),
+                                             std::memory_order_seq_cst)) {
+        release_held_at_rollback();  // restore pre-acquire versions
+        throw TxConflictAbort{};
+      }
+      ctx_.lock_dedupe.insert(key, i);
+      ctx_.held.push_back(w.lock_s);
+    }
+
+    const std::uint64_t wv = gv_fetch_add();
+    if (wv != ctx_.rv + 1) {
+      // Clock moved: revalidate the read set under the held locks.
+      for (const auto& e : ctx_.rdset) {
+        const std::uint64_t cur = e.lock_s->load(std::memory_order_seq_cst);
+        const bool self_held = lockword::is_locked(cur) && lockword::owner(cur) == tid_;
+        if (!self_held &&
+            (lockword::is_locked(cur) || lockword::version(cur) > ctx_.rv)) {
+          release_held_at_rollback();
+          throw TxConflictAbort{};
+        }
+        if (self_held && lockword::version(cur) > ctx_.rv) {
+          release_held_at_rollback();
+          throw TxConflictAbort{};
+        }
+      }
+    }
+
+    // Persist with Trinity records while the locks are held, then apply.
+    for (const auto& w : ctx_.wrset) {
+      const word_t old = tm_.pool_.load(w.addr);
+      tm_.pool_.record_write(tid_, w.addr, old, w.val, ctx_.pver);
+      tm_.pool_.flush_record(tid_, w.addr);
+      tm_.pool_.word_ptr(w.addr)->store(w.val, std::memory_order_seq_cst);
+    }
+    tm_.pool_.fence(tid_);
+    ++ctx_.pver;
+    tm_.pool_.store_pver(tid_, ctx_.pver);
+    tm_.pool_.flush_pver(tid_);
+    tm_.pool_.fence(tid_);
+
+    // Release with version wv: readers that started before us see
+    // version > rv and abort/revalidate.
+    for (auto* lock : ctx_.held)
+      lock->store(lockword::make(wv, false, 0), std::memory_order_seq_cst);
+    ctx_.held.clear();
+  }
+
+ private:
+  std::uint64_t gv_fetch_add() {
+    return tm_.gv_.value.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Releases locks acquired so far, restoring their pre-acquire version
+  /// (acquisition kept the version and set the lock bit, so clearing the
+  /// bit restores the exact prior word).
+  void release_held_at_rollback() {
+    for (auto* lock : ctx_.held) {
+      const std::uint64_t cur = lock->load(std::memory_order_seq_cst);
+      lock->store(lockword::make(lockword::version(cur), false, 0), std::memory_order_seq_cst);
+    }
+    ctx_.held.clear();
+  }
+
+  TrinityTm& tm_;
+  TrinityTm::ThreadCtx& ctx_;
+  int tid_;
+};
+
+TrinityTm::AttemptResult TrinityTm::attempt(int tid, TxBody body) {
+  ThreadCtx& ctx = ctx_[tid];
+  ctx.rdset.clear();
+  ctx.wrset.clear();
+  ctx.wr_index.clear();
+  ctx.rv = gv_.value.load(std::memory_order_seq_cst);
+
+  TrinityTx tx(*this, ctx, tid);
+  try {
+    body(tx);
+    tx.commit();
+  } catch (const TxConflictAbort&) {
+    alloc_.on_abort(tid);
+    ctx.stats.sw_aborts++;
+    return AttemptResult::kAborted;
+  } catch (const TxUserAbort&) {
+    alloc_.on_abort(tid);
+    ctx.stats.user_aborts++;
+    return AttemptResult::kUserAborted;
+  } catch (...) {
+    alloc_.on_abort(tid);
+    throw;
+  }
+  alloc_.on_commit(tid);
+  ctx.stats.commits++;
+  ctx.stats.sw_commits++;
+  return AttemptResult::kCommitted;
+}
+
+bool TrinityTm::run(int tid, TxBody body) {
+  if (tid < 0 || tid >= kMaxThreads)
+    throw TmLogicError("thread id out of range [0, kMaxThreads)");
+  ThreadCtx& ctx = ctx_[tid];
+  if (!ctx.pver_loaded) {
+    ctx.pver = pool_.load_pver(tid);
+    ctx.pver_loaded = true;
+  }
+  if (auto* c = pool_.crash_coordinator()) c->crash_point();
+
+  int retries = 0;
+  for (;;) {
+    switch (attempt(tid, body)) {
+      case AttemptResult::kCommitted: return true;
+      case AttemptResult::kUserAborted: return false;
+      case AttemptResult::kAborted: break;
+    }
+    ++retries;
+    if (cfg_.max_retries >= 0 && retries > cfg_.max_retries) return false;
+    const int cap = retries < 10 ? (1 << retries) : 1024;
+    const int spins = static_cast<int>(ctx.rng.next_bounded(static_cast<std::uint64_t>(cap)));
+    for (int i = 0; i < spins; ++i) cpu_relax();
+    if (retries > 2) std::this_thread::yield();
+    if (auto* c = pool_.crash_coordinator()) c->crash_point();
+  }
+}
+
+void TrinityTm::recover_data() {
+  const int rtid = 0;
+  std::uint64_t durable_pver[kMaxThreads];
+  for (int t = 0; t < kMaxThreads; ++t) durable_pver[t] = pool_.load_pver(t);
+
+  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a) {
+    PRecord r = pool_.read_record(a);
+    const int wtid = pver_tid(r.pver);
+    const std::uint64_t seq = pver_seq(r.pver);
+    if (seq >= durable_pver[wtid] && r.cur != r.old) {
+      pool_.revert_record(a);
+      pool_.flush_record(rtid, a);
+      r.cur = r.old;
+    }
+    pool_.store(a, r.cur);
+  }
+  pool_.fence(rtid);
+
+  locks_.reset();
+  gv_.value.store(0, std::memory_order_relaxed);
+  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].pver_loaded = false;
+}
+
+void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebuild(live); }
+
+TmStats TrinityTm::stats() const {
+  TmStats agg;
+  for (int t = 0; t < kMaxThreads; ++t) agg.add(ctx_[t].stats);
+  return agg;
+}
+
+void TrinityTm::reset_stats() {
+  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].stats.reset();
+}
+
+}  // namespace nvhalt

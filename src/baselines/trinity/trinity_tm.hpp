@@ -1,0 +1,73 @@
+// Trinity baseline (paper Sec. 2.1.2): the state-of-the-art persistent STM
+// the paper compares against — TL2 concurrency control combined with
+// Trinity's colocated undo-record persistence ("TrinityVR-TL2").
+//
+// TL2 (Dice/Shalev/Shavit): a global version clock; each transaction reads
+// it at start (rv). Reads are valid when the protecting versioned lock is
+// unlocked with version <= rv, sandwiching the value read. Writes are
+// buffered; at commit the write-set locks are acquired in a fixed order
+// (which is what gives TL2 strong progressiveness), the clock is advanced
+// (wv), the read set is validated unless wv == rv + 1, the writes are
+// performed, and the locks are released with version wv.
+//
+// Persistence: identical Trinity record mechanism as NV-HALT's software
+// path — per-word {cur, old, pver} records flushed while the write-set
+// locks are held, then the thread's persistent version number is advanced
+// and persisted. (The original Trinity uses a global sequence number
+// coupled with its flat-combining/TL2 integration; the per-thread version
+// scheme is the generalization the paper itself adopts for NV-HALT and is
+// what makes concurrent disjoint writers durably recoverable. Documented
+// in DESIGN.md.)
+//
+// Trinity is a pure STM: no hardware path, so its memory accesses use
+// plain atomics rather than the HTM simulator.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "api/tm.hpp"
+#include "locks/lock_table.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+struct TrinityConfig {
+  std::size_t lock_table_entries = std::size_t{1} << 16;
+  /// Bound on retries; < 0 retries until commit.
+  int max_retries = -1;
+};
+
+class TrinityTm final : public TransactionalMemory {
+ public:
+  TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& alloc);
+  ~TrinityTm() override;
+
+  bool run(int tid, TxBody body) override;
+  void recover_data() override;
+  void rebuild_allocator(std::span<const LiveBlock> live) override;
+
+  PmemPool& pool() override { return pool_; }
+  TxAllocator& allocator() override { return alloc_; }
+  const char* name() const override { return "Trinity"; }
+  TmStats stats() const override;
+  void reset_stats() override;
+
+  std::uint64_t gv() const { return gv_.value.load(std::memory_order_acquire); }
+
+ private:
+  friend class TrinityTx;
+  struct ThreadCtx;
+
+  enum class AttemptResult { kCommitted, kAborted, kUserAborted };
+  AttemptResult attempt(int tid, TxBody body);
+
+  TrinityConfig cfg_;
+  PmemPool& pool_;
+  TxAllocator& alloc_;
+  LockSpace locks_;
+  CacheLinePadded<std::atomic<std::uint64_t>> gv_;  // TL2 global version clock
+  std::unique_ptr<ThreadCtx[]> ctx_;
+};
+
+}  // namespace nvhalt

@@ -1,0 +1,120 @@
+// NV-HALT hardware fast path (paper Fig. 5): hardware-assisted locking.
+//
+// Reads subscribe to the address's versioned lock and xabort if it is held
+// by another thread (needed both for opacity against the lock-based
+// software path — Fig. 3 — and to avoid observing non-durable data).
+// Writes *acquire* the lock inside the hardware transaction; the lock
+// becomes visible atomically at xend and stays held afterwards, protecting
+// the modified addresses while the post-transaction code persists the undo
+// log, bumps the thread's persistent version number, and only then releases
+// the locks (Sec. 3.4). This is what Fig. 4 shows is missing from a
+// metadata-read-only fast path in the persistent setting.
+#include "core/nvhalt_internal.hpp"
+
+namespace nvhalt {
+
+/// Tx handle for one hardware-path attempt. All accesses run inside the
+/// simulated hardware transaction; aborts unwind via htm::HtmAbort.
+class NvHaltHwTx final : public Tx {
+ public:
+  NvHaltHwTx(NvHaltTm& tm, NvHaltTm::ThreadCtx& ctx, int tid)
+      : tm_(tm), ctx_(ctx), tid_(tid) {}
+
+  word_t read(gaddr_t a) override {
+    if (tm_.cfg_.hw_read_check_locks) {
+      LockRef lk = tm_.locks_.ref(a);
+      const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
+      if (lockword::locked_by_other(w, tid_)) tm_.htm_.xabort(tid_, kHwLockedAbortCode);
+    }
+    return tm_.htm_.load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
+  }
+
+  void write(gaddr_t a, word_t v) override {
+    const bool persisting = tm_.cfg_.persist_hw_txns;
+    if (persisting && tm_.cfg_.hw_acquire_locks) {
+      LockRef lk = tm_.locks_.ref(a);
+      const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
+      if (!lockword::is_locked(w)) {
+        // htmAcquireLock (Fig. 7): bump sLockVer; SP also bumps hLockVer.
+        tm_.htm_.store(tid_, lk.loc, lk.s, lockword::acquired(w, tid_));
+        if (tm_.cfg_.variant == Variant::kStrong) {
+          const std::uint64_t hv = tm_.htm_.load(tid_, lk.loc, lk.h);
+          tm_.htm_.store(tid_, lk.loc, lk.h, hv + 1);
+        }
+        ctx_.hw_locks.push_back(lk);
+      } else if (lockword::owner(w) != tid_) {
+        tm_.htm_.xabort(tid_, kHwLockedAbortCode);
+      }
+    }
+    const bool first_write = ctx_.hw_written.insert(a);
+    if (persisting && first_write) {
+      // Undo log: record the pre-transaction value on first write.
+      const word_t old = tm_.htm_.load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
+      ctx_.hw_undo.push_back({a, old});
+    }
+    tm_.htm_.store(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a), v);
+  }
+
+  gaddr_t alloc(std::size_t nwords) override { return tm_.alloc_.tx_alloc(tid_, nwords); }
+  void free(gaddr_t a, std::size_t nwords) override { tm_.alloc_.tx_free(tid_, a, nwords); }
+  bool on_hw_path() const override { return true; }
+
+ private:
+  NvHaltTm& tm_;
+  NvHaltTm::ThreadCtx& ctx_;
+  int tid_;
+};
+
+NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
+  ThreadCtx& ctx = ctx_[tid];
+  ctx.hw_undo.clear();
+  ctx.hw_written.clear();
+  ctx.hw_locks.clear();
+
+  htm_.begin(tid);
+  NvHaltHwTx tx(*this, ctx, tid);
+  try {
+    body(tx);
+    htm_.commit(tid);  // xend
+  } catch (const htm::HtmAbort& a) {
+    htm_.cancel(tid);  // no-op if SimHtm already cleaned up; needed for
+                       // HtmAbort raised outside the simulator (allocator)
+    alloc_.on_abort(tid);
+    ctx.stats.hw_aborts++;
+    ctx.last_hw_abort = a.cause;
+    return AttemptResult::kAborted;
+  } catch (const TxUserAbort&) {
+    htm_.cancel(tid);
+    alloc_.on_abort(tid);
+    ctx.stats.user_aborts++;
+    return AttemptResult::kUserAborted;
+  } catch (...) {
+    htm_.cancel(tid);
+    alloc_.on_abort(tid);
+    throw;
+  }
+
+  // The hardware transaction committed: its writes and lock acquisitions
+  // are visible. Persist the write set under those locks (flushes must
+  // happen outside the transaction — they would have aborted it).
+  if (cfg_.persist_hw_txns && !ctx.hw_undo.empty()) {
+    ctx.persist_buf.clear();
+    for (const auto& u : ctx.hw_undo)
+      ctx.persist_buf.push_back({u.addr, u.old, pool_.load(u.addr)});
+    persist_and_bump_pver(tid, ctx);
+  }
+
+  // Release the hardware-acquired locks; data is durable now.
+  for (const LockRef& lk : ctx.hw_locks) {
+    const std::uint64_t cur = htm_.nontx_load(tid, lk.loc, lk.s);
+    htm_.nontx_store(tid, lk.loc, lk.s, lockword::released(cur));
+  }
+
+  alloc_.on_commit(tid);
+  ctx.stats.commits++;
+  ctx.stats.hw_commits++;
+  if (ctx.hw_undo.empty() && ctx.hw_written.size() == 0) ctx.stats.read_only_commits++;
+  return AttemptResult::kCommitted;
+}
+
+}  // namespace nvhalt

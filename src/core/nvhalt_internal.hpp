@@ -1,0 +1,68 @@
+// Internal per-thread transaction context shared by the NV-HALT software
+// and hardware path translation units. Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "core/nvhalt_tm.hpp"
+#include "core/tm_stats.hpp"
+#include "htm/small_map.hpp"
+#include "locks/versioned_lock.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt {
+
+struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx {
+  // ---- Software path (Fig. 1) ----------------------------------------
+  struct ReadEnt {
+    gaddr_t addr;
+    std::atomic<std::uint64_t>* lock_s;
+    std::atomic<std::uint64_t>* lock_h;
+    htm::LocId lock_loc;
+    std::uint64_t seen_s;  // encounter-time sLock word
+    std::uint64_t seen_h;  // encounter-time hVer (SP only)
+  };
+  struct WriteEnt {
+    gaddr_t addr;
+    word_t val;
+    std::atomic<std::uint64_t>* lock_s;
+    std::atomic<std::uint64_t>* lock_h;
+    htm::LocId lock_loc;
+    std::uint64_t seen_s;  // encounter-time sLock word (CAS expected value)
+  };
+  std::vector<ReadEnt> rdset;
+  std::vector<WriteEnt> wrset;
+  htm::SmallIndexMap wr_index;       // gaddr -> wrset index
+  htm::SmallIndexMap lock_dedupe;    // lock pointer -> wrset index that acquired it
+  std::vector<std::uint32_t> acquired;  // wrset indices that performed the CAS
+  std::uint64_t rv = 0;              // SP: gClock read at TxStart (Fig. 7)
+
+  // ---- Hardware path (Fig. 5) -----------------------------------------
+  struct HwUndoEnt {
+    gaddr_t addr;
+    word_t old;
+  };
+  std::vector<HwUndoEnt> hw_undo;  // thread-local append-only log
+  htm::SmallSet hw_written;        // addresses written this attempt
+  std::vector<LockRef> hw_locks;   // locks acquired inside the HW txn
+
+  // ---- Shared persistence scratch ---------------------------------------
+  struct PersistEnt {
+    gaddr_t addr;
+    word_t old;
+    word_t val;
+  };
+  std::vector<PersistEnt> persist_buf;
+
+  std::uint64_t pver = 0;  // cached persistent version number
+  bool pver_loaded = false;
+  htm::AbortCause last_hw_abort = htm::AbortCause::kConflict;
+
+  TmThreadStats stats;
+  Xoshiro256 rng;
+};
+
+/// xabort code used by the hardware path when it encounters a foreign lock.
+inline constexpr std::uint8_t kHwLockedAbortCode = 0x7C;
+
+}  // namespace nvhalt

@@ -1,0 +1,125 @@
+#include "core/nvhalt_tm.hpp"
+
+#include <thread>
+
+#include "core/nvhalt_internal.hpp"
+#include "pmem/crash_sim.hpp"
+
+namespace nvhalt {
+
+NvHaltTm::NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAllocator& alloc)
+    : cfg_(cfg),
+      pool_(pool),
+      htm_(htm),
+      alloc_(alloc),
+      locks_(cfg.lock_mode, cfg.lock_table_entries, pool.capacity_words()) {
+  gclock_.value.store(0, std::memory_order_relaxed);
+  ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
+  for (int t = 0; t < kMaxThreads; ++t)
+    ctx_[t].rng.reseed(0xC0FFEE + static_cast<std::uint64_t>(t));
+}
+
+NvHaltTm::~NvHaltTm() = default;
+
+const char* NvHaltTm::name() const {
+  if (cfg_.variant == Variant::kStrong) return "NV-HALT-SP";
+  return cfg_.lock_mode == LockMode::kColocated ? "NV-HALT-CL" : "NV-HALT";
+}
+
+TmStats NvHaltTm::stats() const {
+  TmStats agg;
+  for (int t = 0; t < kMaxThreads; ++t) agg.add(ctx_[t].stats);
+  return agg;
+}
+
+void NvHaltTm::reset_stats() {
+  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].stats.reset();
+}
+
+void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
+  // Trinity-style persistence under held locks (Sec. 3.2): write each
+  // record (old value, {tid, pVerNum}, new value), flush it, and update the
+  // volatile word; one fence makes the whole write set durable, then the
+  // thread's persistent version number is advanced and persisted, marking
+  // the transaction durably committed. Only afterwards may locks be
+  // released (done by the caller), preserving the invariant that an
+  // address is non-durable only while locked.
+  for (const ThreadCtx::PersistEnt& e : ctx.persist_buf) {
+    pool_.record_write(tid, e.addr, e.old, e.val, ctx.pver);
+    pool_.flush_record(tid, e.addr);
+    htm_.nontx_store(tid, htm::loc_pool(e.addr), pool_.word_ptr(e.addr), e.val);
+  }
+  pool_.fence(tid);
+  ++ctx.pver;
+  pool_.store_pver(tid, ctx.pver);
+  pool_.flush_pver(tid);
+  pool_.fence(tid);
+}
+
+void NvHaltTm::sw_backoff(int tid, int attempt) {
+  // Bounded randomized exponential backoff; yields because this container
+  // may expose a single CPU.
+  ThreadCtx& ctx = ctx_[tid];
+  const int cap = attempt < 10 ? (1 << attempt) : 1024;
+  const int spins = static_cast<int>(ctx.rng.next_bounded(static_cast<std::uint64_t>(cap)));
+  for (int i = 0; i < spins; ++i) cpu_relax();
+  if (attempt > 2) std::this_thread::yield();
+}
+
+bool NvHaltTm::run(int tid, TxBody body) {
+  if (tid < 0 || tid >= kMaxThreads)
+    throw TmLogicError("thread id out of range [0, kMaxThreads)");
+  ThreadCtx& ctx = ctx_[tid];
+  if (!ctx.pver_loaded) {
+    ctx.pver = pool_.load_pver(tid);
+    ctx.pver_loaded = true;
+  }
+  if (auto* c = pool_.crash_coordinator()) c->crash_point();
+
+  // O(1)-abortable progress: a fixed number of hardware attempts...
+  for (int i = 0; i < cfg_.htm_attempts; ++i) {
+    switch (attempt_hw(tid, body)) {
+      case AttemptResult::kCommitted: return true;
+      case AttemptResult::kUserAborted: return false;
+      case AttemptResult::kAborted: break;
+    }
+    // A capacity abort will recur on every retry of the same footprint;
+    // optionally skip straight to the software path.
+    if (cfg_.fallback_on_capacity && ctx.last_hw_abort == htm::AbortCause::kCapacity) break;
+  }
+  if (cfg_.htm_attempts > 0) ctx.stats.fallbacks++;
+
+  // ...then the progressive software path until commit or voluntary abort.
+  int retries = 0;
+  for (;;) {
+    switch (attempt_sw(tid, body)) {
+      case AttemptResult::kCommitted: return true;
+      case AttemptResult::kUserAborted: return false;
+      case AttemptResult::kAborted: break;
+    }
+    ++retries;
+    if (cfg_.max_sw_retries >= 0 && retries > cfg_.max_sw_retries) return false;
+    sw_backoff(tid, retries);
+    if (auto* c = pool_.crash_coordinator()) c->crash_point();
+  }
+}
+
+bool NvHaltTm::attempt_hw_once(int tid, TxBody body) {
+  ThreadCtx& ctx = ctx_[tid];
+  if (!ctx.pver_loaded) {
+    ctx.pver = pool_.load_pver(tid);
+    ctx.pver_loaded = true;
+  }
+  return attempt_hw(tid, body) == AttemptResult::kCommitted;
+}
+
+bool NvHaltTm::attempt_sw_once(int tid, TxBody body) {
+  ThreadCtx& ctx = ctx_[tid];
+  if (!ctx.pver_loaded) {
+    ctx.pver = pool_.load_pver(tid);
+    ctx.pver_loaded = true;
+  }
+  return attempt_sw(tid, body) == AttemptResult::kCommitted;
+}
+
+}  // namespace nvhalt

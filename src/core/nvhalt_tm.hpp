@@ -1,0 +1,128 @@
+// NV-HALT: Non-Volatile Hardware Assisted Locking Transactions.
+//
+// The paper's primary contribution (Sec. 3): a two-path persistent HyTM in
+// which hardware transactions are used mainly to *read and acquire the
+// fine-grained versioned locks* that protect data. Locks acquired inside a
+// hardware transaction become visible atomically at xend and remain held
+// afterwards, protecting the modified addresses while they are persisted
+// with Trinity-style colocated undo records; only then are they released.
+// The software fallback path is a TL2-style commit-time-locking STM whose
+// write set is persisted the same way while its locks are held, so an
+// address can be non-durable only while its lock is held — the invariant
+// the whole persistence scheme rests on.
+//
+// Variants (paper Sec. 3.6, 4):
+//   * weak progressive  (Variant::kWeak)  — Fig. 1 + Fig. 5
+//   * strong progressive (Variant::kStrong, "NV-HALT-SP") — Fig. 7: sorted
+//     write-set acquisition, a global software clock whose successful CAS
+//     lets commits skip sLock validation, and a per-lock hVer bumped only
+//     by hardware transactions so software commits can detect them.
+//   * colocated locks ("NV-HALT-CL") — LockMode::kColocated.
+//
+// NV-HALT is O(1)-abortable (weak/strong) progressive: each transaction
+// runs at most `htm_attempts` hardware attempts, then the progressive
+// software path until it commits or voluntarily aborts.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "api/tm.hpp"
+#include "htm/sim_htm.hpp"
+#include "htm/small_map.hpp"
+#include "locks/lock_table.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt {
+
+enum class Variant { kWeak, kStrong };
+
+struct NvHaltConfig {
+  Variant variant = Variant::kWeak;
+  LockMode lock_mode = LockMode::kTable;
+  std::size_t lock_table_entries = std::size_t{1} << 16;
+
+  /// C in "C-abortable": hardware attempts before falling back.
+  int htm_attempts = 10;
+
+  /// Extension: fall back to software immediately on a capacity abort —
+  /// the transaction's footprint will not shrink on retry, so further
+  /// hardware attempts are wasted. Off by default (the paper uses a fixed
+  /// attempt count); probed by the retry-policy ablation benchmark.
+  bool fallback_on_capacity = false;
+
+  /// Ablation class 3 (NO-PERSISTENT-HTXN): when false, the hardware path
+  /// performs no lock acquisition, no undo logging and no post-xend
+  /// persistence — volatile-only hardware transactions.
+  bool persist_hw_txns = true;
+
+  // Debug knobs for the paper's counterexample executions. Production
+  // configurations leave both true.
+  /// Fig. 2 vs Fig. 3: hardware reads subscribe to the address's lock.
+  bool hw_read_check_locks = true;
+  /// Fig. 4: hardware writes acquire the lock (and hold it past xend).
+  bool hw_acquire_locks = true;
+
+  /// Bound on software-path retries; < 0 means retry until commit
+  /// (progressive). Tests use small bounds to assert abort behaviour.
+  int max_sw_retries = -1;
+};
+
+class NvHaltTm final : public TransactionalMemory {
+ public:
+  NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAllocator& alloc);
+  ~NvHaltTm() override;
+
+  bool run(int tid, TxBody body) override;
+  void recover_data() override;
+  void rebuild_allocator(std::span<const LiveBlock> live) override;
+
+  PmemPool& pool() override { return pool_; }
+  TxAllocator& allocator() override { return alloc_; }
+  const char* name() const override;
+  TmStats stats() const override;
+  void reset_stats() override;
+
+  const NvHaltConfig& config() const { return cfg_; }
+  htm::SimHtm& htm() { return htm_; }
+  LockSpace& locks() { return locks_; }
+  std::uint64_t gclock() const { return gclock_.value.load(std::memory_order_acquire); }
+
+  /// Exposed for scripted counterexample tests: run exactly one hardware
+  /// (resp. software) attempt. Returns true on commit; throws
+  /// TxConflictAbort / htm::HtmAbort on conflict per path semantics.
+  bool attempt_hw_once(int tid, TxBody body);
+  bool attempt_sw_once(int tid, TxBody body);
+
+ private:
+  friend class NvHaltSwTx;
+  friend class NvHaltHwTx;
+
+  struct ThreadCtx;
+
+  enum class AttemptResult { kCommitted, kAborted, kUserAborted };
+  AttemptResult attempt_hw(int tid, TxBody body);
+  AttemptResult attempt_sw(int tid, TxBody body);
+
+  /// Persists a set of (addr, old, new) triples with Trinity undo records
+  /// while the corresponding locks are held, then advances and persists the
+  /// calling thread's persistent version number (Sec. 3.2).
+  void persist_and_bump_pver(int tid, ThreadCtx& ctx);
+
+  void sw_backoff(int tid, int attempt);
+
+  NvHaltConfig cfg_;
+  PmemPool& pool_;
+  htm::SimHtm& htm_;
+  TxAllocator& alloc_;
+  LockSpace locks_;
+
+  /// Global software clock (NV-HALT-SP only). Accessed through the HTM
+  /// simulator so hardware transactions could in principle subscribe to it
+  /// (they never do: avoiding that bottleneck is the point of hVer).
+  CacheLinePadded<std::atomic<std::uint64_t>> gclock_;
+
+  std::unique_ptr<ThreadCtx[]> ctx_;
+};
+
+}  // namespace nvhalt

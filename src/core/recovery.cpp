@@ -1,0 +1,55 @@
+// NV-HALT recovery (paper Sec. 3.5): traverse persistent memory and revert
+// any address whose record carries a persistent version number at or above
+// the owning thread's durable pVerNum — those belong to transactions whose
+// persistence did not durably complete before the crash (their locks were
+// still held, so no one can have observed their values). The volatile user
+// image is then rebuilt from the records, volatile TM metadata (locks,
+// conflict table, clock) is reset, and the allocator state is reconstructed
+// from the user-supplied live-block iterator (Sec. 4).
+#include "core/nvhalt_internal.hpp"
+
+namespace nvhalt {
+
+void NvHaltTm::recover_data() {
+  const int rtid = 0;  // recovery is single-threaded (full-system-crash model)
+
+  // Durable per-thread persistent version numbers (staged == durable after
+  // PmemPool::crash()).
+  std::uint64_t durable_pver[kMaxThreads];
+  for (int t = 0; t < kMaxThreads; ++t) durable_pver[t] = pool_.load_pver(t);
+
+  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a) {
+    PRecord r = pool_.read_record(a);
+    const int wtid = pver_tid(r.pver);
+    const std::uint64_t seq = pver_seq(r.pver);
+    if (seq >= durable_pver[wtid] && r.cur != r.old) {
+      // In-flight at the crash: revert and persist the reversion so a
+      // crash during recovery re-reverts idempotently.
+      pool_.revert_record(a);
+      pool_.flush_record(rtid, a);
+      r.cur = r.old;
+    }
+    pool_.store(a, r.cur);  // rebuild the volatile image
+  }
+  pool_.fence(rtid);
+
+  // Volatile synchronization metadata did not survive; start clean. This
+  // is safe precisely because recovery reverted every address whose lock
+  // could have been held at the crash.
+  locks_.reset();
+  htm_.reset();
+  gclock_.value.store(0, std::memory_order_relaxed);
+
+  for (int t = 0; t < kMaxThreads; ++t) {
+    ctx_[t].pver_loaded = false;
+    ctx_[t].rdset.clear();
+    ctx_[t].wrset.clear();
+    ctx_[t].hw_undo.clear();
+    ctx_[t].hw_locks.clear();
+    ctx_[t].acquired.clear();
+  }
+}
+
+void NvHaltTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebuild(live); }
+
+}  // namespace nvhalt

@@ -1,0 +1,222 @@
+// NV-HALT software fallback path (paper Fig. 1, plus the NV-HALT-SP
+// changes of Fig. 7): a TL2-style commit-time-locking STM with full
+// read-set revalidation on every read, deferred (buffered) writes, and
+// Trinity undo-record persistence performed while the write-set locks are
+// held.
+#include <algorithm>
+
+#include "core/nvhalt_internal.hpp"
+
+namespace nvhalt {
+
+namespace {
+/// LocId of the NV-HALT-SP global software clock.
+constexpr htm::LocId kGClockLoc = htm::make_loc(htm::LocKind::kGlobal, 0x1001);
+}  // namespace
+
+/// Tx handle for one software-path attempt.
+class NvHaltSwTx final : public Tx {
+ public:
+  NvHaltSwTx(NvHaltTm& tm, NvHaltTm::ThreadCtx& ctx, int tid)
+      : tm_(tm), ctx_(ctx), tid_(tid) {}
+
+  word_t read(gaddr_t a) override {
+    // Read-own-writes: the write set is buffered until commit.
+    const std::uint32_t found = ctx_.wr_index.find(a);
+    if (found != htm::SmallIndexMap::kNotFound) return ctx_.wrset[found].val;
+
+    LockRef lk = tm_.locks_.ref(a);
+    // TL2-style stable read: value sandwiched between two identical,
+    // unlocked lock snapshots. A locked or changed lock means a concurrent
+    // conflicting writer — abort (weak progressiveness permits this).
+    const std::uint64_t l1 = tm_.htm_.nontx_load(tid_, lk.loc, lk.s);
+    if (lockword::is_locked(l1)) throw TxConflictAbort{};
+    const word_t val = tm_.htm_.nontx_load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
+    std::uint64_t h = 0;
+    if (tm_.cfg_.variant == Variant::kStrong)
+      h = tm_.htm_.nontx_load(tid_, lk.loc, lk.h);
+    const std::uint64_t l2 = tm_.htm_.nontx_load(tid_, lk.loc, lk.s);
+    if (l1 != l2) throw TxConflictAbort{};
+
+    ctx_.rdset.push_back({a, lk.s, lk.h, lk.loc, l1, h});
+    // Fig. 1: "The read set is revalidated on each read" — this is what
+    // keeps every snapshot a doomed transaction sees consistent (opacity).
+    if (!validate_rdset()) throw TxConflictAbort{};
+    return val;
+  }
+
+  void write(gaddr_t a, word_t v) override {
+    const std::uint32_t found = ctx_.wr_index.find(a);
+    if (found != htm::SmallIndexMap::kNotFound) {
+      ctx_.wrset[found].val = v;
+      return;
+    }
+    LockRef lk = tm_.locks_.ref(a);
+    // Encounter-time check: the lock must be free now; its version is the
+    // CAS expectation at commit (Fig. 1 / Sec. 3.2).
+    const std::uint64_t l = tm_.htm_.nontx_load(tid_, lk.loc, lk.s);
+    if (lockword::is_locked(l)) throw TxConflictAbort{};
+    ctx_.wr_index.insert(a, static_cast<std::uint32_t>(ctx_.wrset.size()));
+    ctx_.wrset.push_back({a, v, lk.s, lk.h, lk.loc, l});
+  }
+
+  gaddr_t alloc(std::size_t nwords) override { return tm_.alloc_.tx_alloc(tid_, nwords); }
+  void free(gaddr_t a, std::size_t nwords) override { tm_.alloc_.tx_free(tid_, a, nwords); }
+  bool on_hw_path() const override { return false; }
+
+  /// Read-set validation: every entry must still carry its encounter-time
+  /// lock word, or be locked by this thread with exactly one intervening
+  /// acquire (our own commit-time acquisition).
+  bool validate_rdset() const {
+    for (const auto& e : ctx_.rdset) {
+      const std::uint64_t cur = tm_.htm_.nontx_load(tid_, e.lock_loc, e.lock_s);
+      if (cur == e.seen_s) continue;
+      if (lockword::is_locked(cur) && lockword::owner(cur) == tid_ &&
+          lockword::version(cur) == lockword::version(e.seen_s) + 1)
+        continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Fig. 7 foundHtxConflict: any hVer movement in the read set betrays a
+  /// concurrent hardware transaction.
+  bool found_htx_conflict() const {
+    for (const auto& e : ctx_.rdset) {
+      if (tm_.htm_.nontx_load(tid_, e.lock_loc, e.lock_h) != e.seen_h) return true;
+    }
+    return false;
+  }
+
+  /// Commit-time protocol. Throws TxConflictAbort on failure after
+  /// releasing anything acquired.
+  void commit() {
+    if (ctx_.wrset.empty()) {
+      ctx_.stats.read_only_commits++;
+      return;  // read-only: validated on every read, nothing to persist
+    }
+
+    if (tm_.cfg_.variant == Variant::kStrong) {
+      // Fixed-order acquisition (TL2-style) is half of strong
+      // progressiveness: opposing lock orders can no longer deadlock-abort
+      // each other forever.
+      std::sort(ctx_.wrset.begin(), ctx_.wrset.end(),
+                [](const auto& x, const auto& y) { return x.addr < y.addr; });
+    }
+
+    acquire_locks();
+
+    bool validated = false;
+    if (tm_.cfg_.variant == Variant::kStrong) {
+      // Fig. 7: a successful CAS on gClock means no software writer
+      // committed since TxStart, so sLock validation can be skipped; only
+      // hardware transactions (which never touch gClock) must be checked,
+      // via the hVer halves of the read locks.
+      std::uint64_t expected = ctx_.rv;
+      if (tm_.htm_.nontx_cas(tid_, kGClockLoc, &tm_.gclock_.value, expected, ctx_.rv + 1)) {
+        if (found_htx_conflict()) {
+          release_acquired();
+          throw TxConflictAbort{};
+        }
+        validated = true;
+      }
+    }
+    if (!validated) {
+      if (!validate_rdset()) {
+        release_acquired();
+        throw TxConflictAbort{};
+      }
+      if (tm_.cfg_.variant == Variant::kStrong) {
+        // Deviation from Fig. 7 (documented in DESIGN.md): a writer whose
+        // gClock CAS failed still advances the clock after validating, so
+        // that a successful CAS by another transaction genuinely implies
+        // "no concurrent software writer" — otherwise the skip-validation
+        // branch would be unsound.
+        tm_.htm_.nontx_fetch_add(tid_, kGClockLoc, &tm_.gclock_.value, 1);
+      }
+    }
+
+    // Point of no return: locks held, reads valid. Persist + apply.
+    ctx_.persist_buf.clear();
+    for (const auto& w : ctx_.wrset)
+      ctx_.persist_buf.push_back({w.addr, tm_.pool_.load(w.addr), w.val});
+    tm_.persist_and_bump_pver(tid_, ctx_);
+
+    release_acquired();
+  }
+
+ private:
+  void acquire_locks() {
+    ctx_.lock_dedupe.clear();
+    ctx_.acquired.clear();
+    for (std::uint32_t i = 0; i < ctx_.wrset.size(); ++i) {
+      auto& w = ctx_.wrset[i];
+      // Several addresses may share one lock (table mode): the first entry
+      // acquires it; later entries must have seen the same version.
+      const std::uint64_t key = reinterpret_cast<std::uintptr_t>(w.lock_s);
+      const std::uint32_t holder = ctx_.lock_dedupe.find(key);
+      if (holder != htm::SmallIndexMap::kNotFound) {
+        if (ctx_.wrset[holder].seen_s != w.seen_s) {
+          release_acquired();
+          throw TxConflictAbort{};
+        }
+        continue;
+      }
+      std::uint64_t expected = w.seen_s;
+      if (!tm_.htm_.nontx_cas(tid_, w.lock_loc, w.lock_s, expected,
+                              lockword::acquired(w.seen_s, tid_))) {
+        release_acquired();
+        throw TxConflictAbort{};
+      }
+      ctx_.lock_dedupe.insert(key, i);
+      ctx_.acquired.push_back(i);
+    }
+  }
+
+  void release_acquired() {
+    for (const std::uint32_t i : ctx_.acquired) {
+      const auto& w = ctx_.wrset[i];
+      const std::uint64_t held = lockword::acquired(w.seen_s, tid_);
+      tm_.htm_.nontx_store(tid_, w.lock_loc, w.lock_s, lockword::released(held));
+    }
+    ctx_.acquired.clear();
+  }
+
+  NvHaltTm& tm_;
+  NvHaltTm::ThreadCtx& ctx_;
+  int tid_;
+};
+
+NvHaltTm::AttemptResult NvHaltTm::attempt_sw(int tid, TxBody body) {
+  ThreadCtx& ctx = ctx_[tid];
+  ctx.rdset.clear();
+  ctx.wrset.clear();
+  ctx.wr_index.clear();
+  if (cfg_.variant == Variant::kStrong)
+    ctx.rv = htm_.nontx_load(tid, kGClockLoc, &gclock_.value);  // TxStart (Fig. 7)
+
+  NvHaltSwTx tx(*this, ctx, tid);
+  try {
+    body(tx);
+    tx.commit();
+  } catch (const TxConflictAbort&) {
+    alloc_.on_abort(tid);
+    ctx.stats.sw_aborts++;
+    return AttemptResult::kAborted;
+  } catch (const TxUserAbort&) {
+    alloc_.on_abort(tid);
+    ctx.stats.user_aborts++;
+    return AttemptResult::kUserAborted;
+  } catch (...) {
+    // Foreign exception (e.g. SimulatedPowerFailure): transaction state is
+    // abandoned, volatile metadata will be reset by recovery.
+    alloc_.on_abort(tid);
+    throw;
+  }
+  alloc_.on_commit(tid);
+  ctx.stats.commits++;
+  ctx.stats.sw_commits++;
+  return AttemptResult::kCommitted;
+}
+
+}  // namespace nvhalt

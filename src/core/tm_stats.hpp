@@ -1,0 +1,38 @@
+// Transaction outcome statistics, kept per thread and aggregated on demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+struct TmThreadStats {
+  std::uint64_t commits = 0;            // total committed transactions
+  std::uint64_t hw_commits = 0;         // committed on the hardware path
+  std::uint64_t sw_commits = 0;         // committed on the software path
+  std::uint64_t read_only_commits = 0;  // committed with an empty write set
+  std::uint64_t hw_aborts = 0;          // hardware attempt aborts (all causes)
+  std::uint64_t sw_aborts = 0;          // software attempt conflict aborts
+  std::uint64_t fallbacks = 0;          // transactions that exhausted HW attempts
+  std::uint64_t user_aborts = 0;        // voluntary aborts
+
+  void reset() { *this = TmThreadStats{}; }
+};
+
+struct TmStats {
+  std::uint64_t commits = 0;
+  std::uint64_t hw_commits = 0;
+  std::uint64_t sw_commits = 0;
+  std::uint64_t read_only_commits = 0;
+  std::uint64_t hw_aborts = 0;
+  std::uint64_t sw_aborts = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t user_aborts = 0;
+
+  void add(const TmThreadStats& t);
+  std::string to_string() const;
+};
+
+}  // namespace nvhalt

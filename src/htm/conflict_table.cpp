@@ -1,0 +1,22 @@
+#include "htm/conflict_table.hpp"
+
+#include <new>
+
+namespace nvhalt::htm {
+
+ConflictTable::ConflictTable(std::size_t stripe_count) : count_(stripe_count) {
+  if (count_ == 0 || (count_ & (count_ - 1)) != 0)
+    throw TmLogicError("stripe count must be a power of two");
+  stripes_ = new Stripe[count_];
+}
+
+ConflictTable::~ConflictTable() { delete[] stripes_; }
+
+void ConflictTable::reset() {
+  for (std::size_t i = 0; i < count_; ++i) {
+    stripes_[i].writer.store(0, std::memory_order_relaxed);
+    for (auto& m : stripes_[i].readers) m.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace nvhalt::htm

@@ -1,0 +1,91 @@
+// Striped conflict table: the simulated cache-coherence substrate through
+// which hardware transactions detect conflicts eagerly (as RTM does via
+// invalidations). Each location hashes to a stripe holding a writer tag and
+// per-thread reader bits; stripe collisions model cache-line / set-index
+// false sharing, which real RTM also exhibits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "htm/htm_types.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt::htm {
+
+/// Number of reader-mask words per stripe.
+inline constexpr int kReaderMaskWords = kMaxThreads / 64;
+
+/// Writer tag encoding, stored in Stripe::writer:
+///   0                          — no writer
+///   (tid+1) << 1 | 1           — non-transactional RMW in progress
+///   epoch << 9 | (tid+1) << 1  — transactional writer (epoch disambiguates
+///                                 stale registrations across transactions)
+struct WriterTag {
+  static constexpr std::uint64_t kNone = 0;
+
+  static std::uint64_t tx(int tid, std::uint64_t epoch) {
+    return (epoch << 9) | (static_cast<std::uint64_t>(tid + 1) << 1);
+  }
+  static std::uint64_t nontx(int tid) {
+    return (static_cast<std::uint64_t>(tid + 1) << 1) | 1;
+  }
+  static bool is_nontx(std::uint64_t tag) { return (tag & 1) != 0; }
+  static int tid(std::uint64_t tag) { return static_cast<int>((tag >> 1) & 0xFF) - 1; }
+  static std::uint64_t epoch(std::uint64_t tag) { return tag >> 9; }
+};
+
+struct alignas(kCacheLineBytes) Stripe {
+  std::atomic<std::uint64_t> writer{0};
+  std::atomic<std::uint64_t> readers[kReaderMaskWords];
+
+  Stripe() {
+    for (auto& m : readers) m.store(0, std::memory_order_relaxed);
+  }
+};
+
+class ConflictTable {
+ public:
+  /// stripe_count must be a power of two.
+  explicit ConflictTable(std::size_t stripe_count = std::size_t{1} << 14);
+  ~ConflictTable();
+
+  ConflictTable(const ConflictTable&) = delete;
+  ConflictTable& operator=(const ConflictTable&) = delete;
+
+  std::size_t stripe_count() const { return count_; }
+
+  std::uint32_t stripe_of(LocId loc) const {
+    // splitmix-style mix so adjacent words spread across stripes.
+    std::uint64_t x = loc;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(x & (count_ - 1));
+  }
+
+  Stripe& stripe(std::uint32_t idx) { return stripes_[idx]; }
+  const Stripe& stripe(std::uint32_t idx) const { return stripes_[idx]; }
+
+  /// Sets the caller's reader bit. Returns true if the bit was newly set
+  /// (the caller must remember the stripe for cleanup).
+  bool add_reader(std::uint32_t idx, int tid) {
+    auto& mask = stripes_[idx].readers[tid / 64];
+    const std::uint64_t bit = 1ULL << (tid % 64);
+    return (mask.fetch_or(bit, std::memory_order_seq_cst) & bit) == 0;
+  }
+
+  void remove_reader(std::uint32_t idx, int tid) {
+    auto& mask = stripes_[idx].readers[tid / 64];
+    mask.fetch_and(~(1ULL << (tid % 64)), std::memory_order_seq_cst);
+  }
+
+  /// Clears all state (tests / recovery).
+  void reset();
+
+ private:
+  std::size_t count_;
+  Stripe* stripes_;
+};
+
+}  // namespace nvhalt::htm

@@ -1,0 +1,35 @@
+#include "htm/htm_stats.hpp"
+
+#include <sstream>
+
+namespace nvhalt::htm {
+
+const char* abort_cause_name(AbortCause c) {
+  switch (c) {
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kSpurious: return "spurious";
+    case AbortCause::kFlush: return "flush";
+    default: return "unknown";
+  }
+}
+
+void HtmStats::add(const HtmThreadStats& t) {
+  begins += t.begins;
+  commits += t.commits;
+  for (std::size_t i = 0; i < aborts.size(); ++i) aborts[i] += t.aborts[i];
+}
+
+std::string HtmStats::to_string() const {
+  std::ostringstream os;
+  os << "htm{begins=" << begins << " commits=" << commits;
+  for (std::size_t i = 0; i < aborts.size(); ++i) {
+    if (aborts[i] != 0)
+      os << " " << abort_cause_name(static_cast<AbortCause>(i)) << "=" << aborts[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nvhalt::htm

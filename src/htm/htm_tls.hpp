@@ -1,0 +1,15 @@
+// Thread-local hardware-transaction state, exposed with minimal coupling so
+// low-level modules (pmem) can honour "flush aborts the transaction"
+// without depending on the full HTM simulator.
+#pragma once
+
+namespace nvhalt::htm {
+
+/// True while the calling thread is inside a simulated hardware transaction.
+bool in_hw_txn();
+
+/// Aborts the calling thread's hardware transaction with cause kFlush.
+/// Precondition: in_hw_txn(). Models clflushopt/clwb aborting RTM.
+[[noreturn]] void abort_on_flush();
+
+}  // namespace nvhalt::htm

@@ -1,0 +1,52 @@
+// Shared types for the simulated best-effort HTM (Intel RTM semantics).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace nvhalt::htm {
+
+/// Why a hardware transaction aborted. Mirrors the abort classes visible
+/// through RTM's EAX status (conflict, capacity, explicit xabort) plus the
+/// "any reason" spurious class and flush-in-txn (clflushopt aborts).
+enum class AbortCause : std::uint8_t {
+  kConflict = 0,   // tracking-set conflict with another thread
+  kCapacity = 1,   // tracking set overflowed the simulated L1 shape
+  kExplicit = 2,   // user xabort(code)
+  kSpurious = 3,   // injected abort-for-any-reason
+  kFlush = 4,      // persistence instruction inside the transaction
+  kNumCauses = 5,
+};
+
+const char* abort_cause_name(AbortCause c);
+
+/// Thrown to transfer control back to xbegin when a hardware transaction
+/// aborts. Intentionally not derived from std::exception: transaction
+/// bodies that catch std::exception must not swallow an HTM abort.
+struct HtmAbort {
+  AbortCause cause;
+  std::uint8_t code = 0;  // xabort code when cause == kExplicit
+};
+
+/// Location identifier for conflict tracking. Every shared memory location
+/// that any transaction path can touch has a LocId; the conflict table is
+/// keyed by a hash of it (stripe), modelling cache-line granularity.
+using LocId = std::uint64_t;
+
+enum class LocKind : std::uint64_t {
+  kPoolWord = 0,   // user data word in the persistent pool
+  kLockTable = 1,  // entry in a fixed-size lock table
+  kColoLock = 2,   // colocated per-word lock
+  kGlobal = 3,     // global scalar (clocks, fallback locks, markers)
+};
+
+constexpr LocId make_loc(LocKind kind, std::uint64_t index) {
+  return (static_cast<std::uint64_t>(kind) << 60) | index;
+}
+constexpr LocId loc_pool(gaddr_t a) { return make_loc(LocKind::kPoolWord, a); }
+constexpr LocId loc_lock(std::uint64_t i) { return make_loc(LocKind::kLockTable, i); }
+constexpr LocId loc_colock(gaddr_t a) { return make_loc(LocKind::kColoLock, a); }
+constexpr LocId loc_global(std::uint64_t i) { return make_loc(LocKind::kGlobal, i); }
+
+}  // namespace nvhalt::htm

@@ -1,0 +1,397 @@
+#include "htm/sim_htm.hpp"
+
+#include <thread>
+
+#include "htm/htm_tls.hpp"
+
+namespace nvhalt::htm {
+
+namespace {
+
+// Transaction lifecycle states, packed into the low 2 bits of the status
+// word; the rest is the transaction epoch. The epoch disambiguates stale
+// conflict-table registrations from a thread's earlier transactions.
+enum : std::uint64_t { kIdle = 0, kActive = 1, kCommitting = 2, kAborted = 3 };
+
+inline std::uint64_t pack_status(std::uint64_t epoch, std::uint64_t state) {
+  return (epoch << 2) | state;
+}
+inline std::uint64_t status_state(std::uint64_t s) { return s & 3; }
+inline std::uint64_t status_epoch(std::uint64_t s) { return s >> 2; }
+
+struct Tls {
+  SimHtm* htm = nullptr;
+  int tid = -1;
+  bool in_txn = false;
+};
+thread_local Tls g_tls;
+
+}  // namespace
+
+bool in_hw_txn() { return g_tls.in_txn; }
+
+void abort_on_flush() {
+  if (!g_tls.in_txn || g_tls.htm == nullptr)
+    throw TmLogicError("abort_on_flush outside a hardware transaction");
+  g_tls.htm->abort_current_flush();
+}
+
+struct alignas(kCacheLineBytes) SimHtm::Context {
+  std::atomic<std::uint64_t> status{pack_status(0, kIdle)};
+  std::uint64_t epoch = 0;  // owner's private copy of the current epoch
+
+  struct WriteEnt {
+    LocId loc;
+    std::atomic<std::uint64_t>* target;
+    std::uint64_t val;
+  };
+  std::vector<WriteEnt> write_entries;
+  SmallIndexMap write_index;
+  std::vector<std::uint32_t> read_stripes;   // reader bits we set
+  std::vector<std::uint32_t> write_stripes;  // writer tags we registered
+  SmallSet read_stripe_set;                  // stripes already registered
+  SmallSet read_lines;
+  SmallSet write_lines;
+  std::vector<std::uint8_t> l1_set_count;
+
+  Xoshiro256 rng;
+  HtmThreadStats stats;
+};
+
+SimHtm::SimHtm(const HtmConfig& cfg) : cfg_(cfg), table_(cfg.stripe_count) {
+  ctx_ = std::make_unique<Context[]>(kMaxThreads);
+  for (int t = 0; t < kMaxThreads; ++t) {
+    ctx_[t].rng.reseed(cfg_.seed * 0x100000001B3ULL + static_cast<std::uint64_t>(t));
+    ctx_[t].l1_set_count.assign(static_cast<std::size_t>(cfg_.l1_sets), 0);
+  }
+}
+
+SimHtm::~SimHtm() = default;
+
+bool SimHtm::thread_in_txn(int tid) const {
+  return status_state(ctx_[tid].status.load(std::memory_order_acquire)) != kIdle;
+}
+
+void SimHtm::begin(int tid) {
+  Context& c = ctx_[tid];
+  if (g_tls.in_txn) throw TmLogicError("nested hardware transactions are not supported");
+  ++c.epoch;
+  c.write_entries.clear();
+  c.write_index.clear();
+  c.read_stripes.clear();
+  c.write_stripes.clear();
+  c.read_stripe_set.clear();
+  c.read_lines.clear();
+  c.write_lines.clear();
+  std::fill(c.l1_set_count.begin(), c.l1_set_count.end(), std::uint8_t{0});
+  c.stats.begins++;
+  c.status.store(pack_status(c.epoch, kActive), std::memory_order_seq_cst);
+  g_tls = Tls{this, tid, true};
+}
+
+void SimHtm::cleanup(int tid, bool committed) {
+  Context& c = ctx_[tid];
+  const std::uint64_t my_tag = WriterTag::tx(tid, c.epoch);
+  for (const std::uint32_t s : c.write_stripes) {
+    std::uint64_t expected = my_tag;
+    // A non-transactional RMW may have stolen the stripe after aborting us;
+    // in that case the thief releases it.
+    table_.stripe(s).writer.compare_exchange_strong(expected, WriterTag::kNone,
+                                                    std::memory_order_seq_cst);
+  }
+  for (const std::uint32_t s : c.read_stripes) table_.remove_reader(s, tid);
+  c.status.store(pack_status(c.epoch, kIdle), std::memory_order_seq_cst);
+  if (committed) c.stats.commits++;
+  g_tls.in_txn = false;
+}
+
+void SimHtm::do_abort(int tid, AbortCause cause, std::uint8_t code) {
+  Context& c = ctx_[tid];
+  c.stats.aborts[static_cast<std::size_t>(cause)]++;
+  cleanup(tid, /*committed=*/false);
+  throw HtmAbort{cause, code};
+}
+
+void SimHtm::abort_current_flush() {
+  do_abort(g_tls.tid, AbortCause::kFlush);
+}
+
+void SimHtm::check_self(int tid) {
+  Context& c = ctx_[tid];
+  const std::uint64_t s = c.status.load(std::memory_order_seq_cst);
+  if (NVHALT_UNLIKELY(status_state(s) == kAborted)) do_abort(tid, AbortCause::kConflict);
+}
+
+void SimHtm::maybe_spurious(int tid) {
+  if (NVHALT_UNLIKELY(cfg_.spurious_abort_prob > 0.0) &&
+      ctx_[tid].rng.next_bool(cfg_.spurious_abort_prob)) {
+    do_abort(tid, AbortCause::kSpurious);
+  }
+}
+
+void SimHtm::xabort(int tid, std::uint8_t code) { do_abort(tid, AbortCause::kExplicit, code); }
+
+void SimHtm::cancel(int tid) {
+  if (!g_tls.in_txn) return;
+  Context& c = ctx_[tid];
+  c.stats.aborts[static_cast<std::size_t>(AbortCause::kExplicit)]++;
+  cleanup(tid, /*committed=*/false);
+}
+
+std::uint64_t SimHtm::load(int tid, LocId loc, const std::atomic<std::uint64_t>* target) {
+  Context& c = ctx_[tid];
+  check_self(tid);
+  maybe_spurious(tid);
+
+  // The write buffer is keyed by the backing word: distinct words may share
+  // a LocId line (e.g. a colocated lock and its data word), but each must
+  // buffer separately.
+  const std::uint32_t found = c.write_index.find(reinterpret_cast<std::uintptr_t>(target));
+  if (found != SmallIndexMap::kNotFound) return c.write_entries[found].val;
+
+  const std::uint32_t s = table_.stripe_of(canonical(loc));
+  if (c.read_stripe_set.insert(s)) {
+    // First touch of this stripe: register the reader bit and perform the
+    // eager conflict check. Later touches can skip both — any writer that
+    // registers afterwards must scan the reader bits and abort us through
+    // our status word, which the post-load check below observes.
+    table_.add_reader(s, tid);
+    c.read_stripes.push_back(s);
+    const std::uint64_t w = table_.stripe(s).writer.load(std::memory_order_seq_cst);
+    if (w != WriterTag::kNone && w != WriterTag::tx(tid, c.epoch))
+      do_abort(tid, AbortCause::kConflict);
+  }
+
+  if (c.read_lines.insert(line_of(loc)) && c.read_lines.size() > cfg_.max_read_lines)
+    do_abort(tid, AbortCause::kCapacity);
+
+  const std::uint64_t v = target->load(std::memory_order_seq_cst);
+  // Post-load validation: if a writer aborted us after our conflict check,
+  // the value may stem from its publication; never return it.
+  check_self(tid);
+  return v;
+}
+
+void SimHtm::store(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::uint64_t val) {
+  Context& c = ctx_[tid];
+  check_self(tid);
+  maybe_spurious(tid);
+
+  const std::uint32_t found = c.write_index.find(reinterpret_cast<std::uintptr_t>(target));
+  if (found != SmallIndexMap::kNotFound) {
+    c.write_entries[found].val = val;
+    return;
+  }
+
+  const std::uint32_t s = table_.stripe_of(canonical(loc));
+  const std::uint64_t my_tag = WriterTag::tx(tid, c.epoch);
+  std::uint64_t w = table_.stripe(s).writer.load(std::memory_order_seq_cst);
+  if (w != my_tag) {
+    if (w != WriterTag::kNone) do_abort(tid, AbortCause::kConflict);
+    if (!table_.stripe(s).writer.compare_exchange_strong(w, my_tag, std::memory_order_seq_cst))
+      do_abort(tid, AbortCause::kConflict);
+    c.write_stripes.push_back(s);
+    abort_readers_on_stripe(s, tid);
+  }
+
+  if (c.write_lines.insert(line_of(loc))) {
+    const std::size_t set = static_cast<std::size_t>(line_of(loc)) &
+                            static_cast<std::size_t>(cfg_.l1_sets - 1);
+    if (++c.l1_set_count[set] > cfg_.l1_ways) do_abort(tid, AbortCause::kCapacity);
+  }
+
+  c.write_index.insert(reinterpret_cast<std::uintptr_t>(target),
+                       static_cast<std::uint32_t>(c.write_entries.size()));
+  c.write_entries.push_back({loc, target, val});
+  check_self(tid);
+}
+
+void SimHtm::commit(int tid) {
+  Context& c = ctx_[tid];
+  std::uint64_t expected = pack_status(c.epoch, kActive);
+  // The successful CAS to kCommitting is the transaction's atomic commit
+  // point; after it no other thread may abort us.
+  if (!c.status.compare_exchange_strong(expected, pack_status(c.epoch, kCommitting),
+                                        std::memory_order_seq_cst)) {
+    do_abort(tid, AbortCause::kConflict);
+  }
+  // Publish buffered writes while our writer registrations are still held:
+  // transactional readers self-abort on our registration and
+  // non-transactional readers wait for it, so publication is atomic.
+  for (const Context::WriteEnt& e : c.write_entries)
+    e.target->store(e.val, std::memory_order_seq_cst);
+  cleanup(tid, /*committed=*/true);
+}
+
+void SimHtm::abort_reader(int r) {
+  Context& rc = ctx_[r];
+  const std::uint64_t s = rc.status.load(std::memory_order_seq_cst);
+  if (status_state(s) != kActive) return;  // committing readers already serialized
+  std::uint64_t expected = s;
+  rc.status.compare_exchange_strong(expected, pack_status(status_epoch(s), kAborted),
+                                    std::memory_order_seq_cst);
+}
+
+void SimHtm::abort_readers_on_stripe(std::uint32_t stripe_idx, int self_tid) {
+  Stripe& st = table_.stripe(stripe_idx);
+  for (int word = 0; word < kReaderMaskWords; ++word) {
+    std::uint64_t mask = st.readers[word].load(std::memory_order_seq_cst);
+    while (mask != 0) {
+      const int bit = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      const int r = word * 64 + bit;
+      if (r != self_tid) abort_reader(r);
+    }
+  }
+}
+
+void SimHtm::neutralize_writer_for_load(std::uint32_t stripe_idx, int self_tid) {
+  Stripe& st = table_.stripe(stripe_idx);
+  int spins = 0;
+  for (;;) {
+    const std::uint64_t w = st.writer.load(std::memory_order_seq_cst);
+    if (w == WriterTag::kNone) return;
+    if (WriterTag::is_nontx(w)) {
+      // Another thread's brief non-transactional RMW; wait it out.
+      if (++spins > 64) std::this_thread::yield(); else cpu_relax();
+      continue;
+    }
+    const int owner = WriterTag::tid(w);
+    if (owner == self_tid) return;  // our own stale tag cannot publish
+    Context& oc = ctx_[owner];
+    const std::uint64_t s = oc.status.load(std::memory_order_seq_cst);
+    if (status_epoch(s) != WriterTag::epoch(w)) continue;  // stale; re-read stripe
+    switch (status_state(s)) {
+      case kActive: {
+        // RTM: a non-transactional access to a line in a transaction's
+        // write set aborts the transaction.
+        std::uint64_t expected = s;
+        oc.status.compare_exchange_strong(
+            expected, pack_status(status_epoch(s), kAborted), std::memory_order_seq_cst);
+        continue;
+      }
+      case kCommitting:
+        // Publication in flight; it is atomic, so wait for it to finish.
+        if (++spins > 64) std::this_thread::yield(); else cpu_relax();
+        continue;
+      case kAborted:
+        return;  // will never publish; safe to access
+      default:
+        continue;  // kIdle with matching epoch: cleanup raced us; re-read
+    }
+  }
+}
+
+std::uint64_t SimHtm::claim_stripe_nontx(std::uint32_t stripe_idx, int tid) {
+  Stripe& st = table_.stripe(stripe_idx);
+  const std::uint64_t my_tag = WriterTag::nontx(tid);
+  int spins = 0;
+  for (;;) {
+    std::uint64_t w = st.writer.load(std::memory_order_seq_cst);
+    if (w == WriterTag::kNone) {
+      if (st.writer.compare_exchange_strong(w, my_tag, std::memory_order_seq_cst)) return my_tag;
+      continue;
+    }
+    if (WriterTag::is_nontx(w)) {
+      if (++spins > 64) std::this_thread::yield(); else cpu_relax();
+      continue;
+    }
+    const int owner = WriterTag::tid(w);
+    Context& oc = ctx_[owner];
+    const std::uint64_t s = oc.status.load(std::memory_order_seq_cst);
+    if (status_epoch(s) != WriterTag::epoch(w)) {
+      // Stale transactional tag: the owner finished long ago; steal it.
+      if (st.writer.compare_exchange_strong(w, my_tag, std::memory_order_seq_cst)) return my_tag;
+      continue;
+    }
+    switch (status_state(s)) {
+      case kActive: {
+        std::uint64_t expected = s;
+        oc.status.compare_exchange_strong(
+            expected, pack_status(status_epoch(s), kAborted), std::memory_order_seq_cst);
+        continue;  // owner now aborted; next round steals the tag
+      }
+      case kCommitting:
+        if (++spins > 64) std::this_thread::yield(); else cpu_relax();
+        continue;
+      case kAborted: {
+        // Owner will not publish; take over its registration (its cleanup
+        // CAS will simply fail and move on).
+        if (st.writer.compare_exchange_strong(w, my_tag, std::memory_order_seq_cst)) return my_tag;
+        continue;
+      }
+      default:
+        continue;
+    }
+  }
+}
+
+void SimHtm::release_stripe_nontx(std::uint32_t stripe_idx, std::uint64_t tag) {
+  std::uint64_t expected = tag;
+  table_.stripe(stripe_idx).writer.compare_exchange_strong(expected, WriterTag::kNone,
+                                                           std::memory_order_seq_cst);
+}
+
+std::uint64_t SimHtm::nontx_load(int tid, LocId loc, const std::atomic<std::uint64_t>* target) {
+  if (g_tls.in_txn) throw TmLogicError("non-transactional access inside a hardware transaction");
+  const std::uint32_t s = table_.stripe_of(canonical(loc));
+  neutralize_writer_for_load(s, tid);
+  return target->load(std::memory_order_seq_cst);
+}
+
+void SimHtm::nontx_store(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                         std::uint64_t val) {
+  if (g_tls.in_txn) throw TmLogicError("non-transactional access inside a hardware transaction");
+  const std::uint32_t s = table_.stripe_of(canonical(loc));
+  const std::uint64_t tag = claim_stripe_nontx(s, tid);
+  abort_readers_on_stripe(s, tid);
+  target->store(val, std::memory_order_seq_cst);
+  release_stripe_nontx(s, tag);
+}
+
+bool SimHtm::nontx_cas(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                       std::uint64_t& expected, std::uint64_t desired) {
+  if (g_tls.in_txn) throw TmLogicError("non-transactional access inside a hardware transaction");
+  const std::uint32_t s = table_.stripe_of(canonical(loc));
+  const std::uint64_t tag = claim_stripe_nontx(s, tid);
+  abort_readers_on_stripe(s, tid);
+  const bool ok = target->compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+  release_stripe_nontx(s, tag);
+  return ok;
+}
+
+std::uint64_t SimHtm::nontx_fetch_add(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                                      std::uint64_t delta) {
+  if (g_tls.in_txn) throw TmLogicError("non-transactional access inside a hardware transaction");
+  const std::uint32_t s = table_.stripe_of(canonical(loc));
+  const std::uint64_t tag = claim_stripe_nontx(s, tid);
+  abort_readers_on_stripe(s, tid);
+  const std::uint64_t prev = target->fetch_add(delta, std::memory_order_seq_cst);
+  release_stripe_nontx(s, tag);
+  return prev;
+}
+
+HtmStats SimHtm::aggregate_stats() const {
+  HtmStats agg;
+  for (int t = 0; t < kMaxThreads; ++t) agg.add(ctx_[t].stats);
+  return agg;
+}
+
+void SimHtm::reset_stats() {
+  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].stats.reset();
+}
+
+const HtmThreadStats& SimHtm::thread_stats(int tid) const { return ctx_[tid].stats; }
+
+void SimHtm::reset() {
+  // Force-clear: after a simulated crash, threads died mid-transaction and
+  // their statuses/registrations are stale. Only valid quiescently.
+  for (int t = 0; t < kMaxThreads; ++t) {
+    Context& c = ctx_[t];
+    c.status.store(pack_status(status_epoch(c.status.load(std::memory_order_relaxed)), kIdle),
+                   std::memory_order_relaxed);
+  }
+  table_.reset();
+}
+
+}  // namespace nvhalt::htm

@@ -1,0 +1,146 @@
+// Software-simulated best-effort hardware transactional memory with Intel
+// RTM semantics. TSX is fused off on modern CPUs (and absent here), so the
+// paper's fast path runs on this simulator instead; see DESIGN.md for the
+// substitution argument. The simulator preserves the five RTM properties
+// NV-HALT's correctness rests on:
+//
+//   1. Eager conflict detection: two concurrent transactions touching the
+//      same location, at least one writing, abort at least one of them
+//      *before* either can observe inconsistent state.
+//   2. Atomic publication: a transaction's writes become visible to every
+//      other thread (transactional or not) all-or-nothing at xend.
+//   3. Abort-anytime: capacity aborts shaped like an 8-way/64-set L1 for
+//      write sets, plus seedable spurious-abort injection.
+//   4. Flush instructions inside a transaction abort it (see PmemPool).
+//   5. Non-transactional accesses conflict with transactions tracking the
+//      location (reads abort writers; writes abort readers and writers).
+//
+// Mechanism: every shared location (pool word, lock word, global scalar)
+// has a LocId hashed onto a striped conflict table (the simulated cache-
+// coherence directory). Transactional writes are buffered in a per-thread
+// write set and published at commit while the writer's stripe
+// registrations are still held, which is what makes publication atomic for
+// all observers. Aborts transfer control back to "xbegin" by throwing
+// HtmAbort, caught by the attempt wrapper in the TM runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "htm/conflict_table.hpp"
+#include "htm/htm_stats.hpp"
+#include "htm/htm_types.hpp"
+#include "htm/small_map.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt::htm {
+
+struct HtmConfig {
+  /// Conflict-table stripes (power of two). Collisions model false sharing.
+  std::size_t stripe_count = std::size_t{1} << 14;
+  /// Read-set capacity in cache lines (L2/L3-backed read tracking).
+  std::size_t max_read_lines = 8192;
+  /// Write-set shape: an l1_ways-associative, l1_sets-set L1 cache. A
+  /// transaction aborts with kCapacity when more than l1_ways distinct
+  /// written lines map to one set ("as few as 9 addresses" in the paper).
+  int l1_ways = 8;
+  int l1_sets = 64;
+  /// Probability that any single transactional access aborts spuriously.
+  double spurious_abort_prob = 0.0;
+  std::uint64_t seed = 42;
+};
+
+class SimHtm {
+ public:
+  explicit SimHtm(const HtmConfig& cfg = HtmConfig{});
+  ~SimHtm();
+
+  SimHtm(const SimHtm&) = delete;
+  SimHtm& operator=(const SimHtm&) = delete;
+
+  const HtmConfig& config() const { return cfg_; }
+
+  // ---- Transactional interface (xbegin/xend/xabort) -------------------
+  /// Starts a hardware transaction on the calling thread. The thread must
+  /// not already be in one (no nesting, as with flattened RTM we model the
+  /// outermost transaction only).
+  void begin(int tid);
+
+  /// Attempts to commit; on success all buffered writes are published
+  /// atomically. Throws HtmAbort if the transaction was doomed.
+  void commit(int tid);
+
+  /// Voluntary abort (xabort imm8).
+  [[noreturn]] void xabort(int tid, std::uint8_t code);
+
+  /// Aborts and cleans up the calling thread's transaction without
+  /// throwing. Used when a foreign exception unwinds through the
+  /// transaction body. No-op if the thread is not in a transaction.
+  void cancel(int tid);
+
+  /// Transactional load/store. `target` is the backing atomic the location
+  /// lives in; `loc` its identity for conflict tracking.
+  std::uint64_t load(int tid, LocId loc, const std::atomic<std::uint64_t>* target);
+  void store(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::uint64_t val);
+
+  // ---- Non-transactional interface ------------------------------------
+  /// A plain load that respects transactional publication atomicity and
+  /// aborts transactions holding `loc` in their write set.
+  std::uint64_t nontx_load(int tid, LocId loc, const std::atomic<std::uint64_t>* target);
+
+  /// A plain store; aborts every transaction tracking `loc`.
+  void nontx_store(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::uint64_t val);
+
+  /// A plain CAS; aborts every transaction tracking `loc`. Returns true on
+  /// success and updates `expected` otherwise.
+  bool nontx_cas(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                 std::uint64_t& expected, std::uint64_t desired);
+
+  /// A plain fetch_add; aborts every transaction tracking `loc`.
+  std::uint64_t nontx_fetch_add(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                                std::uint64_t delta);
+
+  // ---- Introspection ---------------------------------------------------
+  bool thread_in_txn(int tid) const;
+  HtmStats aggregate_stats() const;
+  void reset_stats();
+  const HtmThreadStats& thread_stats(int tid) const;
+
+  /// Clears all conflict-tracking state; only valid when no thread is in a
+  /// transaction (used by recovery and tests).
+  void reset();
+
+  /// Used by PmemPool via the TLS hooks.
+  [[noreturn]] void abort_current_flush();
+
+ private:
+  struct Context;
+
+  [[noreturn]] void do_abort(int tid, AbortCause cause, std::uint8_t code = 0);
+  void cleanup(int tid, bool committed);
+  void check_self(int tid);
+  void maybe_spurious(int tid);
+  void abort_reader(int r);
+  void neutralize_writer_for_load(std::uint32_t stripe_idx, int self_tid);
+  std::uint64_t claim_stripe_nontx(std::uint32_t stripe_idx, int tid);
+  void release_stripe_nontx(std::uint32_t stripe_idx, std::uint64_t tag);
+  void abort_readers_on_stripe(std::uint32_t stripe_idx, int self_tid);
+
+  /// Canonical location for line/stripe purposes: a colocated lock shares
+  /// its word's cache line (that is the point of colocating).
+  static LocId canonical(LocId loc) {
+    if ((loc >> 60) == static_cast<std::uint64_t>(LocKind::kColoLock))
+      return make_loc(LocKind::kPoolWord, loc & ((1ULL << 60) - 1));
+    return loc;
+  }
+  static std::uint64_t line_of(LocId loc) { return canonical(loc) >> 3; }
+
+  HtmConfig cfg_;
+  ConflictTable table_;
+  std::unique_ptr<Context[]> ctx_;
+};
+
+}  // namespace nvhalt::htm

@@ -1,0 +1,168 @@
+// Small open-addressing hash containers used for per-transaction tracking
+// sets. Cleared in O(1) between transactions via generation stamping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace nvhalt::htm {
+
+/// Open-addressing map from a 64-bit key to a 32-bit payload index.
+/// Generation-stamped: clear() is O(1). Grows by rehashing.
+class SmallIndexMap {
+ public:
+  explicit SmallIndexMap(std::size_t initial_pow2 = 64) { init(initial_pow2); }
+
+  void clear() {
+    ++gen_;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Returns the payload for `key`, or kNotFound.
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+  std::uint32_t find(std::uint64_t key) const {
+    std::size_t i = hash(key);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.gen != gen_) return kNotFound;
+      if (s.key == key) return s.payload;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts key -> payload. If key exists, overwrites. Returns true when
+  /// the key was newly inserted.
+  bool insert(std::uint64_t key, std::uint32_t payload) {
+    if ((size_ + 1) * 10 >= capacity() * 7) grow();
+    std::size_t i = hash(key);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.gen != gen_) {
+        s.gen = gen_;
+        s.key = key;
+        s.payload = payload;
+        ++size_;
+        return true;
+      }
+      if (s.key == key) {
+        s.payload = payload;
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t payload = 0;
+    std::uint32_t gen = 0;
+  };
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  std::size_t hash(std::uint64_t key) const {
+    std::uint64_t x = key * 0x9E3779B97F4A7C15ULL;
+    return (x >> 32) & mask_;
+  }
+
+  void init(std::size_t pow2) {
+    slots_.assign(pow2, Slot{});
+    mask_ = pow2 - 1;
+    gen_ = 1;
+    size_ = 0;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::uint32_t old_gen = gen_;
+    init(old.size() * 2);
+    for (const Slot& s : old) {
+      if (s.gen == old_gen) insert(s.key, s.payload);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::uint32_t gen_ = 1;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing set of 64-bit keys, generation-stamped.
+class SmallSet {
+ public:
+  explicit SmallSet(std::size_t initial_pow2 = 128) { init(initial_pow2); }
+
+  void clear() {
+    ++gen_;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Returns true if `key` was newly added.
+  bool insert(std::uint64_t key) {
+    if ((size_ + 1) * 10 >= (mask_ + 1) * 7) grow();
+    std::size_t i = hash(key);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.gen != gen_) {
+        s.gen = gen_;
+        s.key = key;
+        ++size_;
+        return true;
+      }
+      if (s.key == key) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool contains(std::uint64_t key) const {
+    std::size_t i = hash(key);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.gen != gen_) return false;
+      if (s.key == key) return true;
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t gen = 0;
+  };
+
+  std::size_t hash(std::uint64_t key) const {
+    std::uint64_t x = key * 0x9E3779B97F4A7C15ULL;
+    return (x >> 32) & mask_;
+  }
+
+  void init(std::size_t pow2) {
+    slots_.assign(pow2, Slot{});
+    mask_ = pow2 - 1;
+    gen_ = 1;
+    size_ = 0;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::uint32_t old_gen = gen_;
+    init(old.size() * 2);
+    for (const Slot& s : old) {
+      if (s.gen == old_gen) insert(s.key);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::uint32_t gen_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nvhalt::htm

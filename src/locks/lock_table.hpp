@@ -1,0 +1,65 @@
+// Lock placement strategies (paper Sec. 4, "Fine-Grained Locks").
+//
+// NV-HALT / NV-HALT-SP use a fixed-size hashed lock table as in TL2:
+// multiple addresses may map to one lock, but user data layout is
+// unaffected. NV-HALT-CL colocates one lock with every word, which lets
+// the (simulated) cache fetch the lock together with the data — in this
+// codebase that is modelled by giving the colocated lock the same
+// conflict-tracking line as its word (see SimHtm::canonical).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "locks/versioned_lock.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+enum class LockMode { kTable, kColocated };
+
+/// Maps addresses to versioned locks under either placement strategy.
+class LockSpace {
+ public:
+  /// `table_entries` must be a power of two; used only in kTable mode.
+  /// `capacity_words` sizes the colocated array in kColocated mode.
+  LockSpace(LockMode mode, std::size_t table_entries, std::size_t capacity_words);
+
+  LockSpace(const LockSpace&) = delete;
+  LockSpace& operator=(const LockSpace&) = delete;
+
+  LockMode mode() const { return mode_; }
+
+  /// Resolves the lock protecting address `a`.
+  LockRef ref(gaddr_t a) {
+    if (mode_ == LockMode::kTable) {
+      const std::size_t i = hash(a) & mask_;
+      LockEntry& e = table_[i];
+      return LockRef{&e.s, &e.h, htm::loc_lock(i)};
+    }
+    LockEntry& e = colocated_[a];
+    return LockRef{&e.s, &e.h, htm::loc_colock(a)};
+  }
+
+  /// Clears all locks (recovery: locks are volatile metadata).
+  void reset();
+
+  std::size_t table_entries() const { return mask_ + 1; }
+
+ private:
+  static std::size_t hash(gaddr_t a) {
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(x >> 24);
+  }
+
+  LockMode mode_;
+  std::size_t mask_ = 0;
+  std::size_t colocated_count_ = 0;
+  // Table entries are padded to a cache line each (they are shared by many
+  // addresses); colocated entries are dense, as they would be in memory.
+  struct alignas(kCacheLineBytes) PaddedLockEntry : LockEntry {};
+  std::unique_ptr<PaddedLockEntry[]> table_;
+  std::unique_ptr<LockEntry[]> colocated_;
+};
+
+}  // namespace nvhalt

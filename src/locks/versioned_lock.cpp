@@ -1,0 +1,4 @@
+#include "locks/versioned_lock.hpp"
+
+// lockword helpers are header-only; this translation unit anchors the
+// module in the build.

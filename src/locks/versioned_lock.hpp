@@ -1,0 +1,72 @@
+// Versioned fine-grained locks (paper Sec. 3.1/3.6).
+//
+// Every transactional address is protected by a versioned lock. The lock
+// word packs {version, owner, locked}; following TL2/Fig. 1, acquiring
+// bumps the version by one (CAS from the encounter-time word) and releasing
+// bumps it again, so a full acquire/release cycle advances the version by
+// two and a reader that observes the same unlocked word twice knows no
+// write intervened. The owner field is what lets the hardware path treat
+// "locked by the current thread" as benign (Fig. 5 lines 3, 7).
+//
+// NV-HALT-SP extends each lock with a second version, hVer, incremented
+// only by hardware transactions (Fig. 7): software commits use it to detect
+// conflicts with concurrent hardware transactions after winning the global
+// clock CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "htm/htm_types.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+/// Value-level helpers for the packed lock word:
+///   bit 0      locked flag
+///   bits 1..8  owner (tid + 1; 0 when unlocked)
+///   bits 9..63 version
+namespace lockword {
+
+inline constexpr std::uint64_t kLockedBit = 1;
+
+inline std::uint64_t make(std::uint64_t version, bool locked, int owner_tid) {
+  return (version << 9) |
+         (locked ? (static_cast<std::uint64_t>(owner_tid + 1) << 1) | kLockedBit : 0);
+}
+inline bool is_locked(std::uint64_t w) { return (w & kLockedBit) != 0; }
+inline int owner(std::uint64_t w) { return static_cast<int>((w >> 1) & 0xFF) - 1; }
+inline std::uint64_t version(std::uint64_t w) { return w >> 9; }
+
+/// The word after `w` (which must be unlocked) is acquired by `tid`.
+inline std::uint64_t acquired(std::uint64_t w, int tid) {
+  return make(version(w) + 1, true, tid);
+}
+
+/// The word after a locked word `w` is released.
+inline std::uint64_t released(std::uint64_t w) { return make(version(w) + 1, false, 0); }
+
+/// True if `w` is locked by a thread other than `tid`.
+inline bool locked_by_other(std::uint64_t w, int tid) {
+  return is_locked(w) && owner(w) != tid;
+}
+
+}  // namespace lockword
+
+/// One lock: the sLock word plus the hVer counter used by NV-HALT-SP.
+/// Both words deliberately live adjacently; conflict tracking treats them
+/// as one location (they share a cache line in any real layout).
+struct LockEntry {
+  std::atomic<std::uint64_t> s{0};
+  std::atomic<std::uint64_t> h{0};
+};
+
+/// A resolved reference to the lock protecting one address, carrying the
+/// conflict-tracking identity of the lock words.
+struct LockRef {
+  std::atomic<std::uint64_t>* s = nullptr;
+  std::atomic<std::uint64_t>* h = nullptr;
+  htm::LocId loc = 0;  // identity of both lock words for conflict tracking
+};
+
+}  // namespace nvhalt

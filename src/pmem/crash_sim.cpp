@@ -1,0 +1,4 @@
+#include "pmem/crash_sim.hpp"
+
+// CrashCoordinator is header-only; this translation unit anchors the
+// module in the build and hosts nothing else.

@@ -1,0 +1,40 @@
+// Crash-injection coordinator for durable-linearizability testing.
+//
+// A test arms the coordinator, runs worker threads, and trips the freeze
+// flag at a random instant. Every persistent-memory operation (and the TM
+// transaction loop) polls the coordinator; once tripped, workers unwind
+// with SimulatedPowerFailure — mid-commit, mid-flush, wherever they happen
+// to be — modelling a power failure at an arbitrary instruction boundary.
+// The test then joins the workers, calls PmemPool::crash() with an
+// adversarial write-back policy, runs recovery, and checks the result.
+#pragma once
+
+#include <atomic>
+
+namespace nvhalt {
+
+/// Thrown at a crash point to unwind a worker thread. Deliberately not
+/// derived from std::exception so generic catch(std::exception&) handlers
+/// in user transaction bodies cannot swallow it.
+struct SimulatedPowerFailure {};
+
+class CrashCoordinator {
+ public:
+  /// Trips the freeze flag: every thread dies at its next crash point.
+  void trip() { frozen_.store(true, std::memory_order_release); }
+
+  /// Re-arms the coordinator for another crash cycle.
+  void reset() { frozen_.store(false, std::memory_order_release); }
+
+  bool tripped() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Called from instrumented code. Throws once the coordinator is tripped.
+  void crash_point() const {
+    if (frozen_.load(std::memory_order_acquire)) throw SimulatedPowerFailure{};
+  }
+
+ private:
+  std::atomic<bool> frozen_{false};
+};
+
+}  // namespace nvhalt

@@ -1,0 +1,45 @@
+#include "pmem/pmem_inspector.hpp"
+
+#include <sstream>
+
+namespace nvhalt {
+
+PmemReport PmemInspector::scan() const {
+  PmemReport r;
+  std::uint64_t pvers[kMaxThreads];
+  for (int t = 0; t < kMaxThreads; ++t) {
+    pvers[t] = pool_.load_pver(t);
+    if (pvers[t] != 0) {
+      r.active_threads.push_back(t);
+      r.thread_pvers.push_back(pvers[t]);
+    }
+  }
+  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a) {
+    const PRecord staged = pool_.read_record(a);
+    if (staged.pver != 0) {
+      ++r.touched_records;
+      const int tid = pver_tid(staged.pver);
+      if (pver_seq(staged.pver) >= pvers[tid] && staged.cur != staged.old)
+        ++r.in_flight_records;
+    }
+    const PRecord durable = pool_.read_durable_record(a);
+    if (staged.cur != durable.cur || staged.old != durable.old ||
+        staged.pver != durable.pver)
+      ++r.undurable_records;
+  }
+  return r;
+}
+
+std::string PmemReport::to_string() const {
+  std::ostringstream os;
+  os << "pmem{touched=" << touched_records << " in_flight=" << in_flight_records
+     << " undurable=" << undurable_records << " threads=[";
+  for (std::size_t i = 0; i < active_threads.size(); ++i) {
+    if (i != 0) os << ",";
+    os << active_threads[i] << ":" << thread_pvers[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace nvhalt

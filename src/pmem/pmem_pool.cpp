@@ -1,0 +1,420 @@
+#include "pmem/pmem_pool.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+
+#include "htm/htm_tls.hpp"
+#include "pmem/crash_sim.hpp"
+
+namespace nvhalt {
+
+namespace {
+inline void poll_crash(CrashCoordinator* c) {
+  if (NVHALT_UNLIKELY(c != nullptr)) c->crash_point();
+}
+}  // namespace
+
+namespace {
+// Raw-region header layout: one line per thread for pVerNum, one line per
+// root slot. Keeping each hot persistent scalar on its own line mirrors the
+// paper's implementations and avoids simulated same-line interference.
+constexpr std::size_t kPverHeaderWords = static_cast<std::size_t>(kMaxThreads) * kWordsPerLine;
+constexpr std::size_t kRootHeaderWords = static_cast<std::size_t>(PmemPool::kRootSlots) * kWordsPerLine;
+
+// Backing-file layout: one header page, then the raw durable words, then
+// the record durable words.
+constexpr std::uint64_t kFileMagic = 0x4E564841'4C54504DULL;  // "NVHALTPM"
+constexpr std::uint64_t kFileVersion = 1;
+constexpr std::size_t kFileHeaderBytes = 4096;
+struct FileHeader {
+  std::uint64_t magic;
+  std::uint64_t version;
+  std::uint64_t capacity_words;
+  std::uint64_t raw_words_padded;
+  std::uint64_t rec_words;
+  std::uint64_t initialized;
+};
+}  // namespace
+
+PmemPool::PmemPool(const PmemConfig& cfg) : cfg_(cfg) {
+  if (cfg_.capacity_words < 2) throw TmLogicError("pool too small");
+  const std::size_t raw_total = kPverHeaderWords + kRootHeaderWords + cfg_.raw_words;
+  raw_lines_ = (raw_total + kWordsPerLine - 1) / kWordsPerLine;
+  record_lines_ = (cfg_.capacity_words + 1) / 2;  // 2 records per line
+  total_lines_ = raw_lines_ + record_lines_;
+
+  vmem_ = std::make_unique<std::atomic<word_t>[]>(cfg_.capacity_words);
+  for (std::size_t i = 0; i < cfg_.capacity_words; ++i)
+    vmem_[i].store(0, std::memory_order_relaxed);
+
+  const std::size_t raw_words_padded = raw_lines_ * kWordsPerLine;
+  const std::size_t rec_words = record_lines_ * kWordsPerLine;
+  raw_staged_ = std::make_unique<std::atomic<std::uint64_t>[]>(raw_words_padded);
+  rec_staged_ = std::make_unique<std::atomic<std::uint64_t>[]>(rec_words);
+
+  if (cfg_.backing_path.empty()) {
+    raw_durable_owned_ = std::make_unique<std::atomic<std::uint64_t>[]>(raw_words_padded);
+    rec_durable_owned_ = std::make_unique<std::atomic<std::uint64_t>[]>(rec_words);
+    raw_durable_ = raw_durable_owned_.get();
+    rec_durable_ = rec_durable_owned_.get();
+    for (std::size_t i = 0; i < raw_words_padded; ++i)
+      raw_durable_[i].store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < rec_words; ++i)
+      rec_durable_[i].store(0, std::memory_order_relaxed);
+  } else {
+    map_backing_file(raw_words_padded, rec_words);
+  }
+  // The staged (cache) image always starts as a copy of the durable one —
+  // a fresh pool sees zeros, an attached pool sees the previous run's
+  // durable state (exactly the post-crash view recover_data() expects).
+  for (std::size_t i = 0; i < raw_words_padded; ++i)
+    raw_staged_[i].store(raw_durable_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  for (std::size_t i = 0; i < rec_words; ++i)
+    rec_staged_[i].store(rec_durable_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+
+  if (cfg_.track_store_order) {
+    line_clock_ = std::make_unique<std::atomic<std::uint32_t>[]>(total_lines_);
+    line_fenced_ = std::make_unique<std::atomic<std::uint32_t>[]>(total_lines_);
+    word_stamp_ = std::make_unique<std::atomic<std::uint32_t>[]>(total_lines_ * kWordsPerLine);
+    for (std::size_t i = 0; i < total_lines_; ++i) {
+      line_clock_[i].store(0, std::memory_order_relaxed);
+      line_fenced_[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < total_lines_ * kWordsPerLine; ++i)
+      word_stamp_[i].store(0, std::memory_order_relaxed);
+  }
+
+  flush_queues_ = std::make_unique<FlushQueue[]>(kMaxThreads);
+  raw_bump_.store(kPverHeaderWords + kRootHeaderWords, std::memory_order_relaxed);
+  pver_raw_base_ = 0;
+  root_raw_base_ = kPverHeaderWords;
+}
+
+void PmemPool::map_backing_file(std::size_t raw_words_padded, std::size_t rec_words) {
+  const std::size_t payload = (raw_words_padded + rec_words) * sizeof(std::uint64_t);
+  map_len_ = kFileHeaderBytes + payload;
+
+  const int fd = ::open(cfg_.backing_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) throw TmLogicError("cannot open backing file: " + cfg_.backing_path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw TmLogicError("cannot stat backing file");
+  }
+  const bool fresh = st.st_size == 0;
+  if (fresh && ::ftruncate(fd, static_cast<off_t>(map_len_)) != 0) {
+    ::close(fd);
+    throw TmLogicError("cannot size backing file");
+  }
+  if (!fresh && static_cast<std::size_t>(st.st_size) != map_len_) {
+    ::close(fd);
+    throw TmLogicError("backing file size does not match the pool geometry");
+  }
+  map_base_ = ::mmap(nullptr, map_len_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map_base_ == MAP_FAILED) {
+    map_base_ = nullptr;
+    throw TmLogicError(std::string("mmap failed: ") + std::strerror(errno));
+  }
+
+  auto* header = static_cast<FileHeader*>(map_base_);
+  auto* words = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<char*>(map_base_) + kFileHeaderBytes);
+  raw_durable_ = words;
+  rec_durable_ = words + raw_words_padded;
+
+  if (!fresh && header->initialized == 1) {
+    if (header->magic != kFileMagic || header->version != kFileVersion)
+      throw TmLogicError("backing file is not an NV-HALT pool (bad magic/version)");
+    if (header->capacity_words != cfg_.capacity_words ||
+        header->raw_words_padded != raw_words_padded || header->rec_words != rec_words)
+      throw TmLogicError("backing file geometry does not match the configuration");
+    attached_existing_ = true;
+    return;
+  }
+  // Fresh (or never-completed) file: the zero pages from ftruncate are the
+  // initial durable image; publish the header last.
+  header->magic = kFileMagic;
+  header->version = kFileVersion;
+  header->capacity_words = cfg_.capacity_words;
+  header->raw_words_padded = raw_words_padded;
+  header->rec_words = rec_words;
+  header->initialized = 1;
+}
+
+void PmemPool::sync_to_disk() const {
+  if (map_base_ != nullptr) ::msync(map_base_, map_len_, MS_SYNC);
+}
+
+PmemPool::~PmemPool() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+}
+
+void PmemPool::spin_ns(std::uint64_t ns) const {
+  if (ns == 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) cpu_relax();
+}
+
+void PmemPool::mark_store(std::size_t line, std::size_t word_in_space, bool is_raw) {
+  if (!cfg_.track_store_order) return;
+  const std::uint32_t stamp = line_clock_[line].fetch_add(1, std::memory_order_acq_rel) + 1;
+  const std::size_t global_word =
+      is_raw ? word_in_space : raw_lines_ * kWordsPerLine + word_in_space;
+  word_stamp_[global_word].store(stamp, std::memory_order_release);
+}
+
+void PmemPool::record_write(int tid, gaddr_t a, word_t old_val, word_t new_val,
+                            std::uint64_t seq) {
+  poll_crash(crash_coord_);
+  // Trinity write order within the record's cache line: old, pver, cur.
+  // x86 guarantees same-line stores never persist out of order, which the
+  // crash adversary honours via per-line store stamps.
+  const std::size_t line = record_line_of(a);
+  const std::size_t base = a * 4;  // record = 4 u64 words
+  rec_staged_[base + 1].store(old_val, std::memory_order_release);
+  mark_store(line, base + 1, false);
+  rec_staged_[base + 2].store(pack_pver(tid, seq), std::memory_order_release);
+  mark_store(line, base + 2, false);
+  rec_staged_[base + 0].store(new_val, std::memory_order_release);
+  mark_store(line, base + 0, false);
+  spin_ns(cfg_.nvm_store_latency_ns);
+}
+
+void PmemPool::flush_record(int tid, gaddr_t a) {
+  if (!flush_active()) return;
+  poll_crash(crash_coord_);
+  if (htm::in_hw_txn()) htm::abort_on_flush();
+  flush_queues_[tid].lines.push_back(record_line_of(a));
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PRecord PmemPool::read_record(gaddr_t a) const {
+  const std::size_t base = a * 4;
+  PRecord r;
+  r.cur = rec_staged_[base + 0].load(std::memory_order_acquire);
+  r.old = rec_staged_[base + 1].load(std::memory_order_acquire);
+  r.pver = rec_staged_[base + 2].load(std::memory_order_acquire);
+  return r;
+}
+
+PRecord PmemPool::read_durable_record(gaddr_t a) const {
+  const std::size_t base = a * 4;
+  PRecord r;
+  r.cur = rec_durable_[base + 0].load(std::memory_order_acquire);
+  r.old = rec_durable_[base + 1].load(std::memory_order_acquire);
+  r.pver = rec_durable_[base + 2].load(std::memory_order_acquire);
+  return r;
+}
+
+void PmemPool::revert_record(gaddr_t a) {
+  const std::size_t line = record_line_of(a);
+  const std::size_t base = a * 4;
+  const std::uint64_t old_val = rec_staged_[base + 1].load(std::memory_order_acquire);
+  rec_staged_[base + 0].store(old_val, std::memory_order_release);
+  mark_store(line, base + 0, false);
+}
+
+std::uint64_t PmemPool::load_pver(int tid) const {
+  return raw_staged_[pver_raw_base_ + static_cast<std::size_t>(tid) * kWordsPerLine].load(
+      std::memory_order_acquire);
+}
+
+void PmemPool::store_pver(int tid, std::uint64_t v) {
+  const std::size_t idx = pver_raw_base_ + static_cast<std::size_t>(tid) * kWordsPerLine;
+  raw_staged_[idx].store(v, std::memory_order_release);
+  mark_store(raw_line_of(idx), idx, true);
+  spin_ns(cfg_.nvm_store_latency_ns);
+}
+
+void PmemPool::flush_pver(int tid) {
+  if (!flush_active()) return;
+  if (htm::in_hw_txn()) htm::abort_on_flush();
+  const std::size_t idx = pver_raw_base_ + static_cast<std::size_t>(tid) * kWordsPerLine;
+  flush_queues_[tid].lines.push_back(raw_line_of(idx));
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t PmemPool::load_root(int slot) const {
+  return raw_staged_[root_raw_base_ + static_cast<std::size_t>(slot) * kWordsPerLine].load(
+      std::memory_order_acquire);
+}
+
+void PmemPool::store_root_persist(int tid, int slot, std::uint64_t v) {
+  const std::size_t idx = root_raw_base_ + static_cast<std::size_t>(slot) * kWordsPerLine;
+  raw_staged_[idx].store(v, std::memory_order_release);
+  mark_store(raw_line_of(idx), idx, true);
+  spin_ns(cfg_.nvm_store_latency_ns);
+  if (flush_active()) {
+    flush_queues_[tid].lines.push_back(raw_line_of(idx));
+    flush_count_.fetch_add(1, std::memory_order_relaxed);
+    fence(tid);
+  }
+}
+
+std::size_t PmemPool::alloc_raw(std::size_t n) {
+  // Line-align every raw allocation so independent allocations never share
+  // a cache line (keeps flush sets disjoint across threads).
+  const std::size_t padded = (n + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+  const std::size_t base = raw_bump_.fetch_add(padded, std::memory_order_acq_rel);
+  if (base + padded > raw_lines_ * kWordsPerLine)
+    throw TmLogicError("raw persistent region exhausted");
+  return base;
+}
+
+std::uint64_t PmemPool::raw_load(std::size_t idx) const {
+  return raw_staged_[idx].load(std::memory_order_acquire);
+}
+
+std::uint64_t PmemPool::raw_load_durable(std::size_t idx) const {
+  return raw_durable_[idx].load(std::memory_order_acquire);
+}
+
+void PmemPool::raw_store(std::size_t idx, std::uint64_t v) {
+  raw_staged_[idx].store(v, std::memory_order_release);
+  mark_store(raw_line_of(idx), idx, true);
+  spin_ns(cfg_.nvm_store_latency_ns);
+}
+
+void PmemPool::flush_raw(int tid, std::size_t idx) {
+  if (!flush_active()) return;
+  if (htm::in_hw_txn()) htm::abort_on_flush();
+  flush_queues_[tid].lines.push_back(raw_line_of(idx));
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PmemPool::persist_line(std::size_t line) {
+  if (cfg_.track_store_order)
+    line_fenced_[line].store(line_clock_[line].load(std::memory_order_acquire),
+                             std::memory_order_release);
+  if (line < raw_lines_) {
+    const std::size_t base = line * kWordsPerLine;
+    for (std::size_t w = 0; w < kWordsPerLine; ++w)
+      raw_durable_[base + w].store(raw_staged_[base + w].load(std::memory_order_acquire),
+                                   std::memory_order_release);
+  } else {
+    const std::size_t base = (line - raw_lines_) * kWordsPerLine;
+    for (std::size_t w = 0; w < kWordsPerLine; ++w)
+      rec_durable_[base + w].store(rec_staged_[base + w].load(std::memory_order_acquire),
+                                   std::memory_order_release);
+  }
+}
+
+void PmemPool::fence(int tid) {
+  if (!flush_active()) return;
+  poll_crash(crash_coord_);
+  auto& q = flush_queues_[tid].lines;
+  if (q.empty()) return;
+  for (const std::size_t line : q) persist_line(line);
+  spin_ns(cfg_.flush_latency_ns * q.size() + cfg_.fence_latency_ns);
+  q.clear();
+  fence_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PmemPool::persist_record_now(int tid, gaddr_t a) {
+  flush_record(tid, a);
+  fence(tid);
+}
+
+void PmemPool::clear_volatile() {
+  for (std::size_t i = 0; i < cfg_.capacity_words; ++i)
+    vmem_[i].store(0, std::memory_order_relaxed);
+}
+
+void PmemPool::persist_line_prefix(std::size_t line, Xoshiro256& rng) {
+  if (!cfg_.track_store_order) {
+    persist_line(line);
+    return;
+  }
+  // x86 persists same-line stores in order: the adversary picks a cut point
+  // in this line's store sequence; stores up to the cut land, later ones
+  // are lost with the caches.
+  const std::uint32_t clk = line_clock_[line].load(std::memory_order_acquire);
+  const std::uint32_t fenced = line_fenced_[line].load(std::memory_order_acquire);
+  if (clk <= fenced) return;
+  const std::uint32_t cut = fenced + static_cast<std::uint32_t>(
+                                         rng.next_bounded(clk - fenced + 1));
+  const bool is_raw = line < raw_lines_;
+  const std::size_t space_base =
+      is_raw ? line * kWordsPerLine : (line - raw_lines_) * kWordsPerLine;
+  const std::size_t stamp_base = line * kWordsPerLine;
+  for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+    const std::uint32_t st = word_stamp_[stamp_base + w].load(std::memory_order_acquire);
+    if (st == 0 || st > cut) continue;
+    if (is_raw) {
+      raw_durable_[space_base + w].store(
+          raw_staged_[space_base + w].load(std::memory_order_acquire),
+          std::memory_order_release);
+    } else {
+      rec_durable_[space_base + w].store(
+          rec_staged_[space_base + w].load(std::memory_order_acquire),
+          std::memory_order_release);
+    }
+  }
+  // Whatever landed is now the durable frontier of this line.
+  if (cut > fenced) line_fenced_[line].store(cut, std::memory_order_release);
+}
+
+void PmemPool::crash(const CrashPolicy& policy) {
+  if (!cfg_.flushes_enabled && !cfg_.eadr)
+    throw TmLogicError("crash simulation requires flushes or eADR");
+  Xoshiro256 rng(policy.seed);
+  if (cfg_.eadr) {
+    // eADR: the power-failure protection domain flushes the whole cache;
+    // every staged store is durable.
+    for (std::size_t line = 0; line < total_lines_; ++line) persist_line(line);
+  }
+  // Spontaneous write-back: any dirty line may have (partially) persisted.
+  for (std::size_t line = 0; line < total_lines_; ++line) {
+    bool dirty = false;
+    if (cfg_.track_store_order) {
+      dirty = line_clock_[line].load(std::memory_order_acquire) >
+              line_fenced_[line].load(std::memory_order_acquire);
+    } else {
+      const bool is_raw = line < raw_lines_;
+      const std::size_t base =
+          is_raw ? line * kWordsPerLine : (line - raw_lines_) * kWordsPerLine;
+      for (std::size_t w = 0; w < kWordsPerLine && !dirty; ++w) {
+        const std::uint64_t staged =
+            is_raw ? raw_staged_[base + w].load(std::memory_order_acquire)
+                   : rec_staged_[base + w].load(std::memory_order_acquire);
+        const std::uint64_t durable = is_raw
+                                          ? raw_durable_[base + w].load(std::memory_order_acquire)
+                                          : rec_durable_[base + w].load(std::memory_order_acquire);
+        dirty = staged != durable;
+      }
+    }
+    if (dirty && rng.next_bool(policy.writeback_probability)) persist_line_prefix(line, rng);
+  }
+  // Power is lost: caches (the staged image) and DRAM (the volatile image)
+  // are gone. Recovery will observe exactly the durable image.
+  for (std::size_t line = 0; line < total_lines_; ++line) {
+    const bool is_raw = line < raw_lines_;
+    const std::size_t base = is_raw ? line * kWordsPerLine : (line - raw_lines_) * kWordsPerLine;
+    for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+      if (is_raw) {
+        raw_staged_[base + w].store(raw_durable_[base + w].load(std::memory_order_relaxed),
+                                    std::memory_order_relaxed);
+      } else {
+        rec_staged_[base + w].store(rec_durable_[base + w].load(std::memory_order_relaxed),
+                                    std::memory_order_relaxed);
+      }
+    }
+    if (cfg_.track_store_order)
+      line_fenced_[line].store(line_clock_[line].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  }
+  for (int t = 0; t < kMaxThreads; ++t) flush_queues_[t].lines.clear();
+  clear_volatile();
+}
+
+}  // namespace nvhalt

@@ -1,0 +1,259 @@
+// Simulated persistent memory pool.
+//
+// The paper's platform is Intel Optane DCPMM in app-direct mode: persistent
+// memory exists only as main memory, stores take effect in the volatile
+// cache, and the programmer flushes lines (clflushopt/clwb) and fences
+// (sfence) to make them durable. The processor may also write back any dirty
+// line spontaneously. This module reproduces exactly that persistency model
+// in software so the algorithms above it are unchanged:
+//
+//  * A *volatile image* of user words (what DRAM + caches hold). It is lost
+//    on crash.
+//  * A *staged* persistent image (what the cache holds of the NVM-mapped
+//    region) and a *durable* image (what the NVM media holds). `flush_line`
+//    + `fence` copy staged lines to the durable image; a crash keeps only
+//    the durable image plus an adversary-chosen subset of dirty lines
+//    (modelling spontaneous write-back), honouring x86's guarantee that
+//    stores to one cache line never persist out of order.
+//  * Per-word Trinity records {cur, old, pver} in the persistent region
+//    (paper Sec. 3.2: metadata lives only in persistent memory; the
+//    volatile image holds just the user word).
+//  * A raw persistent word region for per-thread persistent version
+//    numbers, root pointers, and baseline (SPHT) logs.
+//
+// Simulated NVM latency knobs reproduce the *relative* cost of flush/fence
+// (ablation class 1) and of NVM-backed stores (ablation class 2).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt {
+
+/// One persistent record per transactional word (Trinity layout). `cur` is
+/// the current value, `old` the pre-transaction value, `pver` packs the
+/// writing thread id and its persistent version number. Two records fit in
+/// one 64-byte line; all three fields of a record share its line, which is
+/// what makes Trinity's same-line ordering guarantee usable.
+struct PRecord {
+  std::uint64_t cur = 0;
+  std::uint64_t old = 0;
+  std::uint64_t pver = 0;
+  std::uint64_t pad = 0;
+};
+static_assert(sizeof(PRecord) == 32);
+
+/// Packs/unpacks {tid, seq} persistent version tuples (paper Sec. 3.2:
+/// "we need to combine the thread ID and the thread's persistent version
+/// number since multiple threads might have the same version").
+inline std::uint64_t pack_pver(int tid, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(tid) << 48) | (seq & 0xFFFFFFFFFFFFULL);
+}
+inline int pver_tid(std::uint64_t pver) { return static_cast<int>(pver >> 48); }
+inline std::uint64_t pver_seq(std::uint64_t pver) { return pver & 0xFFFFFFFFFFFFULL; }
+
+/// What survives a simulated power failure beyond fenced lines.
+struct CrashPolicy {
+  /// Probability that a dirty (unfenced) line gets (partially) written back.
+  double writeback_probability = 0.0;
+  /// Seed for the adversary's choices (cut points within lines).
+  std::uint64_t seed = 1;
+};
+
+struct PmemConfig {
+  /// Number of user words in the pool (word 0 is reserved as null).
+  std::size_t capacity_words = 1 << 20;
+  /// Extra raw persistent words available via alloc_raw (for baseline logs).
+  std::size_t raw_words = 1 << 16;
+  /// If false, flush/fence are no-ops (ablation NO-FLUSH-FENCE). Crash
+  /// simulation is unavailable in this mode unless `eadr` is set.
+  bool flushes_enabled = true;
+  /// eADR platform (paper Sec. 1): the cache is flushed to NVM by the
+  /// power-failure protection domain, so explicit flushes/fences are
+  /// unnecessary — on crash, *all* staged stores are durable. Write
+  /// ordering within the persistence protocol still matters and is still
+  /// exercised. Implies flush/fence are no-ops regardless of
+  /// flushes_enabled.
+  bool eadr = false;
+  /// Spin-delay applied per flushed line at the next fence, in nanoseconds.
+  std::uint64_t flush_latency_ns = 0;
+  /// Spin-delay applied per fence, in nanoseconds.
+  std::uint64_t fence_latency_ns = 0;
+  /// Spin-delay applied per store to the persistent (staged) region, in
+  /// nanoseconds. Zero models NO-NVRAM (DRAM-backed mapping).
+  std::uint64_t nvm_store_latency_ns = 0;
+  /// Track per-line store order so a crash can persist a *prefix* of a
+  /// line's stores (needed by the crash adversary; costs memory/time).
+  bool track_store_order = false;
+  /// When non-empty, the durable image is a memory-mapped file: durability
+  /// spans process restarts (run, exit, re-run the same pool file and call
+  /// recover_data()). Geometry must match the existing file's.
+  std::string backing_path;
+};
+
+/// The simulated persistent heap. Thread-safe for all word/record/raw
+/// operations; crash() and recover-time helpers must be called quiescently
+/// (the full-system-crash model: all threads stop, then recovery runs).
+class PmemPool {
+ public:
+  explicit PmemPool(const PmemConfig& cfg);
+  ~PmemPool();
+
+  PmemPool(const PmemPool&) = delete;
+  PmemPool& operator=(const PmemPool&) = delete;
+
+  const PmemConfig& config() const { return cfg_; }
+  std::size_t capacity_words() const { return cfg_.capacity_words; }
+
+  // ---- Volatile user image -------------------------------------------
+  word_t load(gaddr_t a) const { return vmem_[a].load(std::memory_order_acquire); }
+  void store(gaddr_t a, word_t v) { vmem_[a].store(v, std::memory_order_release); }
+  std::atomic<word_t>* word_ptr(gaddr_t a) { return &vmem_[a]; }
+
+  // ---- Persistent records (Trinity layout) ---------------------------
+  /// Writes the record for word `a` in Trinity order (old, pver, cur) into
+  /// the staged persistent image and marks its line dirty. The caller must
+  /// hold the word's lock (all call sites do). Does NOT flush.
+  void record_write(int tid, gaddr_t a, word_t old_val, word_t new_val, std::uint64_t seq);
+
+  /// Queues the line holding word `a`'s record for write-back at the
+  /// caller's next fence (clflushopt/clwb equivalent).
+  void flush_record(int tid, gaddr_t a);
+
+  /// Reads the staged record for word `a` (recovery + tests).
+  PRecord read_record(gaddr_t a) const;
+
+  /// Reads the *durable* record for word `a` (tests/crash-inspection only).
+  PRecord read_durable_record(gaddr_t a) const;
+
+  /// Recovery-time revert: sets record.cur = record.old in the staged image
+  /// and marks the line dirty (callers flush + fence afterwards).
+  void revert_record(gaddr_t a);
+
+  // ---- Per-thread persistent version numbers --------------------------
+  std::uint64_t load_pver(int tid) const;
+  /// Stores pVerNum into its staged line and queues the line for flush.
+  void store_pver(int tid, std::uint64_t v);
+  void flush_pver(int tid);
+
+  // ---- Root slots (persistent named pointers, for recovery) -----------
+  // Slots [0, kDirectRootSlots) are for direct use by structures; the
+  // remainder backs the named RootRegistry (api/root_registry.hpp).
+  static constexpr int kDirectRootSlots = 16;
+  static constexpr int kRootSlots = 48;
+  std::uint64_t load_root(int slot) const;
+  /// Stores + flushes + fences the root slot (roots change rarely).
+  void store_root_persist(int tid, int slot, std::uint64_t v);
+
+  // ---- Raw persistent words (baseline logs, markers) ------------------
+  /// Bump-allocates `n` raw persistent words; returns the raw index.
+  /// Throws if the raw region is exhausted.
+  std::size_t alloc_raw(std::size_t n);
+  std::uint64_t raw_load(std::size_t idx) const;
+  std::uint64_t raw_load_durable(std::size_t idx) const;
+  void raw_store(std::size_t idx, std::uint64_t v);
+  void flush_raw(int tid, std::size_t idx);
+
+  // ---- Ordering --------------------------------------------------------
+  /// sfence: blocks until all lines the calling thread flushed since its
+  /// previous fence are durable.
+  void fence(int tid);
+
+  /// Convenience: flush the record line of `a` and fence (recovery).
+  void persist_record_now(int tid, gaddr_t a);
+
+  // ---- Crash simulation ------------------------------------------------
+  /// Simulates a full-system power failure: the volatile image is erased,
+  /// the durable image is kept, and each dirty line additionally persists a
+  /// store-order prefix chosen by the adversary. The staged image is then
+  /// reset to the durable image (what recovery will observe). Must be
+  /// called with no threads running.
+  void crash(const CrashPolicy& policy);
+
+  /// Erases the volatile user image (crash() does this; exposed for tests).
+  void clear_volatile();
+
+  /// Number of fences executed (test observability).
+  std::uint64_t fence_count() const { return fence_count_.load(std::memory_order_relaxed); }
+  std::uint64_t flush_count() const { return flush_count_.load(std::memory_order_relaxed); }
+
+  /// True when the pool was constructed over an existing backing file:
+  /// the durable image holds a previous run's state; attach by running the
+  /// TM's recover_data() before any transaction.
+  bool attached_existing() const { return attached_existing_; }
+
+  /// File-backed pools: asks the OS to write the mapping back (durability
+  /// against host crashes; process-restart durability needs no call).
+  void sync_to_disk() const;
+
+  /// Installs a crash coordinator polled on every persistent operation
+  /// (nullptr to disarm). Not thread-safe; set before workers start.
+  void set_crash_coordinator(class CrashCoordinator* c) { crash_coord_ = c; }
+  class CrashCoordinator* crash_coordinator() const { return crash_coord_; }
+
+ private:
+  /// True when flushes/fences do real work (not disabled, not eADR).
+  bool flush_active() const { return cfg_.flushes_enabled && !cfg_.eadr; }
+
+  // Line address space: [0, raw_lines_) raw words, then record lines.
+  std::size_t raw_line_of(std::size_t raw_idx) const { return raw_idx / kWordsPerLine; }
+  std::size_t record_line_of(gaddr_t a) const { return raw_lines_ + a / 2; }
+
+  void mark_store(std::size_t line, std::size_t word_in_space, bool is_raw);
+  void map_backing_file(std::size_t raw_words_padded, std::size_t rec_words);
+  void persist_line(std::size_t line);          // staged -> durable, whole line
+  void persist_line_prefix(std::size_t line, Xoshiro256& rng);  // adversary
+  void spin_ns(std::uint64_t ns) const;
+
+  PmemConfig cfg_;
+  std::size_t raw_lines_;
+  std::size_t record_lines_;
+  std::size_t total_lines_;
+
+  std::unique_ptr<std::atomic<word_t>[]> vmem_;
+
+  // Staged and durable persistent images. Stored as atomics for defined
+  // concurrent access; persistence operates on 64-bit words.
+  // Durable images are atomics too: distinct transactions may fence the
+  // same cache line concurrently (two records share a line), so the
+  // staged->durable copy must be race-free word-wise. They either live in
+  // owned heap storage (default) or inside the mapped backing file.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> raw_staged_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> rec_staged_;  // 4 words/record
+  std::unique_ptr<std::atomic<std::uint64_t>[]> raw_durable_owned_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> rec_durable_owned_;
+  std::atomic<std::uint64_t>* raw_durable_ = nullptr;
+  std::atomic<std::uint64_t>* rec_durable_ = nullptr;
+
+  // Backing-file state (empty path => unused).
+  void* map_base_ = nullptr;
+  std::size_t map_len_ = 0;
+  bool attached_existing_ = false;
+
+  // Store-order tracking (only when cfg_.track_store_order).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> line_clock_;   // per line
+  std::unique_ptr<std::atomic<std::uint32_t>[]> word_stamp_;   // per persistent word
+  std::unique_ptr<std::atomic<std::uint32_t>[]> line_fenced_;  // stamp at last persist
+
+  // Per-thread flush queues (lines awaiting the next fence).
+  struct alignas(kCacheLineBytes) FlushQueue {
+    std::vector<std::size_t> lines;
+  };
+  std::unique_ptr<FlushQueue[]> flush_queues_;
+
+  std::atomic<std::size_t> raw_bump_;
+  std::atomic<std::uint64_t> fence_count_{0};
+  std::atomic<std::uint64_t> flush_count_{0};
+
+  std::size_t pver_raw_base_;  // raw index of pVerNum[0]
+  std::size_t root_raw_base_;  // raw index of root slot 0
+
+  class CrashCoordinator* crash_coord_ = nullptr;
+};
+
+}  // namespace nvhalt

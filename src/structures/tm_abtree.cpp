@@ -1,0 +1,462 @@
+#include "structures/tm_abtree.hpp"
+
+#include <string>
+
+namespace nvhalt {
+
+namespace {
+constexpr word_t kReservedKey = 0;  // keys must be nonzero
+}
+
+TmAbTree::TmAbTree(TransactionalMemory& tm, int root_slot, bool attach)
+    : tm_(tm), root_slot_(root_slot) {
+  if (attach) {
+    root_ptr_ = tm_.pool().load_root(root_slot_);
+    if (root_ptr_ == kNullAddr) throw TmLogicError("no abtree at this root slot");
+  } else {
+    root_ptr_ = tm_.allocator().raw_alloc(0, 1);
+    tm_.pool().store_root_persist(0, root_slot_, root_ptr_);
+    // The empty tree is a leaf with zero entries, installed transactionally
+    // so it is durable.
+    tm_.run(0, [&](Tx& tx) {
+      const gaddr_t leaf = new_leaf(tx);
+      tx.write(root_ptr_, leaf);
+    });
+  }
+}
+
+TmAbTree::TmAbTree(TransactionalMemory& tm, int root_slot)
+    : TmAbTree(tm, root_slot, /*attach=*/false) {}
+
+TmAbTree TmAbTree::attach(TransactionalMemory& tm, int root_slot) {
+  return TmAbTree(tm, root_slot, /*attach=*/true);
+}
+
+gaddr_t TmAbTree::new_leaf(Tx& tx) const {
+  const gaddr_t n = tx.alloc(kLeafWords);
+  tx.write(n + kMeta, meta_make(true, 0));
+  return n;
+}
+
+gaddr_t TmAbTree::new_internal(Tx& tx) const {
+  const gaddr_t n = tx.alloc(kInternalWords);
+  tx.write(n + kMeta, meta_make(false, 0));
+  return n;
+}
+
+// Routes `key` within an internal node: returns the child index to follow.
+// Separator convention: child i holds keys < keys[i]; child i+1 holds keys
+// >= keys[i].
+static std::size_t route(Tx& tx, gaddr_t node, std::size_t nchildren, word_t key,
+                         std::size_t keys_off) {
+  std::size_t idx = 0;
+  while (idx + 1 < nchildren && key >= tx.read(node + keys_off + idx)) ++idx;
+  return idx;
+}
+
+void TmAbTree::split_child(Tx& tx, gaddr_t parent, std::size_t idx) const {
+  const gaddr_t child = tx.read(parent + kChildren + idx);
+  const word_t cm = tx.read(child + kMeta);
+  const std::size_t pcount = meta_count(tx.read(parent + kMeta));
+  word_t separator;
+  gaddr_t right;
+
+  if (meta_leaf(cm)) {
+    // Full leaf (kB entries): keep the low half, move the high half.
+    right = new_leaf(tx);
+    const std::size_t keep = kB / 2;
+    for (std::size_t i = keep; i < kB; ++i) {
+      tx.write(right + kKeys + (i - keep), tx.read(child + kKeys + i));
+      tx.write(right + kVals + (i - keep), tx.read(child + kVals + i));
+    }
+    tx.write(right + kMeta, meta_make(true, kB - keep));
+    tx.write(child + kMeta, meta_make(true, keep));
+    separator = tx.read(right + kKeys);  // smallest key of the right leaf
+  } else {
+    // Full internal node (kB children, kB-1 keys): middle key moves up.
+    right = new_internal(tx);
+    const std::size_t keep = kB / 2;  // children kept on the left
+    separator = tx.read(child + kKeys + (keep - 1));
+    for (std::size_t i = keep; i < kB; ++i)
+      tx.write(right + kChildren + (i - keep), tx.read(child + kChildren + i));
+    for (std::size_t i = keep; i < kB - 1; ++i)
+      tx.write(right + kKeys + (i - keep), tx.read(child + kKeys + i));
+    tx.write(right + kMeta, meta_make(false, kB - keep));
+    tx.write(child + kMeta, meta_make(false, keep));
+  }
+
+  // Insert the separator and the right sibling into the parent at idx.
+  for (std::size_t i = pcount - 1; i > idx; --i) {
+    tx.write(parent + kKeys + i, tx.read(parent + kKeys + i - 1));
+    tx.write(parent + kChildren + i + 1, tx.read(parent + kChildren + i));
+  }
+  tx.write(parent + kKeys + idx, separator);
+  tx.write(parent + kChildren + idx + 1, right);
+  tx.write(parent + kMeta, meta_make(false, pcount + 1));
+}
+
+bool TmAbTree::insert_in(Tx& tx, word_t key, word_t val) {
+  if (key == kReservedKey) throw TmLogicError("key 0 is reserved");
+  gaddr_t root = tx.read(root_ptr_);
+  {
+    const word_t rm = tx.read(root + kMeta);
+    // Full means kB entries (leaf) or kB children (internal).
+    if (meta_count(rm) == kB) {
+      // Grow the tree: a new root with the old root as its only child,
+      // then split that child.
+      const gaddr_t nr = new_internal(tx);
+      tx.write(nr + kChildren + 0, root);
+      tx.write(nr + kMeta, meta_make(false, 1));
+      split_child(tx, nr, 0);
+      tx.write(root_ptr_, nr);
+      root = nr;
+    }
+  }
+
+  gaddr_t node = root;
+  for (;;) {
+    const word_t m = tx.read(node + kMeta);
+    const std::size_t count = meta_count(m);
+    if (meta_leaf(m)) {
+      // Sorted insert into a non-full leaf.
+      std::size_t pos = 0;
+      while (pos < count) {
+        const word_t k = tx.read(node + kKeys + pos);
+        if (k == key) return false;
+        if (k > key) break;
+        ++pos;
+      }
+      for (std::size_t i = count; i > pos; --i) {
+        tx.write(node + kKeys + i, tx.read(node + kKeys + i - 1));
+        tx.write(node + kVals + i, tx.read(node + kVals + i - 1));
+      }
+      tx.write(node + kKeys + pos, key);
+      tx.write(node + kVals + pos, val);
+      tx.write(node + kMeta, meta_make(true, count + 1));
+      return true;
+    }
+
+    std::size_t idx = route(tx, node, count, key, kKeys);
+    gaddr_t child = tx.read(node + kChildren + idx);
+    const word_t chm = tx.read(child + kMeta);
+    if (meta_count(chm) == kB) {
+      split_child(tx, node, idx);
+      // Re-route: the separator now at keys[idx] decides the side.
+      if (key >= tx.read(node + kKeys + idx)) ++idx;
+      child = tx.read(node + kChildren + idx);
+    }
+    node = child;
+  }
+}
+
+void TmAbTree::fix_child(Tx& tx, gaddr_t parent, std::size_t idx) const {
+  const std::size_t pcount = meta_count(tx.read(parent + kMeta));
+  const gaddr_t child = tx.read(parent + kChildren + idx);
+  const word_t cm = tx.read(child + kMeta);
+  const bool leaf = meta_leaf(cm);
+  const std::size_t ccount = meta_count(cm);
+
+  const gaddr_t left = idx > 0 ? tx.read(parent + kChildren + idx - 1) : kNullAddr;
+  const gaddr_t right = idx + 1 < pcount ? tx.read(parent + kChildren + idx + 1) : kNullAddr;
+  const std::size_t lcount = left != kNullAddr ? meta_count(tx.read(left + kMeta)) : 0;
+  const std::size_t rcount = right != kNullAddr ? meta_count(tx.read(right + kMeta)) : 0;
+
+  if (left != kNullAddr && lcount > kA) {
+    // Borrow the left sibling's last entry/child.
+    if (leaf) {
+      for (std::size_t i = ccount; i > 0; --i) {
+        tx.write(child + kKeys + i, tx.read(child + kKeys + i - 1));
+        tx.write(child + kVals + i, tx.read(child + kVals + i - 1));
+      }
+      tx.write(child + kKeys + 0, tx.read(left + kKeys + lcount - 1));
+      tx.write(child + kVals + 0, tx.read(left + kVals + lcount - 1));
+      tx.write(child + kMeta, meta_make(true, ccount + 1));
+      tx.write(left + kMeta, meta_make(true, lcount - 1));
+      tx.write(parent + kKeys + idx - 1, tx.read(child + kKeys + 0));
+    } else {
+      for (std::size_t i = ccount; i > 0; --i)
+        tx.write(child + kChildren + i, tx.read(child + kChildren + i - 1));
+      for (std::size_t i = ccount - 1; i > 0; --i)
+        tx.write(child + kKeys + i, tx.read(child + kKeys + i - 1));
+      tx.write(child + kKeys + 0, tx.read(parent + kKeys + idx - 1));
+      tx.write(child + kChildren + 0, tx.read(left + kChildren + lcount - 1));
+      tx.write(parent + kKeys + idx - 1, tx.read(left + kKeys + lcount - 2));
+      tx.write(child + kMeta, meta_make(false, ccount + 1));
+      tx.write(left + kMeta, meta_make(false, lcount - 1));
+    }
+    return;
+  }
+
+  if (right != kNullAddr && rcount > kA) {
+    // Borrow the right sibling's first entry/child.
+    if (leaf) {
+      tx.write(child + kKeys + ccount, tx.read(right + kKeys + 0));
+      tx.write(child + kVals + ccount, tx.read(right + kVals + 0));
+      for (std::size_t i = 0; i + 1 < rcount; ++i) {
+        tx.write(right + kKeys + i, tx.read(right + kKeys + i + 1));
+        tx.write(right + kVals + i, tx.read(right + kVals + i + 1));
+      }
+      tx.write(child + kMeta, meta_make(true, ccount + 1));
+      tx.write(right + kMeta, meta_make(true, rcount - 1));
+      tx.write(parent + kKeys + idx, tx.read(right + kKeys + 0));
+    } else {
+      tx.write(child + kKeys + ccount - 1, tx.read(parent + kKeys + idx));
+      tx.write(child + kChildren + ccount, tx.read(right + kChildren + 0));
+      tx.write(parent + kKeys + idx, tx.read(right + kKeys + 0));
+      for (std::size_t i = 0; i + 1 < rcount; ++i)
+        tx.write(right + kChildren + i, tx.read(right + kChildren + i + 1));
+      for (std::size_t i = 0; i + 2 < rcount; ++i)
+        tx.write(right + kKeys + i, tx.read(right + kKeys + i + 1));
+      tx.write(child + kMeta, meta_make(false, ccount + 1));
+      tx.write(right + kMeta, meta_make(false, rcount - 1));
+    }
+    return;
+  }
+
+  // No sibling can lend: merge. Merge `child` into `left` when possible,
+  // otherwise merge `right` into `child`; either way the separator between
+  // the merged pair folds down and the parent loses one child.
+  const bool with_left = left != kNullAddr;
+  const gaddr_t dst = with_left ? left : child;
+  const gaddr_t src = with_left ? child : right;
+  const std::size_t sep_idx = with_left ? idx - 1 : idx;  // parent key between dst|src
+  const std::size_t dcount = with_left ? lcount : ccount;
+  const std::size_t scount = with_left ? ccount : rcount;
+
+  if (leaf) {
+    for (std::size_t i = 0; i < scount; ++i) {
+      tx.write(dst + kKeys + dcount + i, tx.read(src + kKeys + i));
+      tx.write(dst + kVals + dcount + i, tx.read(src + kVals + i));
+    }
+    tx.write(dst + kMeta, meta_make(true, dcount + scount));
+    tx.free(src, kLeafWords);
+  } else {
+    tx.write(dst + kKeys + dcount - 1, tx.read(parent + kKeys + sep_idx));
+    for (std::size_t i = 0; i < scount; ++i)
+      tx.write(dst + kChildren + dcount + i, tx.read(src + kChildren + i));
+    for (std::size_t i = 0; i + 1 < scount; ++i)
+      tx.write(dst + kKeys + dcount + i, tx.read(src + kKeys + i));
+    tx.write(dst + kMeta, meta_make(false, dcount + scount));
+    tx.free(src, kInternalWords);
+  }
+
+  // Remove the separator and the src child slot from the parent.
+  for (std::size_t i = sep_idx; i + 2 < pcount; ++i)
+    tx.write(parent + kKeys + i, tx.read(parent + kKeys + i + 1));
+  for (std::size_t i = sep_idx + 1; i + 1 < pcount; ++i)
+    tx.write(parent + kChildren + i, tx.read(parent + kChildren + i + 1));
+  tx.write(parent + kMeta, meta_make(false, pcount - 1));
+}
+
+bool TmAbTree::remove_in(Tx& tx, word_t key) {
+  gaddr_t node = tx.read(root_ptr_);
+  bool at_root = true;
+  for (;;) {
+    const word_t m = tx.read(node + kMeta);
+    const std::size_t count = meta_count(m);
+    if (meta_leaf(m)) {
+      std::size_t pos = 0;
+      while (pos < count && tx.read(node + kKeys + pos) != key) ++pos;
+      if (pos == count) return false;
+      for (std::size_t i = pos; i + 1 < count; ++i) {
+        tx.write(node + kKeys + i, tx.read(node + kKeys + i + 1));
+        tx.write(node + kVals + i, tx.read(node + kVals + i + 1));
+      }
+      tx.write(node + kMeta, meta_make(true, count - 1));
+      return true;
+    }
+
+    std::size_t idx = route(tx, node, count, key, kKeys);
+    gaddr_t child = tx.read(node + kChildren + idx);
+    if (meta_count(tx.read(child + kMeta)) == kA) {
+      // Preemptive fix: never descend into a minimal child.
+      fix_child(tx, node, idx);
+      if (at_root && meta_count(tx.read(node + kMeta)) == 1) {
+        // The root lost its last separator: shrink the tree.
+        const gaddr_t only = tx.read(node + kChildren + 0);
+        tx.write(root_ptr_, only);
+        tx.free(node, kInternalWords);
+        node = only;
+        continue;
+      }
+      idx = route(tx, node, meta_count(tx.read(node + kMeta)), key, kKeys);
+      child = tx.read(node + kChildren + idx);
+    }
+    node = child;
+    at_root = false;
+  }
+}
+
+bool TmAbTree::contains_in(Tx& tx, word_t key, word_t* out) {
+  gaddr_t node = tx.read(root_ptr_);
+  for (;;) {
+    const word_t m = tx.read(node + kMeta);
+    const std::size_t count = meta_count(m);
+    if (meta_leaf(m)) {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (tx.read(node + kKeys + i) == key) {
+          if (out != nullptr) *out = tx.read(node + kVals + i);
+          return true;
+        }
+      }
+      return false;
+    }
+    node = tx.read(node + kChildren + route(tx, node, count, key, kKeys));
+  }
+}
+
+void TmAbTree::range_in(Tx& tx, word_t lo, word_t hi,
+                        std::vector<std::pair<word_t, word_t>>& out) const {
+  auto rec = [&](auto&& self, gaddr_t node) -> void {
+    const word_t m = tx.read(node + kMeta);
+    const std::size_t count = meta_count(m);
+    if (meta_leaf(m)) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const word_t k = tx.read(node + kKeys + i);
+        if (k < lo) continue;
+        if (k > hi) return;
+        out.emplace_back(k, tx.read(node + kVals + i));
+      }
+      return;
+    }
+    // Child i covers keys in [keys[i-1], keys[i]); visit children whose
+    // interval intersects [lo, hi].
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i > 0 && tx.read(node + kKeys + i - 1) > hi) return;  // all further >= lower bound > hi
+      if (i + 1 < count && tx.read(node + kKeys + i) <= lo) continue;  // all keys < keys[i] <= lo
+      self(self, tx.read(node + kChildren + i));
+    }
+  };
+  rec(rec, tx.read(root_ptr_));
+}
+
+std::vector<std::pair<word_t, word_t>> TmAbTree::range(int tid, word_t lo, word_t hi) {
+  std::vector<std::pair<word_t, word_t>> out;
+  tm_.run(tid, [&](Tx& tx) {
+    out.clear();  // the body may be re-executed on abort
+    range_in(tx, lo, hi, out);
+  });
+  return out;
+}
+
+bool TmAbTree::insert(int tid, word_t key, word_t val) {
+  bool result = false;
+  tm_.run(tid, [&](Tx& tx) { result = insert_in(tx, key, val); });
+  return result;
+}
+
+bool TmAbTree::remove(int tid, word_t key) {
+  bool result = false;
+  tm_.run(tid, [&](Tx& tx) { result = remove_in(tx, key); });
+  return result;
+}
+
+bool TmAbTree::contains(int tid, word_t key, word_t* out) {
+  bool result = false;
+  tm_.run(tid, [&](Tx& tx) { result = contains_in(tx, key, out); });
+  return result;
+}
+
+void TmAbTree::walk_count(gaddr_t node, std::size_t& n) const {
+  const PmemPool& pool = tm_.pool();
+  const word_t m = pool.load(node + kMeta);
+  if (meta_leaf(m)) {
+    n += meta_count(m);
+    return;
+  }
+  for (std::size_t i = 0; i < meta_count(m); ++i) walk_count(pool.load(node + kChildren + i), n);
+}
+
+std::size_t TmAbTree::size_slow() const {
+  std::size_t n = 0;
+  walk_count(tm_.pool().load(root_ptr_), n);
+  return n;
+}
+
+bool TmAbTree::check_node(gaddr_t node, word_t lo, word_t hi, bool has_lo, bool has_hi,
+                          int depth, int& leaf_depth, std::string* why) const {
+  const PmemPool& pool = tm_.pool();
+  const word_t m = pool.load(node + kMeta);
+  const std::size_t count = meta_count(m);
+  const bool is_root = depth == 0;
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = std::string(msg) + " at node " + std::to_string(node);
+    return false;
+  };
+
+  if (meta_leaf(m)) {
+    if (count > kB) return fail("leaf overflow");
+    if (!is_root && count < kA) return fail("leaf underflow");
+    word_t prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const word_t k = pool.load(node + kKeys + i);
+      if (i > 0 && k <= prev) return fail("leaf keys unsorted");
+      if (has_lo && k < lo) return fail("leaf key below bound");
+      if (has_hi && k >= hi) return fail("leaf key above bound");
+      prev = k;
+    }
+    if (leaf_depth == -1) leaf_depth = depth;
+    if (leaf_depth != depth) return fail("uneven leaf depth");
+    return true;
+  }
+
+  if (count > kB) return fail("internal overflow");
+  if (!is_root && count < kA) return fail("internal underflow");
+  if (is_root && count < 2) return fail("internal root with < 2 children");
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    const word_t k = pool.load(node + kKeys + i);
+    if (i > 0 && k <= pool.load(node + kKeys + i - 1)) return fail("separators unsorted");
+    if (has_lo && k < lo) return fail("separator below bound");
+    if (has_hi && k >= hi) return fail("separator above bound");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const word_t clo = i == 0 ? lo : pool.load(node + kKeys + i - 1);
+    const bool chas_lo = i == 0 ? has_lo : true;
+    const word_t chi = i + 1 == count ? hi : pool.load(node + kKeys + i);
+    const bool chas_hi = i + 1 == count ? has_hi : true;
+    if (!check_node(pool.load(node + kChildren + i), clo, chi, chas_lo, chas_hi, depth + 1,
+                    leaf_depth, why))
+      return false;
+  }
+  return true;
+}
+
+bool TmAbTree::validate_slow(std::string* why) const {
+  int leaf_depth = -1;
+  return check_node(tm_.pool().load(root_ptr_), 0, 0, false, false, 0, leaf_depth, why);
+}
+
+std::vector<word_t> TmAbTree::keys_slow() const {
+  std::vector<word_t> out;
+  const PmemPool& pool = tm_.pool();
+  auto rec = [&](auto&& self, gaddr_t node) -> void {
+    const word_t m = pool.load(node + kMeta);
+    const std::size_t count = meta_count(m);
+    if (meta_leaf(m)) {
+      for (std::size_t i = 0; i < count; ++i) out.push_back(pool.load(node + kKeys + i));
+      return;
+    }
+    for (std::size_t i = 0; i < count; ++i) self(self, pool.load(node + kChildren + i));
+  };
+  rec(rec, pool.load(root_ptr_));
+  return out;
+}
+
+std::vector<LiveBlock> TmAbTree::collect_live_blocks() const {
+  const PmemPool& pool = tm_.pool();
+  std::vector<LiveBlock> live;
+  live.push_back({root_ptr_, 1});
+  auto rec = [&](auto&& self, gaddr_t node) -> void {
+    const word_t m = pool.load(node + kMeta);
+    if (meta_leaf(m)) {
+      live.push_back({node, kLeafWords});
+      return;
+    }
+    live.push_back({node, kInternalWords});
+    for (std::size_t i = 0; i < meta_count(m); ++i) self(self, pool.load(node + kChildren + i));
+  };
+  rec(rec, pool.load(root_ptr_));
+  return live;
+}
+
+}  // namespace nvhalt

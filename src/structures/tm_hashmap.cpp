@@ -1,0 +1,114 @@
+#include "structures/tm_hashmap.hpp"
+
+namespace nvhalt {
+
+TmHashMap::TmHashMap(TransactionalMemory& tm, gaddr_t array, std::size_t buckets)
+    : tm_(tm), array_(array), buckets_(buckets) {}
+
+TmHashMap::TmHashMap(TransactionalMemory& tm, std::size_t buckets, int root_slot) : tm_(tm) {
+  if (buckets == 0 || (buckets & (buckets - 1)) != 0)
+    throw TmLogicError("bucket count must be a power of two");
+  buckets_ = buckets;
+  array_ = tm_.allocator().raw_alloc_large(buckets);
+  // Bucket heads start null; the zeroed volatile/persistent images already
+  // encode that. Record the root durably so attach() works post-crash.
+  tm_.pool().store_root_persist(0, root_slot, array_);
+  tm_.pool().store_root_persist(0, root_slot + 1, buckets);
+}
+
+TmHashMap TmHashMap::attach(TransactionalMemory& tm, int root_slot) {
+  const gaddr_t array = tm.pool().load_root(root_slot);
+  const std::size_t buckets = tm.pool().load_root(root_slot + 1);
+  if (array == kNullAddr || buckets == 0) throw TmLogicError("no hashmap at this root slot");
+  return TmHashMap(tm, array, buckets);
+}
+
+bool TmHashMap::insert_in(Tx& tx, word_t key, word_t val) {
+  if (key == kEmptyKey) throw TmLogicError("key 0 is reserved");
+  const gaddr_t bw = array_ + bucket_of(key);
+  const gaddr_t head = tx.read(bw);
+  gaddr_t empty_slot = kNullAddr;
+  for (gaddr_t n = head; n != kNullAddr; n = tx.read(n + 2)) {
+    const word_t k = tx.read(n);
+    if (k == key) return false;
+    if (k == kEmptyKey && empty_slot == kNullAddr) empty_slot = n;
+  }
+  if (empty_slot != kNullAddr) {
+    // Reuse an empty-marked node in place (paper Sec. 5: removes mark
+    // nodes empty; inserts recycle them).
+    tx.write(empty_slot + 1, val);
+    tx.write(empty_slot, key);
+    return true;
+  }
+  const gaddr_t node = tx.alloc(kNodeWords);
+  tx.write(node + 0, key);
+  tx.write(node + 1, val);
+  tx.write(node + 2, head);
+  tx.write(bw, node);
+  return true;
+}
+
+bool TmHashMap::remove_in(Tx& tx, word_t key) {
+  const gaddr_t bw = array_ + bucket_of(key);
+  for (gaddr_t n = tx.read(bw); n != kNullAddr; n = tx.read(n + 2)) {
+    if (tx.read(n) == key) {
+      tx.write(n, kEmptyKey);  // mark empty, do not unlink or free
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TmHashMap::contains_in(Tx& tx, word_t key, word_t* out) {
+  const gaddr_t bw = array_ + bucket_of(key);
+  for (gaddr_t n = tx.read(bw); n != kNullAddr; n = tx.read(n + 2)) {
+    if (tx.read(n) == key) {
+      if (out != nullptr) *out = tx.read(n + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TmHashMap::insert(int tid, word_t key, word_t val) {
+  bool result = false;
+  tm_.run(tid, [&](Tx& tx) { result = insert_in(tx, key, val); });
+  return result;
+}
+
+bool TmHashMap::remove(int tid, word_t key) {
+  bool result = false;
+  tm_.run(tid, [&](Tx& tx) { result = remove_in(tx, key); });
+  return result;
+}
+
+bool TmHashMap::contains(int tid, word_t key, word_t* out) {
+  bool result = false;
+  tm_.run(tid, [&](Tx& tx) { result = contains_in(tx, key, out); });
+  return result;
+}
+
+std::size_t TmHashMap::size_slow() const {
+  const PmemPool& pool = tm_.pool();
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    for (gaddr_t n = pool.load(array_ + b); n != kNullAddr; n = pool.load(n + 2)) {
+      if (pool.load(n) != kEmptyKey) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<LiveBlock> TmHashMap::collect_live_blocks() const {
+  PmemPool& pool = tm_.pool();
+  std::vector<LiveBlock> live;
+  live.push_back({array_, static_cast<std::uint32_t>(buckets_)});
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    for (gaddr_t n = pool.load(array_ + b); n != kNullAddr; n = pool.load(n + 2)) {
+      live.push_back({n, kNodeWords});
+    }
+  }
+  return live;
+}
+
+}  // namespace nvhalt

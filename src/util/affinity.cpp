@@ -1,0 +1,31 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nvhalt {
+
+int visible_cpu_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool pin_thread_round_robin(int thread_id) {
+#if defined(__linux__)
+  const int ncpu = visible_cpu_count();
+  if (ncpu <= 1) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(thread_id % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)thread_id;
+  return false;
+#endif
+}
+
+}  // namespace nvhalt

@@ -1,0 +1,16 @@
+// Thread pinning helper. On the paper's 2-socket machine threads are pinned
+// socket-2-first; here we pin round-robin over whatever CPUs exist (a no-op
+// on a single-CPU container) so the policy is preserved where it can be.
+#pragma once
+
+namespace nvhalt {
+
+/// Pins the calling thread to a CPU chosen round-robin by thread id.
+/// Returns false (without failing) if pinning is unsupported or the
+/// system exposes a single CPU.
+bool pin_thread_round_robin(int thread_id);
+
+/// Number of CPUs visible to this process.
+int visible_cpu_count();
+
+}  // namespace nvhalt

@@ -1,0 +1,30 @@
+#include "util/barrier.hpp"
+
+#include <thread>
+
+namespace nvhalt {
+
+SpinBarrier::SpinBarrier(int participants) : participants_(participants), count_(participants) {
+  if (participants <= 0) throw TmLogicError("SpinBarrier requires at least one participant");
+}
+
+void SpinBarrier::arrive_and_wait() {
+  const int my_sense = sense_.load(std::memory_order_acquire);
+  if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    count_.store(participants_, std::memory_order_relaxed);
+    sense_.store(my_sense + 1, std::memory_order_release);
+    return;
+  }
+  int spins = 0;
+  while (sense_.load(std::memory_order_acquire) == my_sense) {
+    if (++spins < 128) {
+      cpu_relax();
+    } else {
+      // On oversubscribed machines (this container exposes a single CPU)
+      // yielding is essential for forward progress.
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace nvhalt

@@ -1,0 +1,27 @@
+// Reusable sense-reversing spin barrier for benchmark thread coordination.
+#pragma once
+
+#include <atomic>
+
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+/// A reusable barrier for a fixed number of participants. All participants
+/// must call arrive_and_wait() the same number of times.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants);
+
+  /// Blocks until all participants have arrived at this phase.
+  void arrive_and_wait();
+
+  int participants() const { return participants_; }
+
+ private:
+  const int participants_;
+  std::atomic<int> count_;
+  std::atomic<int> sense_{0};
+};
+
+}  // namespace nvhalt

@@ -1,0 +1,45 @@
+// xoshiro256** pseudo-random generator: fast, high-quality, seedable.
+// Used by workloads, the spurious-abort injector and the crash adversary.
+#pragma once
+
+#include <cstdint>
+
+namespace nvhalt {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Not thread-safe; use one
+/// instance per thread.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Returns the next 64-bit pseudo-random value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t next_bounded(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace nvhalt

@@ -1,0 +1,217 @@
+// Unit tests for the transaction-aware allocator: size classes, txn
+// commit/abort hooks, segment recycling, large blocks, HTM interaction and
+// recovery-time reconstruction from a live-block iterator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "alloc/tx_allocator.hpp"
+#include "htm/sim_htm.hpp"
+
+namespace nvhalt {
+namespace {
+
+PmemConfig pool_cfg(std::size_t words = std::size_t{1} << 18) {
+  PmemConfig cfg;
+  cfg.capacity_words = words;
+  return cfg;
+}
+
+TEST(SizeClasses, RoundsUpToSmallestFit) {
+  EXPECT_EQ(size_class_for(1), 0);
+  EXPECT_EQ(kSizeClasses[static_cast<std::size_t>(size_class_for(3))], 4u);
+  EXPECT_EQ(kSizeClasses[static_cast<std::size_t>(size_class_for(33))], 48u);
+  EXPECT_EQ(kSizeClasses[static_cast<std::size_t>(size_class_for(128))], 128u);
+  EXPECT_EQ(size_class_for(129), -1);
+}
+
+TEST(TxAllocator, RawAllocReturnsDistinctAlignedBlocks) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  std::set<gaddr_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const gaddr_t a = alloc.raw_alloc(0, 3);
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_NE(a, kNullAddr);
+    EXPECT_LT(a + 4, pool.capacity_words());
+  }
+}
+
+TEST(TxAllocator, FreeThenAllocReuses) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  const gaddr_t a = alloc.raw_alloc(0, 8);
+  alloc.raw_free(0, a, 8);
+  EXPECT_EQ(alloc.raw_alloc(0, 8), a);
+}
+
+TEST(TxAllocator, TxAllocRolledBackOnAbort) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  const gaddr_t a = alloc.tx_alloc(0, 4);
+  alloc.on_abort(0);
+  // The aborted allocation is back on the free list.
+  EXPECT_EQ(alloc.tx_alloc(0, 4), a);
+  alloc.on_commit(0);
+}
+
+TEST(TxAllocator, TxFreeDeferredUntilCommit) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  const gaddr_t a = alloc.raw_alloc(0, 4);
+  alloc.tx_free(0, a, 4);
+  // Before commit the block must not be recycled.
+  EXPECT_NE(alloc.tx_alloc(0, 4), a);
+  alloc.on_commit(0);
+  EXPECT_EQ(alloc.raw_alloc(0, 4), a);
+}
+
+TEST(TxAllocator, TxFreeForgottenOnAbort) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  const gaddr_t a = alloc.raw_alloc(0, 4);
+  alloc.tx_free(0, a, 4);
+  alloc.on_abort(0);
+  // The free never happened; the block stays live.
+  std::set<gaddr_t> next;
+  for (int i = 0; i < 100; ++i) next.insert(alloc.raw_alloc(0, 4));
+  EXPECT_EQ(next.count(a), 0u);
+}
+
+TEST(TxAllocator, OversizeRequestThrows) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  EXPECT_THROW(alloc.raw_alloc(0, 129), TmLogicError);
+}
+
+TEST(TxAllocator, ExhaustionThrows) {
+  PmemPool pool(pool_cfg(2 * kSegmentWords + 64));
+  TxAllocator alloc(pool);
+  EXPECT_THROW(
+      {
+        for (;;) alloc.raw_alloc(0, 128);
+      },
+      TmLogicError);
+}
+
+TEST(TxAllocator, AllocInsideHwTxnAbortsWhenSlowPathNeeded) {
+  PmemPool pool(pool_cfg());
+  htm::SimHtm sim;
+  TxAllocator alloc(pool);
+  // Fresh thread heap: the first allocation needs a segment, which must
+  // abort a hardware transaction rather than take a global mutex inside it.
+  sim.begin(0);
+  try {
+    alloc.tx_alloc(0, 4);
+    FAIL() << "expected HtmAbort";
+  } catch (const htm::HtmAbort& a) {
+    EXPECT_EQ(a.cause, htm::AbortCause::kExplicit);
+    EXPECT_EQ(a.code, kAllocAbortCode);
+  }
+  sim.cancel(0);
+  // Outside the transaction the same request succeeds and warms the heap.
+  const gaddr_t a = alloc.tx_alloc(0, 4);
+  alloc.on_commit(0);
+  EXPECT_NE(a, kNullAddr);
+  // With a warm heap, in-txn allocation succeeds.
+  sim.begin(0);
+  EXPECT_NE(alloc.tx_alloc(0, 4), kNullAddr);
+  sim.cancel(0);
+  alloc.on_abort(0);
+}
+
+TEST(TxAllocator, LargeAllocSpansSegments) {
+  PmemPool pool(pool_cfg(std::size_t{1} << 20));
+  TxAllocator alloc(pool);
+  const std::size_t n = 3 * kSegmentWords + 5;
+  const gaddr_t big = alloc.raw_alloc_large(n);
+  const gaddr_t next = alloc.raw_alloc(0, 8);
+  EXPECT_GE(next, big + n - 5);  // small allocs land beyond the large block
+}
+
+TEST(TxAllocator, ConcurrentAllocationsAreDisjoint) {
+  PmemPool pool(pool_cfg(std::size_t{1} << 20));
+  TxAllocator alloc(pool);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<gaddr_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) got[t].push_back(alloc.raw_alloc(t, 4));
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<gaddr_t> all;
+  for (const auto& v : got)
+    for (const gaddr_t a : v) EXPECT_TRUE(all.insert(a).second) << "duplicate " << a;
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(TxAllocator, RebuildPreservesLiveAndRecyclesRest) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  std::vector<gaddr_t> live_addrs;
+  for (int i = 0; i < 100; ++i) {
+    const gaddr_t a = alloc.raw_alloc(0, 8);
+    if (i % 3 == 0) live_addrs.push_back(a);  // every third survives
+  }
+  std::vector<LiveBlock> live;
+  for (const gaddr_t a : live_addrs) live.push_back({a, 8});
+  alloc.rebuild(live);
+
+  // New allocations must avoid every live block.
+  std::set<gaddr_t> live_set(live_addrs.begin(), live_addrs.end());
+  for (int i = 0; i < 500; ++i) {
+    const gaddr_t a = alloc.raw_alloc(1, 8);
+    EXPECT_EQ(live_set.count(a), 0u);
+  }
+}
+
+TEST(TxAllocator, RebuildHandlesLargeBlocks) {
+  PmemPool pool(pool_cfg(std::size_t{1} << 20));
+  TxAllocator alloc(pool);
+  const std::size_t n = 2 * kSegmentWords;
+  const gaddr_t big = alloc.raw_alloc_large(n);
+  const gaddr_t small = alloc.raw_alloc(0, 4);
+  std::vector<LiveBlock> live{{big, static_cast<std::uint32_t>(n)}, {small, 4}};
+  alloc.rebuild(live);
+  for (int i = 0; i < 1000; ++i) {
+    const gaddr_t a = alloc.raw_alloc(0, 4);
+    EXPECT_TRUE(a + 4 <= big || a >= big + n) << "allocated inside live large block";
+    EXPECT_NE(a, small);
+  }
+}
+
+TEST(TxAllocator, RebuildRejectsMixedClassSegments) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  // Two live blocks of different classes claimed to be in one segment.
+  const gaddr_t base = alloc.heap_begin();
+  std::vector<LiveBlock> live{{base, 8}, {base + 16, 4}};
+  EXPECT_THROW(alloc.rebuild(live), TmLogicError);
+}
+
+TEST(TxAllocator, RebuildRejectsMisalignedBlock) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  const gaddr_t base = alloc.heap_begin();
+  std::vector<LiveBlock> live{{base + 3, 8}};  // not a multiple of class 8
+  EXPECT_THROW(alloc.rebuild(live), TmLogicError);
+}
+
+TEST(TxAllocator, StatsCountAllocsAndSegments) {
+  PmemPool pool(pool_cfg());
+  TxAllocator alloc(pool);
+  alloc.raw_alloc(0, 4);
+  alloc.raw_alloc(0, 4);
+  const AllocStats s = alloc.stats();
+  EXPECT_EQ(s.allocs, 2u);
+  EXPECT_GE(s.segments_acquired, 1u);
+}
+
+}  // namespace
+}  // namespace nvhalt

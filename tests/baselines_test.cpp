@@ -1,0 +1,344 @@
+// Tests for the two baseline TMs: Trinity (TL2 + Trinity persistence) and
+// SPHT (global-lock HyTM with per-thread persistent redo logs).
+#include <gtest/gtest.h>
+
+#include "baselines/spht/spht_log.hpp"
+#include "baselines/spht/spht_tm.hpp"
+#include "baselines/trinity/trinity_tm.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::run_threads;
+using test::small_config;
+
+// ---- Trinity ------------------------------------------------------------
+
+TEST(Trinity, ReadWriteRoundTrip) {
+  TmRunner runner(small_config(TmKind::kTrinity));
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  tm.run(0, [&](Tx& tx) { tx.write(a, 11); });
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), 11u); });
+  EXPECT_STREQ(tm.name(), "Trinity");
+}
+
+TEST(Trinity, GlobalClockAdvancesPerWriter) {
+  TmRunner runner(small_config(TmKind::kTrinity));
+  auto& tri = dynamic_cast<TrinityTm&>(runner.tm());
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  const std::uint64_t v0 = tri.gv();
+  runner.tm().run(0, [&](Tx& tx) { tx.write(a, 1); });
+  runner.tm().run(0, [&](Tx& tx) { tx.write(a, 2); });
+  EXPECT_EQ(tri.gv(), v0 + 2);
+  // Read-only transactions do not advance the clock.
+  runner.tm().run(0, [&](Tx& tx) { (void)tx.read(a); });
+  EXPECT_EQ(tri.gv(), v0 + 2);
+}
+
+TEST(Trinity, CommittedWritesAreDurable) {
+  TmRunner runner(small_config(TmKind::kTrinity));
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  tm.run(1, [&](Tx& tx) { tx.write(a, 77); });
+  const PRecord r = tm.pool().read_durable_record(a);
+  EXPECT_EQ(r.cur, 77u);
+  EXPECT_EQ(pver_tid(r.pver), 1);
+  EXPECT_GT(tm.pool().load_pver(1), pver_seq(r.pver));
+}
+
+TEST(Trinity, ConcurrentCountersLoseNoUpdates) {
+  TmRunner runner(small_config(TmKind::kTrinity));
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  constexpr int kThreads = 4, kIncrements = 300;
+  run_threads(kThreads, [&](int tid) {
+    for (int i = 0; i < kIncrements; ++i)
+      tm.run(tid, [&](Tx& tx) { tx.write(a, tx.read(a) + 1); });
+  });
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), kThreads * kIncrements); });
+}
+
+TEST(Trinity, SnapshotsAreConsistentUnderConcurrency) {
+  TmRunner runner(small_config(TmKind::kTrinity));
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  const gaddr_t b = runner.alloc().raw_alloc(0, 1);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 500; ++i)
+      tm.run(0, [&](Tx& tx) {
+        tx.write(a, i);
+        tx.write(b, i);
+      });
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      tm.run(1, [&](Tx& tx) {
+        const word_t x = tx.read(a);
+        const word_t y = tx.read(b);
+        if (x != y) violation.store(true);
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Trinity, VoluntaryAbort) {
+  TmRunner runner(small_config(TmKind::kTrinity));
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  EXPECT_FALSE(tm.run(0, [&](Tx& tx) {
+    tx.write(a, 1);
+    tx.abort();
+  }));
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), 0u); });
+}
+
+// ---- SPHT log --------------------------------------------------------------
+
+TEST(SphtLog, AppendCollectRoundTrip) {
+  PmemConfig pc;
+  pc.capacity_words = 1 << 12;
+  pc.raw_words = 1 << 12;
+  PmemPool pool(pc);
+  SphtLog log(pool, /*nthreads=*/2, /*words_per_thread=*/256);
+
+  std::vector<std::pair<gaddr_t, word_t>> w1{{10, 100}, {11, 110}};
+  std::vector<std::pair<gaddr_t, word_t>> w2{{20, 200}};
+  EXPECT_TRUE(log.append(0, /*ts=*/5, w1));
+  EXPECT_TRUE(log.append(1, /*ts=*/7, w2));
+
+  std::vector<SphtLog::TxnRec> recs;
+  log.collect(/*max_ts=*/100, recs);
+  ASSERT_EQ(recs.size(), 2u);
+  // Records from thread 0's log come first in collection order.
+  EXPECT_EQ(recs[0].ts, 5u);
+  ASSERT_EQ(recs[0].writes.size(), 2u);
+  EXPECT_EQ(recs[0].writes[1], (std::pair<gaddr_t, word_t>{11, 110}));
+  EXPECT_EQ(recs[1].ts, 7u);
+}
+
+TEST(SphtLog, CollectFiltersByMarker) {
+  PmemConfig pc;
+  pc.capacity_words = 1 << 12;
+  pc.raw_words = 1 << 12;
+  PmemPool pool(pc);
+  SphtLog log(pool, 1, 256);
+  std::vector<std::pair<gaddr_t, word_t>> w{{1, 2}};
+  log.append(0, 5, w);
+  log.append(0, 9, w);
+  std::vector<SphtLog::TxnRec> recs;
+  log.collect(/*max_ts=*/6, recs);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].ts, 5u);
+}
+
+TEST(SphtLog, AppendFailsWhenFullAndTruncateResets) {
+  PmemConfig pc;
+  pc.capacity_words = 1 << 12;
+  pc.raw_words = 1 << 12;
+  PmemPool pool(pc);
+  SphtLog log(pool, 1, 32);
+  std::vector<std::pair<gaddr_t, word_t>> w{{1, 2}, {3, 4}};  // 6 words/record
+  EXPECT_TRUE(log.append(0, 1, w));
+  EXPECT_TRUE(log.append(0, 2, w));
+  EXPECT_TRUE(log.append(0, 3, w));
+  EXPECT_TRUE(log.append(0, 4, w));
+  EXPECT_TRUE(log.append(0, 5, w));
+  EXPECT_FALSE(log.append(0, 6, w));  // 36 > 32 words
+  log.truncate_all(0);
+  EXPECT_EQ(log.used_words(0), 0u);
+  EXPECT_TRUE(log.append(0, 7, w));
+}
+
+TEST(SphtLog, RecordsAreDurableOnlyAsWholeUnits) {
+  // The head word advances only after the record's lines are fenced: a
+  // crash exposes either the whole record or nothing.
+  PmemConfig pc;
+  pc.capacity_words = 1 << 12;
+  pc.raw_words = 1 << 12;
+  pc.track_store_order = true;
+  PmemPool pool(pc);
+  SphtLog log(pool, 1, 256);
+  std::vector<std::pair<gaddr_t, word_t>> w{{10, 100}};
+  log.append(0, 3, w);
+  pool.crash(CrashPolicy{0.0, 4});  // only fenced state survives
+  std::vector<SphtLog::TxnRec> recs;
+  log.collect(100, recs);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].ts, 3u);
+  EXPECT_EQ(recs[0].writes[0].second, 100u);
+}
+
+// ---- SPHT ----------------------------------------------------------------
+
+TEST(Spht, ReadWriteRoundTrip) {
+  TmRunner runner(small_config(TmKind::kSpht));
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 11);
+  });
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), 11u); });
+  EXPECT_STREQ(tm.name(), "SPHT");
+}
+
+TEST(Spht, CommitsGoThroughHardwareWhenUncontended) {
+  TmRunner runner(small_config(TmKind::kSpht));
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 1);
+  });
+  for (int i = 0; i < 10; ++i) tm.run(0, [&](Tx& tx) { tx.write(a, tx.read(a) + 1); });
+  EXPECT_EQ(tm.stats().hw_commits, 11u);
+  EXPECT_EQ(tm.stats().sw_commits, 0u);
+}
+
+TEST(Spht, MarkerAdvancesWithWriters) {
+  TmRunner runner(small_config(TmKind::kSpht));
+  auto& spht = dynamic_cast<SphtTm&>(runner.tm());
+  gaddr_t a = kNullAddr;
+  runner.tm().run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 1);
+  });
+  const std::uint64_t m1 = spht.durable_marker();
+  EXPECT_GT(m1, 0u);
+  runner.tm().run(0, [&](Tx& tx) { tx.write(a, 2); });
+  EXPECT_GT(spht.durable_marker(), m1);
+  // Read-only transactions do not advance the marker.
+  runner.tm().run(0, [&](Tx& tx) { (void)tx.read(a); });
+  EXPECT_EQ(spht.durable_marker(), spht.persistent_marker());
+}
+
+TEST(Spht, ReplayBringsNvmHeapUpToDate) {
+  TmRunner runner(small_config(TmKind::kSpht));
+  auto& spht = dynamic_cast<SphtTm&>(runner.tm());
+  gaddr_t a = kNullAddr;
+  runner.tm().run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 5);
+  });
+  runner.tm().run(0, [&](Tx& tx) { tx.write(a, 6); });
+  // Before replay the NVM heap image lags (redo-logging design)...
+  EXPECT_EQ(runner.pool().read_record(a).cur, 0u);
+  spht.replay(2);
+  // ...afterwards it holds the last committed value.
+  EXPECT_EQ(runner.pool().read_record(a).cur, 6u);
+  EXPECT_EQ(runner.pool().read_durable_record(a).cur, 6u);
+}
+
+TEST(Spht, ConcurrentCountersLoseNoUpdates) {
+  TmRunner runner(small_config(TmKind::kSpht));
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 0);
+  });
+  constexpr int kThreads = 4, kIncrements = 150;
+  run_threads(kThreads, [&](int tid) {
+    for (int i = 0; i < kIncrements; ++i)
+      tm.run(tid, [&](Tx& tx) { tx.write(a, tx.read(a) + 1); });
+  });
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), kThreads * kIncrements); });
+}
+
+TEST(Spht, SwFallbackUsedWhenHwExhausted) {
+  RunnerConfig cfg = small_config(TmKind::kSpht);
+  cfg.htm.spurious_abort_prob = 1.0;  // hardware can never commit
+  cfg.spht.htm_attempts = 2;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  EXPECT_TRUE(tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 3);
+  }));
+  const TmStats s = tm.stats();
+  EXPECT_EQ(s.sw_commits, 1u);
+  EXPECT_EQ(s.hw_aborts, 2u);
+  EXPECT_EQ(s.fallbacks, 1u);
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), 3u); });
+}
+
+TEST(Spht, SwFallbackRollsBackOnUserAbort) {
+  RunnerConfig cfg = small_config(TmKind::kSpht);
+  cfg.spht.htm_attempts = 0;  // straight to the fallback
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 1);
+  });
+  EXPECT_FALSE(tm.run(0, [&](Tx& tx) {
+    tx.write(a, 99);
+    tx.abort();
+  }));
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), 1u); });
+}
+
+TEST(Spht, LogFullTriggersInlineReplay) {
+  RunnerConfig cfg = small_config(TmKind::kSpht);
+  cfg.spht.log_words_per_thread = 64;  // tiny log: fills after a few txns
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    tx.write(a, 0);
+  });
+  for (int i = 1; i <= 50; ++i) tm.run(0, [&](Tx& tx) { tx.write(a, i); });
+  tm.run(0, [&](Tx& tx) { EXPECT_EQ(tx.read(a), 50u); });
+  // The inline replays kept the NVM image close to the volatile one.
+  auto& spht = dynamic_cast<SphtTm&>(tm);
+  spht.replay(1);
+  EXPECT_EQ(runner.pool().read_record(a).cur, 50u);
+}
+
+TEST(Spht, SnapshotsAreConsistentUnderConcurrency) {
+  TmRunner runner(small_config(TmKind::kSpht));
+  auto& tm = runner.tm();
+  gaddr_t a = kNullAddr, b = kNullAddr;
+  tm.run(0, [&](Tx& tx) {
+    a = tx.alloc(1);
+    b = tx.alloc(1);
+    tx.write(a, 0);
+    tx.write(b, 0);
+  });
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 300; ++i)
+      tm.run(0, [&](Tx& tx) {
+        tx.write(a, i);
+        tx.write(b, i);
+      });
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      tm.run(1, [&](Tx& tx) {
+        const word_t x = tx.read(a);
+        const word_t y = tx.read(b);
+        if (x != y) violation.store(true);
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace nvhalt

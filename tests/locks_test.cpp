@@ -1,0 +1,106 @@
+// Unit tests for versioned lock words and the two lock placement modes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "locks/lock_table.hpp"
+#include "locks/versioned_lock.hpp"
+
+namespace nvhalt {
+namespace {
+
+TEST(LockWord, FreshWordIsUnlockedVersionZero) {
+  const std::uint64_t w = 0;
+  EXPECT_FALSE(lockword::is_locked(w));
+  EXPECT_EQ(lockword::version(w), 0u);
+}
+
+TEST(LockWord, MakeRoundTrips) {
+  const std::uint64_t w = lockword::make(123, true, 17);
+  EXPECT_TRUE(lockword::is_locked(w));
+  EXPECT_EQ(lockword::owner(w), 17);
+  EXPECT_EQ(lockword::version(w), 123u);
+}
+
+TEST(LockWord, AcquireBumpsVersionAndSetsOwner) {
+  const std::uint64_t w = lockword::make(10, false, 0);
+  const std::uint64_t a = lockword::acquired(w, 5);
+  EXPECT_TRUE(lockword::is_locked(a));
+  EXPECT_EQ(lockword::owner(a), 5);
+  EXPECT_EQ(lockword::version(a), 11u);
+}
+
+TEST(LockWord, ReleaseBumpsVersionAgain) {
+  const std::uint64_t w = lockword::make(10, false, 0);
+  const std::uint64_t r = lockword::released(lockword::acquired(w, 5));
+  EXPECT_FALSE(lockword::is_locked(r));
+  EXPECT_EQ(lockword::version(r), 12u);
+  // A full acquire/release cycle always changes the word a reader snapshot
+  // compares against.
+  EXPECT_NE(r, w);
+}
+
+TEST(LockWord, LockedByOther) {
+  const std::uint64_t w = lockword::make(3, true, 7);
+  EXPECT_TRUE(lockword::locked_by_other(w, 2));
+  EXPECT_FALSE(lockword::locked_by_other(w, 7));
+  EXPECT_FALSE(lockword::locked_by_other(lockword::make(3, false, 0), 2));
+}
+
+TEST(LockWord, MaxThreadIdFits) {
+  const std::uint64_t w = lockword::make(1, true, kMaxThreads - 1);
+  EXPECT_EQ(lockword::owner(w), kMaxThreads - 1);
+}
+
+TEST(LockWord, LargeVersionsSurvive) {
+  const std::uint64_t big = (1ULL << 50) + 9;
+  const std::uint64_t w = lockword::make(big, false, 0);
+  EXPECT_EQ(lockword::version(w), big);
+}
+
+TEST(LockSpace, TableModeMapsConsistently) {
+  LockSpace ls(LockMode::kTable, 1 << 8, 0);
+  const LockRef r1 = ls.ref(1234);
+  const LockRef r2 = ls.ref(1234);
+  EXPECT_EQ(r1.s, r2.s);
+  EXPECT_EQ(r1.loc, r2.loc);
+  EXPECT_NE(r1.s, nullptr);
+  EXPECT_NE(r1.h, nullptr);
+}
+
+TEST(LockSpace, TableModeSharesLocksAcrossAddresses) {
+  // With 16 entries and many addresses, some addresses must share a lock.
+  LockSpace ls(LockMode::kTable, 16, 0);
+  std::set<const void*> distinct;
+  for (gaddr_t a = 0; a < 1000; ++a) distinct.insert(ls.ref(a).s);
+  EXPECT_LE(distinct.size(), 16u);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(LockSpace, ColocatedModeGivesUniqueLockPerWord) {
+  LockSpace ls(LockMode::kColocated, 0, 1024);
+  std::set<const void*> distinct;
+  for (gaddr_t a = 0; a < 1024; ++a) distinct.insert(ls.ref(a).s);
+  EXPECT_EQ(distinct.size(), 1024u);
+}
+
+TEST(LockSpace, ColocatedLocIdFoldsOntoWord) {
+  LockSpace ls(LockMode::kColocated, 0, 64);
+  EXPECT_EQ(ls.ref(7).loc, htm::loc_colock(7));
+}
+
+TEST(LockSpace, ResetClearsAllLocks) {
+  LockSpace ls(LockMode::kTable, 64, 0);
+  ls.ref(5).s->store(lockword::make(9, true, 3));
+  ls.ref(5).h->store(4);
+  ls.reset();
+  EXPECT_EQ(ls.ref(5).s->load(), 0u);
+  EXPECT_EQ(ls.ref(5).h->load(), 0u);
+}
+
+TEST(LockSpace, RejectsNonPowerOfTwoTable) {
+  EXPECT_THROW(LockSpace(LockMode::kTable, 100, 0), TmLogicError);
+}
+
+}  // namespace
+}  // namespace nvhalt

@@ -1,0 +1,213 @@
+// Deterministic replays of the paper's counterexample executions
+// (Figs. 2, 3, 4). Each figure motivates one piece of NV-HALT's hardware
+// instrumentation; the tests disable exactly that piece via debug knobs and
+// script the interleaving with direct lock/HTM manipulation, showing that
+// the violation appears — and disappears with the instrumentation restored.
+#include <gtest/gtest.h>
+
+#include "core/nvhalt_tm.hpp"
+#include "htm/htm_types.hpp"
+#include "pmem/crash_sim.hpp"
+#include "structures/tm_abtree.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::small_config;
+
+RunnerConfig fig_config(bool hw_read_checks, bool hw_acquire_locks) {
+  RunnerConfig cfg = small_config(TmKind::kNvHalt);
+  cfg.nvhalt.hw_read_check_locks = hw_read_checks;
+  cfg.nvhalt.hw_acquire_locks = hw_acquire_locks;
+  cfg.nvhalt.max_sw_retries = 8;  // never hang a scripted test
+  return cfg;
+}
+
+/// Manually plays the software-path writer of Figs. 2/3 up to the point
+/// where it holds its locks and has published x but not yet y — the window
+/// in which an uninstrumented hardware reader sees an inconsistent state.
+struct MidCommitWriter {
+  NvHaltTm& nv;
+  gaddr_t x, y;
+  std::uint64_t lx_word = 0, ly_word = 0;
+  static constexpr int kTid = 1;
+
+  void lock_and_write_x() {
+    auto lkx = nv.locks().ref(x);
+    auto lky = nv.locks().ref(y);
+    lx_word = nv.htm().nontx_load(kTid, lkx.loc, lkx.s);
+    std::uint64_t e = lx_word;
+    ASSERT_TRUE(nv.htm().nontx_cas(kTid, lkx.loc, lkx.s, e, lockword::acquired(lx_word, kTid)));
+    ly_word = nv.htm().nontx_load(kTid, lky.loc, lky.s);
+    e = ly_word;
+    ASSERT_TRUE(nv.htm().nontx_cas(kTid, lky.loc, lky.s, e, lockword::acquired(ly_word, kTid)));
+    // x := x - 1 published; y not yet: the zero-sum invariant is broken in
+    // memory but protected by the held locks.
+    const word_t vx = nv.pool().load(x);
+    nv.htm().nontx_store(kTid, htm::loc_pool(x), nv.pool().word_ptr(x), vx - 1);
+  }
+
+  void write_y_and_release() {
+    const word_t vy = nv.pool().load(y);
+    nv.htm().nontx_store(kTid, htm::loc_pool(y), nv.pool().word_ptr(y), vy + 1);
+    auto lkx = nv.locks().ref(x);
+    auto lky = nv.locks().ref(y);
+    nv.htm().nontx_store(kTid, lkx.loc, lkx.s,
+                         lockword::released(lockword::acquired(lx_word, kTid)));
+    nv.htm().nontx_store(kTid, lky.loc, lky.s,
+                         lockword::released(lockword::acquired(ly_word, kTid)));
+  }
+};
+
+TEST(OpacityCounterexample, Fig2_UninstrumentedHwReadsSeeInconsistentState) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/false, /*hw_acquire_locks=*/true));
+  auto& nv = dynamic_cast<NvHaltTm&>(runner.tm());
+  const gaddr_t x = runner.alloc().raw_alloc(0, 1);
+  const gaddr_t y = runner.alloc().raw_alloc(0, 1);
+
+  MidCommitWriter writer{nv, x, y};
+  writer.lock_and_write_x();
+
+  // Hardware reader ignores the locks: it commits a snapshot in which x is
+  // new but y is old — the Fig. 2 opacity violation.
+  std::int64_t sum = 0;
+  const bool committed = nv.attempt_hw_once(0, [&](Tx& tx) {
+    sum = static_cast<std::int64_t>(tx.read(x)) + static_cast<std::int64_t>(tx.read(y));
+  });
+  EXPECT_TRUE(committed);
+  EXPECT_NE(sum, 0);  // inconsistent: no sequential execution produces this
+
+  writer.write_y_and_release();
+}
+
+TEST(OpacityCounterexample, Fig3_LockSubscribingHwReadsAbortInstead) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/true));
+  auto& nv = dynamic_cast<NvHaltTm&>(runner.tm());
+  const gaddr_t x = runner.alloc().raw_alloc(0, 1);
+  const gaddr_t y = runner.alloc().raw_alloc(0, 1);
+
+  MidCommitWriter writer{nv, x, y};
+  writer.lock_and_write_x();
+
+  // With reads instrumented to check the lock (Fig. 3), the hardware
+  // transaction aborts rather than observing the torn state.
+  bool body_saw_torn_state = false;
+  bool committed = true;
+  try {
+    committed = nv.attempt_hw_once(0, [&](Tx& tx) {
+      const std::int64_t sum =
+          static_cast<std::int64_t>(tx.read(x)) + static_cast<std::int64_t>(tx.read(y));
+      body_saw_torn_state = sum != 0;
+    });
+  } catch (const htm::HtmAbort& a) {
+    committed = false;
+    EXPECT_EQ(a.cause, htm::AbortCause::kExplicit);  // xabort on locked lock
+  }
+  EXPECT_FALSE(committed);
+  EXPECT_FALSE(body_saw_torn_state);
+
+  writer.write_y_and_release();
+
+  // Once the writer is done, the hardware path reads a consistent state.
+  std::int64_t sum = 1;
+  EXPECT_TRUE(nv.attempt_hw_once(0, [&](Tx& tx) {
+    sum = static_cast<std::int64_t>(tx.read(x)) + static_cast<std::int64_t>(tx.read(y));
+  }));
+  EXPECT_EQ(sum, 0);
+}
+
+// Fig. 4: in the persistent setting, reading locks is NOT enough — a
+// hardware transaction whose writes are published at xend but not yet
+// persisted must keep them protected (via locks held past xend), or a
+// later transaction can read and durably commit values derived from data
+// that a crash will revert.
+TEST(OpacityCounterexample, Fig4_PersistWithoutHwLocksViolatesDurability) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/false));
+  auto& tm = runner.tm();
+  auto& pool = runner.pool();
+  const gaddr_t x = runner.alloc().raw_alloc(0, 1);
+  const gaddr_t y = runner.alloc().raw_alloc(0, 1);
+
+  // T1 writes x = 7 in hardware; the crash coordinator fires at its first
+  // post-xend persistence operation, so x is published but never durable.
+  CrashCoordinator coord;
+  pool.set_crash_coordinator(&coord);
+  coord.trip();
+  auto& nv = dynamic_cast<NvHaltTm&>(tm);
+  bool t1_unwound = false;
+  try {
+    nv.attempt_hw_once(0, [&](Tx& tx) { tx.write(x, 7); });
+  } catch (const SimulatedPowerFailure&) {
+    t1_unwound = true;
+  }
+  ASSERT_TRUE(t1_unwound);
+  EXPECT_EQ(pool.load(x), 7u);  // published in volatile memory...
+  EXPECT_EQ(pool.read_durable_record(x).cur, 0u);  // ...but not durable
+  coord.reset();
+
+  // T2 reads the non-durable x (no lock protects it!) and durably commits
+  // y = x + 1 on the software path.
+  bool t2_committed = nv.attempt_sw_once(1, [&](Tx& tx) { tx.write(y, tx.read(x) + 1); });
+  ASSERT_TRUE(t2_committed);
+
+  // Power failure; T1's write to x was never persisted.
+  pool.set_crash_coordinator(nullptr);
+  pool.crash(CrashPolicy{0.0, 7});
+  tm.recover_data();
+  tm.rebuild_allocator({});
+
+  word_t rx = 0, ry = 0;
+  tm.run(0, [&](Tx& tx) {
+    rx = tx.read(x);
+    ry = tx.read(y);
+  });
+  // The violation: y == 8 implies some execution wrote x == 7 before it,
+  // but x == 0 after recovery. No sequential durable history explains this.
+  EXPECT_EQ(rx, 0u);
+  EXPECT_EQ(ry, 8u);
+}
+
+TEST(OpacityCounterexample, Fig4Fixed_HwLocksBlockNonDurableReads) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/true));
+  auto& tm = runner.tm();
+  auto& pool = runner.pool();
+  auto& nv = dynamic_cast<NvHaltTm&>(tm);
+  const gaddr_t x = runner.alloc().raw_alloc(0, 1);
+  const gaddr_t y = runner.alloc().raw_alloc(0, 1);
+
+  CrashCoordinator coord;
+  pool.set_crash_coordinator(&coord);
+  coord.trip();
+  bool t1_unwound = false;
+  try {
+    nv.attempt_hw_once(0, [&](Tx& tx) { tx.write(x, 7); });
+  } catch (const SimulatedPowerFailure&) {
+    t1_unwound = true;
+  }
+  ASSERT_TRUE(t1_unwound);
+  EXPECT_EQ(pool.load(x), 7u);
+  coord.reset();
+  pool.set_crash_coordinator(nullptr);
+
+  // With hardware-assisted locking, x's lock is still held by the dead T1:
+  // T2 cannot read the non-durable value on either path.
+  bool t2_committed = tm.run(1, [&](Tx& tx) { tx.write(y, tx.read(x) + 1); });
+  EXPECT_FALSE(t2_committed);  // bounded retries exhausted against the lock
+
+  pool.crash(CrashPolicy{0.0, 7});
+  tm.recover_data();
+  tm.rebuild_allocator({});
+
+  word_t rx = 1, ry = 1;
+  tm.run(0, [&](Tx& tx) {
+    rx = tx.read(x);
+    ry = tx.read(y);
+  });
+  // Durably consistent: neither T1's x nor any derived y survived.
+  EXPECT_EQ(rx, 0u);
+  EXPECT_EQ(ry, 0u);
+}
+
+}  // namespace
+}  // namespace nvhalt

@@ -1,0 +1,378 @@
+// Unit tests for the simulated persistent memory pool: flush/fence
+// semantics, Trinity record layout, crash adversary (spontaneous
+// write-back with same-line store ordering), and the crash coordinator.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "pmem/crash_sim.hpp"
+#include "pmem/pmem_inspector.hpp"
+#include "pmem/pmem_pool.hpp"
+
+namespace nvhalt {
+namespace {
+
+PmemConfig small_cfg(bool track_order = true) {
+  PmemConfig cfg;
+  cfg.capacity_words = 1 << 12;
+  cfg.raw_words = 1 << 10;
+  cfg.track_store_order = track_order;
+  return cfg;
+}
+
+TEST(PverPacking, RoundTrips) {
+  const std::uint64_t p = pack_pver(17, 123456789);
+  EXPECT_EQ(pver_tid(p), 17);
+  EXPECT_EQ(pver_seq(p), 123456789u);
+}
+
+TEST(PmemPool, VolatileImageStartsZeroAndStores) {
+  PmemPool pool(small_cfg());
+  EXPECT_EQ(pool.load(5), 0u);
+  pool.store(5, 99);
+  EXPECT_EQ(pool.load(5), 99u);
+}
+
+TEST(PmemPool, RecordWriteStagesTrinityFields) {
+  PmemPool pool(small_cfg());
+  pool.record_write(/*tid=*/3, /*a=*/7, /*old=*/10, /*new=*/20, /*seq=*/5);
+  const PRecord r = pool.read_record(7);
+  EXPECT_EQ(r.cur, 20u);
+  EXPECT_EQ(r.old, 10u);
+  EXPECT_EQ(pver_tid(r.pver), 3);
+  EXPECT_EQ(pver_seq(r.pver), 5u);
+}
+
+TEST(PmemPool, UnfencedRecordIsNotDurable) {
+  PmemPool pool(small_cfg());
+  pool.record_write(0, 7, 10, 20, 1);
+  EXPECT_EQ(pool.read_durable_record(7).cur, 0u);
+  pool.flush_record(0, 7);
+  // flush alone is asynchronous; durability arrives at the fence.
+  EXPECT_EQ(pool.read_durable_record(7).cur, 0u);
+  pool.fence(0);
+  EXPECT_EQ(pool.read_durable_record(7).cur, 20u);
+}
+
+TEST(PmemPool, FenceOnlyCoversOwnThreadsFlushes) {
+  PmemPool pool(small_cfg());
+  pool.record_write(0, 7, 0, 20, 1);
+  pool.record_write(1, 9, 0, 30, 1);
+  pool.flush_record(0, 7);
+  pool.flush_record(1, 9);
+  pool.fence(0);
+  EXPECT_EQ(pool.read_durable_record(7).cur, 20u);
+  EXPECT_EQ(pool.read_durable_record(9).cur, 0u);  // thread 1 has not fenced
+  pool.fence(1);
+  EXPECT_EQ(pool.read_durable_record(9).cur, 30u);
+}
+
+TEST(PmemPool, PverPersistsPerThread) {
+  PmemPool pool(small_cfg());
+  EXPECT_EQ(pool.load_pver(4), 0u);
+  pool.store_pver(4, 9);
+  pool.flush_pver(4);
+  pool.fence(4);
+  EXPECT_EQ(pool.load_pver(4), 9u);
+  EXPECT_EQ(pool.load_pver(5), 0u);
+}
+
+TEST(PmemPool, RootSlotsPersistImmediately) {
+  PmemPool pool(small_cfg());
+  pool.store_root_persist(0, 2, 0xABCD);
+  EXPECT_EQ(pool.load_root(2), 0xABCDu);
+  // Crash with zero write-back probability: only fenced state survives.
+  pool.crash(CrashPolicy{0.0, 1});
+  EXPECT_EQ(pool.load_root(2), 0xABCDu);
+}
+
+TEST(PmemPool, CrashDropsVolatileAndUnflushedState) {
+  PmemPool pool(small_cfg());
+  pool.store(5, 99);                      // volatile only
+  pool.record_write(0, 7, 0, 20, 1);      // staged, never flushed
+  pool.record_write(0, 8, 0, 30, 1);      // staged + flushed + fenced
+  pool.flush_record(0, 8);
+  pool.fence(0);
+  pool.crash(CrashPolicy{0.0, 42});
+  EXPECT_EQ(pool.load(5), 0u);                  // DRAM gone
+  EXPECT_EQ(pool.read_record(7).cur, 0u);       // cache gone
+  EXPECT_EQ(pool.read_record(8).cur, 30u);      // durable survived
+  EXPECT_EQ(pool.read_durable_record(8).cur, 30u);
+}
+
+TEST(PmemPool, CrashWritebackCanPersistUnflushedData) {
+  // Spontaneous write-back may persist dirty lines even without a flush;
+  // the adversary picks a per-line store-order cut, so across seeds some
+  // crashes expose the unflushed store and some do not.
+  int persisted = 0, dropped = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    PmemPool pool(small_cfg());
+    pool.record_write(0, 7, 0, 20, 1);  // dirty, unflushed
+    pool.crash(CrashPolicy{1.0, seed});
+    const std::uint64_t cur = pool.read_record(7).cur;
+    EXPECT_TRUE(cur == 0 || cur == 20);
+    persisted += cur == 20;
+    dropped += cur == 0;
+  }
+  EXPECT_GT(persisted, 0);
+  EXPECT_GT(dropped, 0);
+}
+
+TEST(PmemPool, CrashWithoutStoreOrderTrackingPersistsWholeLines) {
+  PmemConfig cfg = small_cfg(/*track_order=*/false);
+  PmemPool pool(cfg);
+  pool.record_write(0, 7, 0, 20, 1);  // dirty, unflushed
+  pool.crash(CrashPolicy{1.0, 42});
+  // Without store-order tracking the adversary is all-or-nothing per line.
+  EXPECT_EQ(pool.read_record(7).cur, 20u);
+}
+
+TEST(PmemPool, CrashPrefixRespectsSameLineStoreOrder) {
+  // Trinity's write order within a record's line is old, pver, cur. A
+  // partial write-back must expose only prefixes of that order: it is
+  // impossible to see the new `cur` without the new `old`.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    PmemPool pool(small_cfg());
+    // Establish a baseline committed record (old=0 -> cur=10).
+    pool.record_write(0, 7, 0, 10, 1);
+    pool.flush_record(0, 7);
+    pool.fence(0);
+    // In-flight update 10 -> 20, seq 2, never fenced.
+    pool.record_write(0, 7, 10, 20, 2);
+    pool.crash(CrashPolicy{1.0, seed});
+    const PRecord r = pool.read_record(7);
+    const bool cur_new = r.cur == 20;
+    const bool pver_new = pver_seq(r.pver) == 2;
+    const bool old_new = r.old == 10;
+    if (cur_new) {
+      EXPECT_TRUE(pver_new) << "seed " << seed;
+    }
+    if (pver_new) {
+      EXPECT_TRUE(old_new) << "seed " << seed;
+    }
+    // And never anything other than the four legal prefixes.
+    EXPECT_TRUE(r.cur == 10 || r.cur == 20) << "seed " << seed;
+    EXPECT_TRUE(r.old == 0 || r.old == 10) << "seed " << seed;
+  }
+}
+
+TEST(PmemPool, RawRegionAllocAndPersistence) {
+  PmemPool pool(small_cfg());
+  const std::size_t idx = pool.alloc_raw(4);
+  const std::size_t idx2 = pool.alloc_raw(4);
+  EXPECT_NE(idx, idx2);
+  EXPECT_EQ(idx % kWordsPerLine, 0u);  // line aligned
+  pool.raw_store(idx, 77);
+  EXPECT_EQ(pool.raw_load(idx), 77u);
+  EXPECT_EQ(pool.raw_load_durable(idx), 0u);
+  pool.flush_raw(0, idx);
+  pool.fence(0);
+  EXPECT_EQ(pool.raw_load_durable(idx), 77u);
+}
+
+TEST(PmemPool, RawRegionExhaustionThrows) {
+  PmemConfig cfg = small_cfg();
+  cfg.raw_words = 64;
+  PmemPool pool(cfg);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) pool.alloc_raw(8);
+      },
+      TmLogicError);
+}
+
+TEST(PmemPool, FlushAndFenceCountersAdvance) {
+  PmemPool pool(small_cfg());
+  const auto f0 = pool.flush_count();
+  const auto n0 = pool.fence_count();
+  pool.record_write(0, 3, 0, 1, 1);
+  pool.flush_record(0, 3);
+  pool.fence(0);
+  EXPECT_EQ(pool.flush_count(), f0 + 1);
+  EXPECT_EQ(pool.fence_count(), n0 + 1);
+}
+
+TEST(PmemPool, DisabledFlushesAreNoOpsAndCrashIsRejected) {
+  PmemConfig cfg = small_cfg(false);
+  cfg.flushes_enabled = false;
+  PmemPool pool(cfg);
+  pool.record_write(0, 3, 0, 1, 1);
+  pool.flush_record(0, 3);
+  pool.fence(0);
+  EXPECT_EQ(pool.fence_count(), 0u);
+  EXPECT_THROW(pool.crash(CrashPolicy{}), TmLogicError);
+}
+
+TEST(PmemPool, RevertRecordRestoresOldValue) {
+  PmemPool pool(small_cfg());
+  pool.record_write(0, 7, 10, 20, 3);
+  pool.revert_record(7);
+  const PRecord r = pool.read_record(7);
+  EXPECT_EQ(r.cur, 10u);
+  EXPECT_EQ(r.old, 10u);
+}
+
+TEST(PmemInspector, ReportsInFlightAndDurability) {
+  PmemPool pool(small_cfg());
+  PmemInspector inspector(pool);
+
+  // Fresh pool: nothing touched.
+  PmemReport r = inspector.scan();
+  EXPECT_EQ(r.touched_records, 0u);
+  EXPECT_EQ(r.in_flight_records, 0u);
+  EXPECT_TRUE(r.active_threads.empty());
+
+  // An in-flight write (pver not yet advanced): counted as in-flight and
+  // not durable.
+  pool.record_write(/*tid=*/2, /*a=*/7, /*old=*/0, /*new=*/9, /*seq=*/0);
+  r = inspector.scan();
+  EXPECT_EQ(r.touched_records, 1u);
+  EXPECT_EQ(r.in_flight_records, 1u);
+  EXPECT_GE(r.undurable_records, 1u);
+
+  // Complete the protocol: flush record, bump + flush pVerNum.
+  pool.flush_record(2, 7);
+  pool.fence(2);
+  pool.store_pver(2, 1);
+  pool.flush_pver(2);
+  pool.fence(2);
+  r = inspector.scan();
+  EXPECT_EQ(r.in_flight_records, 0u);
+  ASSERT_EQ(r.active_threads.size(), 1u);
+  EXPECT_EQ(r.active_threads[0], 2);
+  EXPECT_EQ(r.thread_pvers[0], 1u);
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+class FileBackedPmemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "nvhalt_pool_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".pm";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  PmemConfig file_cfg() {
+    PmemConfig cfg = small_cfg();
+    cfg.backing_path = path_;
+    return cfg;
+  }
+  std::string path_;
+};
+
+TEST_F(FileBackedPmemTest, DurableStateSurvivesPoolDestruction) {
+  {
+    PmemPool pool(file_cfg());
+    EXPECT_FALSE(pool.attached_existing());
+    pool.record_write(0, 7, 0, 77, 0);
+    pool.flush_record(0, 7);
+    pool.fence(0);
+    pool.store_pver(0, 1);
+    pool.flush_pver(0);
+    pool.fence(0);
+    pool.sync_to_disk();
+  }  // process "exits"
+  {
+    PmemPool pool(file_cfg());
+    EXPECT_TRUE(pool.attached_existing());
+    // Staged view starts from the previous run's durable image.
+    EXPECT_EQ(pool.read_record(7).cur, 77u);
+    EXPECT_EQ(pool.load_pver(0), 1u);
+    // The volatile image starts empty, as after any crash.
+    EXPECT_EQ(pool.load(7), 0u);
+  }
+}
+
+TEST_F(FileBackedPmemTest, UnfencedStateDoesNotSurviveRestart) {
+  {
+    PmemPool pool(file_cfg());
+    pool.record_write(0, 7, 0, 77, 0);  // staged only, never fenced
+  }
+  {
+    PmemPool pool(file_cfg());
+    EXPECT_TRUE(pool.attached_existing());
+    EXPECT_EQ(pool.read_record(7).cur, 0u);
+  }
+}
+
+TEST_F(FileBackedPmemTest, GeometryMismatchIsRejected) {
+  { PmemPool pool(file_cfg()); }
+  PmemConfig other = file_cfg();
+  other.capacity_words *= 2;
+  EXPECT_THROW(PmemPool{other}, TmLogicError);
+}
+
+TEST_F(FileBackedPmemTest, CrashSimulationWorksOnFileBackedPools) {
+  PmemPool pool(file_cfg());
+  pool.record_write(0, 9, 0, 5, 0);
+  pool.flush_record(0, 9);
+  pool.fence(0);
+  pool.record_write(0, 10, 0, 6, 1);  // unfenced
+  pool.crash(CrashPolicy{0.0, 3});
+  EXPECT_EQ(pool.read_record(9).cur, 5u);
+  EXPECT_EQ(pool.read_record(10).cur, 0u);
+}
+
+TEST(CrashCoordinator, TripsAllCrashPoints) {
+  CrashCoordinator c;
+  EXPECT_NO_THROW(c.crash_point());
+  c.trip();
+  EXPECT_TRUE(c.tripped());
+  EXPECT_THROW(c.crash_point(), SimulatedPowerFailure);
+  c.reset();
+  EXPECT_NO_THROW(c.crash_point());
+}
+
+TEST(CrashCoordinator, PmemOpsPollTheCoordinator) {
+  PmemPool pool(small_cfg());
+  CrashCoordinator c;
+  pool.set_crash_coordinator(&c);
+  pool.record_write(0, 3, 0, 1, 1);  // fine while armed but not tripped
+  c.trip();
+  EXPECT_THROW(pool.record_write(0, 3, 0, 2, 2), SimulatedPowerFailure);
+  EXPECT_THROW(pool.fence(0), SimulatedPowerFailure);
+  pool.set_crash_coordinator(nullptr);
+  EXPECT_NO_THROW(pool.record_write(0, 3, 0, 2, 2));
+}
+
+TEST(PmemPool, EadrMakesEveryStagedStoreDurableOnCrash) {
+  PmemConfig cfg = small_cfg();
+  cfg.eadr = true;
+  PmemPool pool(cfg);
+  pool.record_write(0, 7, 0, 20, 1);  // never flushed — eADR does not care
+  EXPECT_EQ(pool.fence_count(), 0u);
+  pool.fence(0);  // no-op on eADR platforms
+  EXPECT_EQ(pool.fence_count(), 0u);
+  pool.crash(CrashPolicy{0.0, 1});
+  EXPECT_EQ(pool.read_record(7).cur, 20u);
+}
+
+TEST(PmemPool, EadrFlushesAreFreeNoOps) {
+  PmemConfig cfg = small_cfg();
+  cfg.eadr = true;
+  cfg.flush_latency_ns = 1000000;  // would be visible if flushes ran
+  PmemPool pool(cfg);
+  pool.record_write(0, 3, 0, 1, 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.flush_record(0, 3);
+  pool.fence(0);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(), 500);
+  EXPECT_EQ(pool.flush_count(), 0u);
+}
+
+TEST(PmemPool, CrashIsIdempotentOnDurableState) {
+  PmemPool pool(small_cfg());
+  pool.record_write(0, 7, 0, 20, 1);
+  pool.flush_record(0, 7);
+  pool.fence(0);
+  pool.crash(CrashPolicy{0.0, 1});
+  pool.crash(CrashPolicy{0.0, 2});
+  EXPECT_EQ(pool.read_record(7).cur, 20u);
+}
+
+}  // namespace
+}  // namespace nvhalt

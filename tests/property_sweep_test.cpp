@@ -1,0 +1,183 @@
+// Property-based configuration sweeps: the TM invariants (atomicity,
+// opacity, conservation, durable linearizability) must hold across the
+// whole configuration space — lock-table sizes (more sharing), conflict
+// stripe counts (more false conflicts), hardware attempt budgets, spurious
+// abort rates, and crash adversary seeds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+
+#include "pmem/crash_sim.hpp"
+#include "structures/tm_abtree.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::run_threads;
+using test::small_config;
+
+// ---- Sweep 1: concurrency-control space -------------------------------
+
+using CcParam = std::tuple<TmKind, int /*lock_table_pow2*/, int /*stripe_pow2*/,
+                           int /*htm_attempts*/>;
+
+class CcSweepTest : public ::testing::TestWithParam<CcParam> {};
+
+std::string cc_name(const testing::TestParamInfo<CcParam>& info) {
+  const auto& [kind, lt, sp, attempts] = info.param;
+  std::string n = tm_kind_name(kind);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n + "_lt" + std::to_string(lt) + "_sp" + std::to_string(sp) + "_a" +
+         std::to_string(attempts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, CcSweepTest,
+    ::testing::Combine(::testing::Values(TmKind::kNvHalt, TmKind::kNvHaltSp),
+                       // 0 = a single lock shared by every address; 4 = heavy
+                       // sharing; 12 = realistic.
+                       ::testing::Values(0, 4, 12),
+                       // 1 = two conflict stripes (almost everything falsely
+                       // conflicts); 6, 12 = increasingly realistic.
+                       ::testing::Values(1, 6, 12),
+                       ::testing::Values(0, 2, 10)),
+    cc_name);
+
+TEST_P(CcSweepTest, ConservationAndOpacityHold) {
+  const auto& [kind, lt_pow2, sp_pow2, attempts] = GetParam();
+  RunnerConfig cfg = small_config(kind);
+  cfg.nvhalt.lock_table_entries = std::size_t{1} << lt_pow2;
+  cfg.htm.stripe_count = std::size_t{1} << sp_pow2;
+  cfg.nvhalt.htm_attempts = attempts;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+
+  constexpr std::size_t kSlots = 24;
+  const gaddr_t arr = runner.alloc().raw_alloc_large(kSlots);
+  std::atomic<std::uint64_t> violations{0};
+  run_threads(3, [&](int tid) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(tid) * 131 + 7);
+    for (int i = 0; i < 200; ++i) {
+      const gaddr_t x = arr + rng.next_bounded(kSlots);
+      const gaddr_t y = arr + rng.next_bounded(kSlots);
+      tm.run(tid, [&](Tx& tx) {
+        std::int64_t sum = 0;
+        for (std::size_t s = 0; s < kSlots; ++s)
+          sum += static_cast<std::int64_t>(tx.read(arr + s));
+        if (sum != 0) violations.fetch_add(1);
+        tx.write(x, tx.read(x) - 1);
+        tx.write(y, tx.read(y) + 1);
+      });
+    }
+  });
+  EXPECT_EQ(violations.load(), 0u);
+  std::int64_t total = 0;
+  for (std::size_t s = 0; s < kSlots; ++s)
+    total += static_cast<std::int64_t>(runner.pool().load(arr + s));
+  EXPECT_EQ(total, 0);
+}
+
+// ---- Sweep 2: crash adversary space ------------------------------------
+
+using CrashParam = std::tuple<TmKind, int /*seed*/, int /*writeback_pct*/>;
+
+class CrashSweepTest : public ::testing::TestWithParam<CrashParam> {};
+
+std::string crash_name(const testing::TestParamInfo<CrashParam>& info) {
+  const auto& [kind, seed, wb] = info.param;
+  std::string n = tm_kind_name(kind);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n + "_seed" + std::to_string(seed) + "_wb" + std::to_string(wb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Space, CrashSweepTest,
+                         ::testing::Combine(::testing::Values(TmKind::kNvHalt, TmKind::kNvHaltCl,
+                                                              TmKind::kNvHaltSp, TmKind::kTrinity,
+                                                              TmKind::kSpht),
+                                            ::testing::Values(1, 2, 3),
+                                            ::testing::Values(0, 30, 100)),
+                         crash_name);
+
+TEST_P(CrashSweepTest, PairwiseAtomicityAcrossCrash) {
+  const auto& [kind, seed, wb_pct] = GetParam();
+  TmRunner runner(small_config(kind));
+  auto& tm = runner.tm();
+  constexpr int kThreads = 2;
+  std::vector<gaddr_t> slots_a, slots_b;
+  for (int t = 0; t < kThreads; ++t) {
+    slots_a.push_back(runner.alloc().raw_alloc(0, 1));
+    slots_b.push_back(runner.alloc().raw_alloc(0, 1));
+  }
+
+  CrashCoordinator coord;
+  runner.pool().set_crash_coordinator(&coord);
+  std::vector<word_t> acked(kThreads, 0), attempted(kThreads, 0);
+  run_threads(kThreads, [&](int tid) {
+    try {
+      for (word_t i = 1;; ++i) {
+        attempted[static_cast<std::size_t>(tid)] = i;
+        if (tm.run(tid, [&](Tx& tx) {
+              tx.write(slots_a[static_cast<std::size_t>(tid)], i);
+              tx.write(slots_b[static_cast<std::size_t>(tid)], i);
+            })) {
+          acked[static_cast<std::size_t>(tid)] = i;
+        }
+        if (i == static_cast<word_t>(50 + seed * 17)) coord.trip();  // self-crash point
+      }
+    } catch (const SimulatedPowerFailure&) {
+    }
+  });
+  runner.pool().set_crash_coordinator(nullptr);
+  runner.pool().crash(
+      CrashPolicy{static_cast<double>(wb_pct) / 100.0, static_cast<std::uint64_t>(seed)});
+  tm.recover_data();
+  std::vector<LiveBlock> live;
+  for (const gaddr_t a : slots_a) live.push_back({a, 1});
+  for (const gaddr_t a : slots_b) live.push_back({a, 1});
+  tm.rebuild_allocator(live);
+
+  for (int t = 0; t < kThreads; ++t) {
+    word_t va = 0, vb = 0;
+    tm.run(0, [&](Tx& tx) {
+      va = tx.read(slots_a[static_cast<std::size_t>(t)]);
+      vb = tx.read(slots_b[static_cast<std::size_t>(t)]);
+    });
+    EXPECT_EQ(va, vb) << "torn transaction, thread " << t;
+    EXPECT_GE(va, acked[static_cast<std::size_t>(t)]);
+    EXPECT_LE(va, attempted[static_cast<std::size_t>(t)]);
+  }
+}
+
+// ---- Sweep 3: spurious abort rates on a real structure -------------------
+
+class SpuriousSweepTest : public ::testing::TestWithParam<int /*pct*/> {};
+
+INSTANTIATE_TEST_SUITE_P(Rates, SpuriousSweepTest, ::testing::Values(0, 1, 10, 50),
+                         [](const auto& info) { return "pct" + std::to_string(info.param); });
+
+TEST_P(SpuriousSweepTest, AbTreeStaysValidUnderAbortPressure) {
+  RunnerConfig cfg = small_config(TmKind::kNvHalt);
+  cfg.htm.spurious_abort_prob = static_cast<double>(GetParam()) / 100.0;
+  TmRunner runner(cfg);
+  TmAbTree tree(runner.tm());
+  Xoshiro256 rng(19);
+  std::size_t net = 0;
+  for (int i = 0; i < 800; ++i) {
+    const word_t k = 1 + rng.next_bounded(200);
+    if (rng.next_bool(0.6)) {
+      net += tree.insert(0, k, k) ? 1 : 0;
+    } else {
+      net -= tree.remove(0, k) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(tree.size_slow(), net);
+  std::string why;
+  EXPECT_TRUE(tree.validate_slow(&why)) << why;
+}
+
+}  // namespace
+}  // namespace nvhalt

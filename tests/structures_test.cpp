@@ -1,0 +1,513 @@
+// Tests for the TM-backed data structures, parameterized over all five TMs
+// (the structures must behave identically regardless of the TM beneath).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "pmem/crash_sim.hpp"
+#include "structures/tm_abtree.hpp"
+#include "structures/tm_hashmap.hpp"
+#include "structures/tm_list.hpp"
+#include "structures/tm_queue.hpp"
+#include "structures/tm_skiplist.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::all_kinds;
+using test::run_threads;
+using test::small_config;
+
+class StructuresTest : public ::testing::TestWithParam<TmKind> {
+ protected:
+  void SetUp() override { runner_ = std::make_unique<TmRunner>(small_config(GetParam())); }
+  TransactionalMemory& tm() { return runner_->tm(); }
+  std::unique_ptr<TmRunner> runner_;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllTms, StructuresTest, ::testing::ValuesIn(all_kinds()),
+                         test::kind_param_name);
+
+// ---- Hashmap --------------------------------------------------------------
+
+TEST_P(StructuresTest, HashMapInsertContainsRemove) {
+  TmHashMap map(tm(), 1 << 8);
+  EXPECT_TRUE(map.insert(0, 42, 100));
+  EXPECT_FALSE(map.insert(0, 42, 200));  // duplicate
+  word_t v = 0;
+  EXPECT_TRUE(map.contains(0, 42, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(map.remove(0, 42));
+  EXPECT_FALSE(map.remove(0, 42));
+  EXPECT_FALSE(map.contains(0, 42));
+}
+
+TEST_P(StructuresTest, HashMapReusesEmptyNodes) {
+  TmHashMap map(tm(), 1 << 4);
+  for (word_t k = 1; k <= 64; ++k) EXPECT_TRUE(map.insert(0, k, k));
+  const auto blocks_before = map.collect_live_blocks().size();
+  for (word_t k = 1; k <= 64; ++k) EXPECT_TRUE(map.remove(0, k));
+  for (word_t k = 65; k <= 128; ++k) EXPECT_TRUE(map.insert(0, k, k));
+  // Empty-marked nodes are recycled in place only within the same bucket;
+  // with 16 buckets and uniform keys, reuse keeps node count roughly flat.
+  const auto blocks_after = map.collect_live_blocks().size();
+  EXPECT_LE(blocks_after, blocks_before + 32);
+  EXPECT_EQ(map.size_slow(), 64u);
+}
+
+TEST_P(StructuresTest, HashMapManyKeysMatchReference) {
+  TmHashMap map(tm(), 1 << 8);
+  std::map<word_t, word_t> ref;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const word_t k = 1 + rng.next_bounded(500);
+    const int op = static_cast<int>(rng.next_bounded(3));
+    if (op == 0) {
+      EXPECT_EQ(map.insert(0, k, k * 10), ref.emplace(k, k * 10).second);
+    } else if (op == 1) {
+      EXPECT_EQ(map.remove(0, k), ref.erase(k) > 0);
+    } else {
+      word_t v = 0;
+      const bool found = map.contains(0, k, &v);
+      EXPECT_EQ(found, ref.count(k) > 0);
+      if (found) {
+        EXPECT_EQ(v, ref[k]);
+      }
+    }
+  }
+  EXPECT_EQ(map.size_slow(), ref.size());
+}
+
+TEST_P(StructuresTest, HashMapConcurrentDisjointInserts) {
+  TmHashMap map(tm(), 1 << 8);
+  constexpr int kThreads = 4, kPerThread = 200;
+  run_threads(kThreads, [&](int tid) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const word_t k = static_cast<word_t>(tid) * 10000 + i + 1;
+      EXPECT_TRUE(map.insert(tid, k, k));
+    }
+  });
+  EXPECT_EQ(map.size_slow(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i)
+      EXPECT_TRUE(map.contains(0, static_cast<word_t>(t) * 10000 + i + 1));
+}
+
+TEST_P(StructuresTest, HashMapConcurrentMixedWorkloadStaysConsistent) {
+  TmHashMap map(tm(), 1 << 6);
+  constexpr int kThreads = 4;
+  constexpr word_t kKeyRange = 64;
+  run_threads(kThreads, [&](int tid) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 99);
+    for (int i = 0; i < 300; ++i) {
+      const word_t k = 1 + rng.next_bounded(kKeyRange);
+      const int op = static_cast<int>(rng.next_bounded(3));
+      if (op == 0) {
+        map.insert(tid, k, k);
+      } else if (op == 1) {
+        map.remove(tid, k);
+      } else {
+        word_t v = 0;
+        if (map.contains(tid, k, &v)) {
+          EXPECT_EQ(v, k);  // values never corrupt
+        }
+      }
+    }
+  });
+  EXPECT_LE(map.size_slow(), static_cast<std::size_t>(kKeyRange));
+}
+
+// ---- (a,b)-tree ------------------------------------------------------------
+
+TEST_P(StructuresTest, AbTreeInsertContainsRemove) {
+  TmAbTree tree(tm());
+  EXPECT_TRUE(tree.insert(0, 5, 50));
+  EXPECT_FALSE(tree.insert(0, 5, 51));
+  word_t v = 0;
+  EXPECT_TRUE(tree.contains(0, 5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_TRUE(tree.remove(0, 5));
+  EXPECT_FALSE(tree.remove(0, 5));
+  EXPECT_FALSE(tree.contains(0, 5));
+}
+
+TEST_P(StructuresTest, AbTreeSequentialFillAndDrain) {
+  TmAbTree tree(tm());
+  constexpr word_t kN = 1500;  // forces multiple levels (b = 16)
+  for (word_t k = 1; k <= kN; ++k) {
+    ASSERT_TRUE(tree.insert(0, k, k * 2));
+    if (k % 128 == 0) {
+      std::string why;
+      ASSERT_TRUE(tree.validate_slow(&why)) << why;
+    }
+  }
+  EXPECT_EQ(tree.size_slow(), kN);
+  const auto keys = tree.keys_slow();
+  ASSERT_EQ(keys.size(), kN);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (word_t k = 1; k <= kN; ++k) {
+    word_t v = 0;
+    ASSERT_TRUE(tree.contains(0, k, &v)) << k;
+    EXPECT_EQ(v, k * 2);
+  }
+  for (word_t k = 1; k <= kN; ++k) {
+    ASSERT_TRUE(tree.remove(0, k)) << k;
+    if (k % 128 == 0) {
+      std::string why;
+      ASSERT_TRUE(tree.validate_slow(&why)) << why;
+    }
+  }
+  EXPECT_EQ(tree.size_slow(), 0u);
+  std::string why;
+  EXPECT_TRUE(tree.validate_slow(&why)) << why;
+}
+
+TEST_P(StructuresTest, AbTreeRandomOpsMatchReference) {
+  TmAbTree tree(tm());
+  std::map<word_t, word_t> ref;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    const word_t k = 1 + rng.next_bounded(800);
+    const int op = static_cast<int>(rng.next_bounded(3));
+    if (op == 0) {
+      EXPECT_EQ(tree.insert(0, k, k + 7), ref.emplace(k, k + 7).second);
+    } else if (op == 1) {
+      EXPECT_EQ(tree.remove(0, k), ref.erase(k) > 0);
+    } else {
+      word_t v = 0;
+      const bool found = tree.contains(0, k, &v);
+      EXPECT_EQ(found, ref.count(k) > 0);
+      if (found) {
+        EXPECT_EQ(v, ref[k]);
+      }
+    }
+    if (i % 500 == 0) {
+      std::string why;
+      ASSERT_TRUE(tree.validate_slow(&why)) << why << " after op " << i;
+    }
+  }
+  const auto keys = tree.keys_slow();
+  ASSERT_EQ(keys.size(), ref.size());
+  auto it = ref.begin();
+  for (std::size_t i = 0; i < keys.size(); ++i, ++it) EXPECT_EQ(keys[i], it->first);
+}
+
+TEST_P(StructuresTest, AbTreeDescendingInsertThenAscendingRemove) {
+  TmAbTree tree(tm());
+  for (word_t k = 600; k >= 1; --k) ASSERT_TRUE(tree.insert(0, k, k));
+  std::string why;
+  ASSERT_TRUE(tree.validate_slow(&why)) << why;
+  for (word_t k = 1; k <= 600; ++k) ASSERT_TRUE(tree.remove(0, k)) << k;
+  EXPECT_EQ(tree.size_slow(), 0u);
+}
+
+TEST_P(StructuresTest, AbTreeConcurrentMixedWorkloadKeepsInvariants) {
+  TmAbTree tree(tm());
+  // Prefill so rebalancing happens from the start.
+  for (word_t k = 2; k <= 400; k += 2) ASSERT_TRUE(tree.insert(0, k, k));
+  constexpr int kThreads = 4;
+  run_threads(kThreads, [&](int tid) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(tid) * 31 + 1);
+    for (int i = 0; i < 250; ++i) {
+      const word_t k = 1 + rng.next_bounded(400);
+      const int op = static_cast<int>(rng.next_bounded(3));
+      if (op == 0) {
+        tree.insert(tid, k, k);
+      } else if (op == 1) {
+        tree.remove(tid, k);
+      } else {
+        word_t v = 0;
+        if (tree.contains(tid, k, &v)) {
+          EXPECT_EQ(v, k);
+        }
+      }
+    }
+  });
+  std::string why;
+  EXPECT_TRUE(tree.validate_slow(&why)) << why;
+  const auto keys = tree.keys_slow();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());  // unique
+}
+
+// ---- Sorted list ------------------------------------------------------------
+
+TEST_P(StructuresTest, ListBasicOperations) {
+  TmList list(tm());
+  EXPECT_TRUE(list.insert(0, 3, 30));
+  EXPECT_TRUE(list.insert(0, 1, 10));
+  EXPECT_TRUE(list.insert(0, 2, 20));
+  EXPECT_FALSE(list.insert(0, 2, 21));
+  EXPECT_EQ(list.size_slow(), 3u);
+  word_t v = 0;
+  EXPECT_TRUE(list.contains(0, 2, &v));
+  EXPECT_EQ(v, 20u);
+  EXPECT_TRUE(list.remove(0, 2));
+  EXPECT_FALSE(list.contains(0, 2));
+  EXPECT_EQ(list.size_slow(), 2u);
+}
+
+TEST_P(StructuresTest, ListSumIsTransactionallyConsistent) {
+  TmList list(tm());
+  // Invariant: values always sum to 100 across two keys.
+  list.insert(0, 1, 60);
+  list.insert(0, 2, 40);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread mover([&] {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 300; ++i) {
+      const word_t delta = rng.next_bounded(10);
+      tm().run(0, [&](Tx& tx) {
+        TmList l = TmList::attach(tm());
+        word_t v1 = 0, v2 = 0;
+        l.contains_in(tx, 1, &v1);
+        l.contains_in(tx, 2, &v2);
+        if (v1 >= delta) {
+          // Move delta from key 1 to key 2 atomically.
+          l.remove_in(tx, 1);
+          l.remove_in(tx, 2);
+          l.insert_in(tx, 1, v1 - delta);
+          l.insert_in(tx, 2, v2 + delta);
+        }
+      });
+    }
+    stop.store(true);
+  });
+  std::thread checker([&] {
+    while (!stop.load()) {
+      if (list.sum_values(1) != 100u) violation.store(true);
+    }
+  });
+  mover.join();
+  checker.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(list.sum_values(0), 100u);
+}
+
+TEST_P(StructuresTest, AbTreeRangeScanReturnsSortedWindow) {
+  TmAbTree tree(tm());
+  for (word_t k = 1; k <= 500; k += 3) ASSERT_TRUE(tree.insert(0, k, k * 2));
+  const auto r = tree.range(0, 100, 200);
+  ASSERT_FALSE(r.empty());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GE(r[i].first, 100u);
+    EXPECT_LE(r[i].first, 200u);
+    EXPECT_EQ(r[i].second, r[i].first * 2);
+    if (i > 0) {
+      EXPECT_LT(r[i - 1].first, r[i].first);
+    }
+  }
+  // Exact count: keys 100..200 hitting 1 mod 3 -> 102..199 step 3 = 34.
+  std::size_t expect = 0;
+  for (word_t k = 100; k <= 200; ++k) expect += (k % 3) == 1;
+  EXPECT_EQ(r.size(), expect);
+  // Boundary behaviour: inclusive on both ends.
+  EXPECT_EQ(tree.range(0, 1, 1).size(), 1u);
+  EXPECT_TRUE(tree.range(0, 2, 3).empty());
+  EXPECT_EQ(tree.range(0, 0, 10000).size(), tree.size_slow());
+}
+
+TEST_P(StructuresTest, AbTreeRangeScanIsConsistentUnderConcurrency) {
+  TmAbTree tree(tm());
+  // Invariant: keys come in pairs (2k, 2k+1) inserted/removed atomically.
+  for (word_t k = 0; k < 100; ++k) {
+    tm().run(0, [&](Tx& tx) {
+      tree.insert_in(tx, 1000 + 2 * k, 1);
+      tree.insert_in(tx, 1000 + 2 * k + 1, 1);
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> odd_counts{0};
+  std::thread mutator([&] {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 200; ++i) {
+      const word_t k = rng.next_bounded(100);
+      tm().run(0, [&](Tx& tx) {
+        if (tree.contains_in(tx, 1000 + 2 * k)) {
+          tree.remove_in(tx, 1000 + 2 * k);
+          tree.remove_in(tx, 1000 + 2 * k + 1);
+        } else {
+          tree.insert_in(tx, 1000 + 2 * k, 1);
+          tree.insert_in(tx, 1000 + 2 * k + 1, 1);
+        }
+      });
+    }
+    stop.store(true);
+  });
+  std::thread scanner([&] {
+    while (!stop.load()) {
+      const auto r = tree.range(1, 1000, 1300);
+      if (r.size() % 2 != 0) odd_counts.fetch_add(1);  // torn pair observed
+    }
+  });
+  mutator.join();
+  scanner.join();
+  EXPECT_EQ(odd_counts.load(), 0u);
+}
+
+// ---- Skiplist ---------------------------------------------------------------
+
+TEST_P(StructuresTest, SkipListBasicOperations) {
+  TmSkipList sl(tm(), /*root_slot=*/8);
+  EXPECT_TRUE(sl.insert(0, 5, 50));
+  EXPECT_FALSE(sl.insert(0, 5, 51));
+  word_t v = 0;
+  EXPECT_TRUE(sl.contains(0, 5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_TRUE(sl.remove(0, 5));
+  EXPECT_FALSE(sl.remove(0, 5));
+  EXPECT_FALSE(sl.contains(0, 5));
+}
+
+TEST_P(StructuresTest, SkipListRandomOpsMatchReference) {
+  TmSkipList sl(tm(), 8);
+  std::map<word_t, word_t> ref;
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 3000; ++i) {
+    const word_t k = 1 + rng.next_bounded(600);
+    const int op = static_cast<int>(rng.next_bounded(3));
+    if (op == 0) {
+      EXPECT_EQ(sl.insert(0, k, k + 3), ref.emplace(k, k + 3).second);
+    } else if (op == 1) {
+      EXPECT_EQ(sl.remove(0, k), ref.erase(k) > 0);
+    } else {
+      word_t v = 0;
+      const bool found = sl.contains(0, k, &v);
+      EXPECT_EQ(found, ref.count(k) > 0);
+      if (found) {
+        EXPECT_EQ(v, ref[k]);
+      }
+    }
+    if (i % 500 == 0) {
+      std::string why;
+      ASSERT_TRUE(sl.validate_slow(&why)) << why;
+    }
+  }
+  const auto keys = sl.keys_slow();
+  ASSERT_EQ(keys.size(), ref.size());
+  auto it = ref.begin();
+  for (std::size_t i = 0; i < keys.size(); ++i, ++it) EXPECT_EQ(keys[i], it->first);
+}
+
+TEST_P(StructuresTest, SkipListConcurrentMixedWorkloadKeepsInvariants) {
+  TmSkipList sl(tm(), 8);
+  for (word_t k = 2; k <= 200; k += 2) ASSERT_TRUE(sl.insert(0, k, k));
+  run_threads(4, [&](int tid) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(tid) * 37 + 5);
+    for (int i = 0; i < 200; ++i) {
+      const word_t k = 1 + rng.next_bounded(200);
+      const int op = static_cast<int>(rng.next_bounded(3));
+      if (op == 0) {
+        sl.insert(tid, k, k);
+      } else if (op == 1) {
+        sl.remove(tid, k);
+      } else {
+        word_t v = 0;
+        if (sl.contains(tid, k, &v)) {
+          EXPECT_EQ(v, k);
+        }
+      }
+    }
+  });
+  std::string why;
+  EXPECT_TRUE(sl.validate_slow(&why)) << why;
+  const auto keys = sl.keys_slow();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(StructuresTest, SkipListSurvivesCrash) {
+  TmSkipList sl(tm(), 8);
+  for (word_t k = 1; k <= 120; ++k) ASSERT_TRUE(sl.insert(0, k, k * 4));
+  tm().pool().crash(CrashPolicy{0.4, 13});
+  tm().recover_data();
+  TmSkipList recovered = TmSkipList::attach(tm(), 8);
+  tm().rebuild_allocator(recovered.collect_live_blocks());
+  std::string why;
+  EXPECT_TRUE(recovered.validate_slow(&why)) << why;
+  for (word_t k = 1; k <= 120; ++k) {
+    word_t v = 0;
+    ASSERT_TRUE(recovered.contains(0, k, &v)) << k;
+    EXPECT_EQ(v, k * 4);
+  }
+  EXPECT_TRUE(recovered.insert(0, 1000, 1));
+  EXPECT_TRUE(recovered.remove(0, 1000));
+}
+
+// ---- Bounded FIFO queue -----------------------------------------------------
+
+TEST_P(StructuresTest, QueueFifoOrderSingleThread) {
+  TmQueue q(tm(), 64);
+  EXPECT_EQ(q.size_slow(), 0u);
+  word_t out = 0;
+  EXPECT_FALSE(q.dequeue(0, &out));  // empty
+  for (word_t v = 1; v <= 50; ++v) EXPECT_TRUE(q.enqueue(0, v));
+  EXPECT_EQ(q.size_slow(), 50u);
+  for (word_t v = 1; v <= 50; ++v) {
+    ASSERT_TRUE(q.dequeue(0, &out));
+    EXPECT_EQ(out, v);  // strict FIFO
+  }
+  EXPECT_FALSE(q.dequeue(0, &out));
+}
+
+TEST_P(StructuresTest, QueueRejectsWhenFull) {
+  TmQueue q(tm(), 8);
+  for (word_t v = 0; v < 8; ++v) EXPECT_TRUE(q.enqueue(0, v));
+  EXPECT_FALSE(q.enqueue(0, 99));
+  word_t out = 0;
+  EXPECT_TRUE(q.dequeue(0, &out));
+  EXPECT_TRUE(q.enqueue(0, 99));  // slot reclaimed, wraps around
+}
+
+TEST_P(StructuresTest, QueueWrapsAroundManyTimes) {
+  TmQueue q(tm(), 8);
+  word_t expect = 0, out = 0;
+  for (word_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(q.enqueue(0, v));
+    ASSERT_TRUE(q.dequeue(0, &out));
+    ASSERT_EQ(out, expect++);
+  }
+}
+
+TEST_P(StructuresTest, QueueConcurrentProducersConsumersConserveItems) {
+  TmQueue q(tm(), 256);
+  constexpr int kProducers = 2, kConsumers = 2, kPerProducer = 300;
+  std::atomic<std::uint64_t> produced_sum{0}, consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  run_threads(kProducers + kConsumers, [&](int tid) {
+    if (tid < kProducers) {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const word_t v = static_cast<word_t>(tid) * 100000 + static_cast<word_t>(i) + 1;
+        while (!q.enqueue(tid, v)) {
+        }
+        produced_sum.fetch_add(v);
+      }
+    } else {
+      word_t out = 0;
+      while (consumed_count.load() < kProducers * kPerProducer) {
+        if (q.dequeue(tid, &out)) {
+          consumed_sum.fetch_add(out);
+          consumed_count.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(), produced_sum.load());
+  EXPECT_EQ(q.size_slow(), 0u);
+}
+
+TEST_P(StructuresTest, CollectLiveBlocksCoversEverything) {
+  TmHashMap map(tm(), 1 << 4);
+  for (word_t k = 1; k <= 20; ++k) map.insert(0, k, k);
+  const auto live = map.collect_live_blocks();
+  // Bucket array + 20 nodes.
+  EXPECT_EQ(live.size(), 21u);
+  EXPECT_EQ(live[0].nwords, 16u);
+}
+
+}  // namespace
+}  // namespace nvhalt

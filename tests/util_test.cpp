@@ -1,0 +1,175 @@
+// Unit tests for the utility layer: RNG, barrier, function_ref, small maps.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "htm/small_map.hpp"
+#include "util/barrier.hpp"
+#include "util/function_ref.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace nvhalt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_bounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyCorrect) {
+  Xoshiro256 r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ZeroSeedDoesNotProduceZeroStream) {
+  Xoshiro256 r(0);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 10; ++i) acc |= r.next();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, all kThreads increments of this phase landed.
+        if (counter.load() < (p + 1) * kThreads) failed.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+TEST(Barrier, RejectsZeroParticipants) { EXPECT_THROW(SpinBarrier(0), TmLogicError); }
+
+TEST(FunctionRef, CallsLambdaWithCapture) {
+  int x = 0;
+  auto fn = [&x](int v) { x = v; };
+  FunctionRef<void(int)> ref(fn);
+  ref(42);
+  EXPECT_EQ(x, 42);
+}
+
+TEST(FunctionRef, ReturnsValue) {
+  auto fn = [](int a, int b) { return a * b; };
+  FunctionRef<int(int, int)> ref(fn);
+  EXPECT_EQ(ref(6, 7), 42);
+}
+
+TEST(SmallIndexMap, InsertFindOverwrite) {
+  htm::SmallIndexMap m;
+  EXPECT_EQ(m.find(5), htm::SmallIndexMap::kNotFound);
+  EXPECT_TRUE(m.insert(5, 10));
+  EXPECT_EQ(m.find(5), 10u);
+  EXPECT_FALSE(m.insert(5, 11));  // overwrite, not new
+  EXPECT_EQ(m.find(5), 11u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SmallIndexMap, ClearIsO1AndComplete) {
+  htm::SmallIndexMap m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.insert(i, static_cast<std::uint32_t>(i));
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(m.find(i), htm::SmallIndexMap::kNotFound);
+}
+
+TEST(SmallIndexMap, GrowsBeyondInitialCapacity) {
+  htm::SmallIndexMap m(64);
+  for (std::uint64_t i = 0; i < 5000; ++i)
+    EXPECT_TRUE(m.insert(i * 977, static_cast<std::uint32_t>(i)));
+  for (std::uint64_t i = 0; i < 5000; ++i) EXPECT_EQ(m.find(i * 977), i);
+}
+
+TEST(SmallIndexMap, SurvivesManyGenerations) {
+  htm::SmallIndexMap m(64);
+  for (int gen = 0; gen < 1000; ++gen) {
+    m.clear();
+    m.insert(static_cast<std::uint64_t>(gen), 1);
+    EXPECT_EQ(m.find(static_cast<std::uint64_t>(gen)), 1u);
+    EXPECT_EQ(m.find(static_cast<std::uint64_t>(gen + 1)), htm::SmallIndexMap::kNotFound);
+  }
+}
+
+TEST(Zipf, ValuesStayInRange) {
+  ZipfGenerator z(1000, 0.99, 7);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(z.next(), 1000u);
+}
+
+TEST(Zipf, SkewConcentratesMassOnLowKeys) {
+  ZipfGenerator z(10000, 0.99, 11);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) low += z.next() < 100;  // top 1% of keys
+  // Under theta=0.99 skew the hottest 1% of keys draw a large share.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Zipf, DeterministicForSameSeed) {
+  ZipfGenerator a(500, 0.8, 3), b(500, 0.8, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SmallSet, InsertContainsClear) {
+  htm::SmallSet s;
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  s.clear();
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SmallSet, GrowsAndKeepsAllKeys) {
+  htm::SmallSet s(128);
+  std::set<std::uint64_t> ref;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = rng.next();
+    EXPECT_EQ(s.insert(k), ref.insert(k).second);
+  }
+  for (const auto k : ref) EXPECT_TRUE(s.contains(k));
+  EXPECT_EQ(s.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace nvhalt

@@ -1,0 +1,117 @@
+// Tests for the reusable workload framework (src/workload).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "structures/tm_hashmap.hpp"
+#include "test_helpers.hpp"
+#include "workload/workload.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::small_config;
+
+/// In-memory reference structure for framework tests (no TM involved).
+class FakeOps final : public workload::KeyedOps {
+ public:
+  bool insert(int, word_t key, word_t val) override {
+    std::lock_guard<std::mutex> g(mu_);
+    ++inserts_;
+    return map_.emplace(key, val).second;
+  }
+  bool remove(int, word_t key) override {
+    std::lock_guard<std::mutex> g(mu_);
+    ++removes_;
+    return map_.erase(key) > 0;
+  }
+  bool contains(int, word_t key) override {
+    std::lock_guard<std::mutex> g(mu_);
+    ++lookups_;
+    return map_.count(key) > 0;
+  }
+
+  std::mutex mu_;
+  std::map<word_t, word_t> map_;
+  std::uint64_t inserts_ = 0, removes_ = 0, lookups_ = 0;
+};
+
+TEST(KeyGenerator, UniformKeysSpanTheRange) {
+  workload::KeyGenerator gen(workload::KeyDist::kUniform, 100, 7);
+  std::map<word_t, int> hist;
+  for (int i = 0; i < 20000; ++i) {
+    const word_t k = gen.next();
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+    hist[k]++;
+  }
+  EXPECT_EQ(hist.size(), 100u);  // every key hit at this sample size
+}
+
+TEST(KeyGenerator, ZipfKeysAreSkewed) {
+  workload::KeyGenerator gen(workload::KeyDist::kZipf, 10000, 7);
+  int hot = 0;
+  for (int i = 0; i < 20000; ++i) hot += gen.next() <= 100;
+  EXPECT_GT(hot, 20000 / 4);
+}
+
+TEST(Workload, PrefillReachesExactlyHalf) {
+  FakeOps ops;
+  workload::prefill_half(ops, 1000, 3);
+  EXPECT_EQ(ops.map_.size(), 500u);
+  for (const auto& [k, v] : ops.map_) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+    EXPECT_EQ(v, k);
+  }
+}
+
+TEST(Workload, MixRespectsReadPercentageRoughly) {
+  FakeOps ops;
+  workload::prefill_half(ops, 256, 3);
+  workload::WorkloadSpec spec;
+  spec.read_pct = 90;
+  spec.threads = 2;
+  spec.key_range = 256;
+  spec.duration_ms = 60;
+  const auto r = workload::run_mixed(ops, spec);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  const double total = static_cast<double>(ops.inserts_ + ops.removes_ + ops.lookups_);
+  EXPECT_NEAR(static_cast<double>(ops.lookups_) / total, 0.90, 0.03);
+  // Inserts and removes split the remainder roughly evenly.
+  EXPECT_NEAR(static_cast<double>(ops.inserts_) / total, 0.05, 0.02);
+}
+
+TEST(Workload, ZeroReadPctIsUpdateOnly) {
+  FakeOps ops;
+  workload::WorkloadSpec spec;
+  spec.read_pct = 0;
+  spec.threads = 1;
+  spec.key_range = 64;
+  spec.duration_ms = 30;
+  workload::run_mixed(ops, spec);
+  EXPECT_EQ(ops.lookups_, 0u);
+  EXPECT_GT(ops.inserts_ + ops.removes_, 0u);
+}
+
+TEST(Workload, AdapterDrivesRealStructure) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  TmHashMap map(runner.tm(), 1 << 8);
+  workload::KeyedOpsAdapter<TmHashMap> ops(map);
+  workload::prefill_half(ops, 256, 9);
+  EXPECT_EQ(map.size_slow(), 128u);
+  workload::WorkloadSpec spec;
+  spec.read_pct = 50;
+  spec.threads = 2;
+  spec.key_range = 256;
+  spec.duration_ms = 50;
+  const auto r = workload::run_mixed(ops, spec);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_LE(map.size_slow(), 256u);  // keys stay within the range
+}
+
+}  // namespace
+}  // namespace nvhalt
