@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_sensitivity.dir/bench_abort_sensitivity.cpp.o"
+  "CMakeFiles/bench_abort_sensitivity.dir/bench_abort_sensitivity.cpp.o.d"
+  "CMakeFiles/bench_abort_sensitivity.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_abort_sensitivity.dir/bench_common.cpp.o.d"
+  "bench_abort_sensitivity"
+  "bench_abort_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

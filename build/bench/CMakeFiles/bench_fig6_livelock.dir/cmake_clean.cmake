@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_livelock.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig6_livelock.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig6_livelock.dir/bench_fig6_livelock.cpp.o"
+  "CMakeFiles/bench_fig6_livelock.dir/bench_fig6_livelock.cpp.o.d"
+  "bench_fig6_livelock"
+  "bench_fig6_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

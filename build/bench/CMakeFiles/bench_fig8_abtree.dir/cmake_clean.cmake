@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_abtree.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig8_abtree.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig8_abtree.dir/bench_fig8_abtree.cpp.o"
+  "CMakeFiles/bench_fig8_abtree.dir/bench_fig8_abtree.cpp.o.d"
+  "bench_fig8_abtree"
+  "bench_fig8_abtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_abtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hashmap.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig8_hashmap.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig8_hashmap.dir/bench_fig8_hashmap.cpp.o"
+  "CMakeFiles/bench_fig8_hashmap.dir/bench_fig8_hashmap.cpp.o.d"
+  "bench_fig8_hashmap"
+  "bench_fig8_hashmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

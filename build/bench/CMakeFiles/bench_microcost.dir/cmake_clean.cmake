@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microcost.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_microcost.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_microcost.dir/bench_microcost.cpp.o"
+  "CMakeFiles/bench_microcost.dir/bench_microcost.cpp.o.d"
+  "bench_microcost"
+  "bench_microcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/segment.cpp" "src/CMakeFiles/nvhalt.dir/alloc/segment.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/alloc/segment.cpp.o.d"
+  "/root/repo/src/alloc/tx_allocator.cpp" "src/CMakeFiles/nvhalt.dir/alloc/tx_allocator.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/alloc/tx_allocator.cpp.o.d"
+  "/root/repo/src/api/root_registry.cpp" "src/CMakeFiles/nvhalt.dir/api/root_registry.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/api/root_registry.cpp.o.d"
+  "/root/repo/src/api/tm_factory.cpp" "src/CMakeFiles/nvhalt.dir/api/tm_factory.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/api/tm_factory.cpp.o.d"
+  "/root/repo/src/baselines/spht/spht_log.cpp" "src/CMakeFiles/nvhalt.dir/baselines/spht/spht_log.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/baselines/spht/spht_log.cpp.o.d"
+  "/root/repo/src/baselines/spht/spht_replay.cpp" "src/CMakeFiles/nvhalt.dir/baselines/spht/spht_replay.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/baselines/spht/spht_replay.cpp.o.d"
+  "/root/repo/src/baselines/spht/spht_tm.cpp" "src/CMakeFiles/nvhalt.dir/baselines/spht/spht_tm.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/baselines/spht/spht_tm.cpp.o.d"
+  "/root/repo/src/baselines/trinity/trinity_tm.cpp" "src/CMakeFiles/nvhalt.dir/baselines/trinity/trinity_tm.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/baselines/trinity/trinity_tm.cpp.o.d"
+  "/root/repo/src/core/hw_path.cpp" "src/CMakeFiles/nvhalt.dir/core/hw_path.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/core/hw_path.cpp.o.d"
+  "/root/repo/src/core/nvhalt_tm.cpp" "src/CMakeFiles/nvhalt.dir/core/nvhalt_tm.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/core/nvhalt_tm.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/nvhalt.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/sw_path.cpp" "src/CMakeFiles/nvhalt.dir/core/sw_path.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/core/sw_path.cpp.o.d"
+  "/root/repo/src/core/tm_stats.cpp" "src/CMakeFiles/nvhalt.dir/core/tm_stats.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/core/tm_stats.cpp.o.d"
+  "/root/repo/src/htm/conflict_table.cpp" "src/CMakeFiles/nvhalt.dir/htm/conflict_table.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/htm/conflict_table.cpp.o.d"
+  "/root/repo/src/htm/htm_stats.cpp" "src/CMakeFiles/nvhalt.dir/htm/htm_stats.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/htm/htm_stats.cpp.o.d"
+  "/root/repo/src/htm/sim_htm.cpp" "src/CMakeFiles/nvhalt.dir/htm/sim_htm.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/htm/sim_htm.cpp.o.d"
+  "/root/repo/src/locks/lock_table.cpp" "src/CMakeFiles/nvhalt.dir/locks/lock_table.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/locks/lock_table.cpp.o.d"
+  "/root/repo/src/locks/versioned_lock.cpp" "src/CMakeFiles/nvhalt.dir/locks/versioned_lock.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/locks/versioned_lock.cpp.o.d"
+  "/root/repo/src/pmem/crash_sim.cpp" "src/CMakeFiles/nvhalt.dir/pmem/crash_sim.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/pmem/crash_sim.cpp.o.d"
+  "/root/repo/src/pmem/pmem_inspector.cpp" "src/CMakeFiles/nvhalt.dir/pmem/pmem_inspector.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/pmem/pmem_inspector.cpp.o.d"
+  "/root/repo/src/pmem/pmem_pool.cpp" "src/CMakeFiles/nvhalt.dir/pmem/pmem_pool.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/pmem/pmem_pool.cpp.o.d"
+  "/root/repo/src/structures/tm_abtree.cpp" "src/CMakeFiles/nvhalt.dir/structures/tm_abtree.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/structures/tm_abtree.cpp.o.d"
+  "/root/repo/src/structures/tm_hashmap.cpp" "src/CMakeFiles/nvhalt.dir/structures/tm_hashmap.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/structures/tm_hashmap.cpp.o.d"
+  "/root/repo/src/structures/tm_list.cpp" "src/CMakeFiles/nvhalt.dir/structures/tm_list.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/structures/tm_list.cpp.o.d"
+  "/root/repo/src/structures/tm_queue.cpp" "src/CMakeFiles/nvhalt.dir/structures/tm_queue.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/structures/tm_queue.cpp.o.d"
+  "/root/repo/src/structures/tm_skiplist.cpp" "src/CMakeFiles/nvhalt.dir/structures/tm_skiplist.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/structures/tm_skiplist.cpp.o.d"
+  "/root/repo/src/util/affinity.cpp" "src/CMakeFiles/nvhalt.dir/util/affinity.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/util/affinity.cpp.o.d"
+  "/root/repo/src/util/barrier.cpp" "src/CMakeFiles/nvhalt.dir/util/barrier.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/util/barrier.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/nvhalt.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/util/rng.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/nvhalt.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/nvhalt.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

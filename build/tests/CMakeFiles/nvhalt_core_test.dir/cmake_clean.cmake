@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvhalt_core_test.dir/nvhalt_core_test.cpp.o"
+  "CMakeFiles/nvhalt_core_test.dir/nvhalt_core_test.cpp.o.d"
+  "nvhalt_core_test"
+  "nvhalt_core_test.pdb"
+  "nvhalt_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvhalt_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
