@@ -82,6 +82,7 @@ BenchResult run_structure_bench(const BenchParams& p) {
   if (p.kind == TmKind::kSpht) dynamic_cast<SphtTm&>(tm).reset_global_lock_held_ns();
   const std::uint64_t flushes_before = runner.pool().flush_count();
   const std::uint64_t fences_before = runner.pool().fence_count();
+  const std::uint64_t dedup_before = runner.pool().flush_dedup_count();
 
   workload::WorkloadSpec spec;
   spec.read_pct = p.read_pct;
@@ -95,6 +96,7 @@ BenchResult run_structure_bench(const BenchParams& p) {
   const double secs = w.seconds;
   const std::uint64_t flushes_measured = runner.pool().flush_count() - flushes_before;
   const std::uint64_t fences_measured = runner.pool().fence_count() - fences_before;
+  const std::uint64_t dedup_measured = runner.pool().flush_dedup_count() - dedup_before;
   double serialized_frac = 0;
   if (p.kind == TmKind::kSpht) {
     serialized_frac = static_cast<double>(dynamic_cast<SphtTm&>(tm).global_lock_held_ns()) /
@@ -116,6 +118,8 @@ BenchResult run_structure_bench(const BenchParams& p) {
   if (r.total_ops > 0) {
     r.flushes_per_op = static_cast<double>(flushes_measured) / static_cast<double>(r.total_ops);
     r.fences_per_op = static_cast<double>(fences_measured) / static_cast<double>(r.total_ops);
+    r.flush_dedup_per_op =
+        static_cast<double>(dedup_measured) / static_cast<double>(r.total_ops);
   }
   r.serialized_frac = serialized_frac;
   return r;

@@ -65,6 +65,9 @@ struct BenchResult {
   /// paper's overhead classes 1-2 without depending on simulated latencies.
   double flushes_per_op = 0;
   double fences_per_op = 0;
+  /// Queued flushes coalesced away by fence-time dedupe (same line flushed
+  /// twice in one fence epoch, e.g. adjacent Trinity records).
+  double flush_dedup_per_op = 0;
   /// SPHT only: fraction of the measurement window during which the global
   /// fallback lock was held, i.e. all concurrency was disabled (paper
   /// Sec. 5.3). Zero for the other TMs.

@@ -1,0 +1,213 @@
+// Perf-regression reporter: runs a fixed micro-grid (abtree + hashmap,
+// 99/90/50/0% read-only, all 5 TMs) plus a software-path read-set scaling
+// sweep (validation cache on vs validate_every_read), and emits a
+// machine-readable JSON report so every PR leaves a throughput trajectory
+// behind. Plain binary — no google-benchmark, no external JSON library.
+//
+// Usage: bench_regress [--smoke] [--check] [--out PATH]
+//   --smoke   truncated ~10s mode (small keys, short windows), used by the
+//             perf-smoke CTest target
+//   --check   after writing the report, re-read and validate its shape;
+//             exit nonzero on a malformed or missing file
+//   --out     output path (default: BENCH_sw_hotpath.json in the CWD)
+//
+// The committed BENCH_sw_hotpath.json at the repo root is a full-mode run
+// of this binary. No timing assertions anywhere: the report records
+// numbers; humans (and PR descriptions) compare them across revisions.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nvhalt::bench {
+namespace {
+
+struct Options {
+  bool smoke = false;
+  bool check = false;
+  std::string out = "BENCH_sw_hotpath.json";
+};
+
+struct ScalingPoint {
+  std::size_t reads;
+  double ns_per_read;
+};
+
+// Software-path read cost vs read-set size, single-threaded and
+// latency-free so the validation work itself is what is measured. The
+// acceptance bar for the snapshot cache: per-read cost at 256-entry read
+// sets stays within a small constant factor of 8-entry sets, instead of
+// the superlinear blowup of per-read full revalidation.
+std::vector<ScalingPoint> measure_read_scaling(bool every_read, int iters) {
+  std::vector<ScalingPoint> out;
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{256}}) {
+    RunnerConfig cfg;
+    cfg.kind = TmKind::kNvHalt;
+    cfg.pmem.capacity_words = std::size_t{1} << 18;
+    cfg.nvhalt.htm_attempts = 0;  // force the software path
+    cfg.nvhalt.validate_every_read = every_read;
+    TmRunner runner(cfg);
+    auto& tm = runner.tm();
+    const gaddr_t arr = runner.alloc().raw_alloc_large(n);
+    word_t sink = 0;
+    const auto body = [&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) sink += tx.read(arr + i);
+    };
+    for (int i = 0; i < 16; ++i) tm.run(0, body);  // warm up
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) tm.run(0, body);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    out.push_back({n, ns / (static_cast<double>(iters) * static_cast<double>(n))});
+    if (sink == 0xDEADBEEF) std::fprintf(stderr, "?");  // keep reads observable
+  }
+  return out;
+}
+
+const char* structure_name(Structure s) { return s == Structure::kAbTree ? "abtree" : "hashmap"; }
+
+void emit_scaling(std::ostream& os, const char* key, const std::vector<ScalingPoint>& pts,
+                  bool last) {
+  os << "    \"" << key << "\": [";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "{\"reads\": " << pts[i].reads << ", \"ns_per_read\": "
+       << pts[i].ns_per_read << "}";
+  }
+  os << "]" << (last ? "" : ",") << "\n";
+}
+
+int run_report(const Options& opt) {
+  const int scale_iters = opt.smoke ? 300 : 3000;
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-regress-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+
+  js << "  \"read_scaling\": {\n";
+  emit_scaling(js, "cached", measure_read_scaling(/*every_read=*/false, scale_iters), false);
+  emit_scaling(js, "every_read", measure_read_scaling(/*every_read=*/true, scale_iters), true);
+  js << "  },\n";
+
+  js << "  \"grid\": [\n";
+  bool first = true;
+  for (const Structure st : {Structure::kAbTree, Structure::kHashMap}) {
+    for (const int read_pct : fig8_read_pcts()) {
+      for (const TmKind kind : fig8_tms()) {
+        BenchParams p;
+        p.kind = kind;
+        p.structure = st;
+        p.read_pct = read_pct;
+        p.threads = 2;
+        p.key_range = opt.smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
+        p.duration_ms = opt.smoke ? 20 : 150;
+        const BenchResult r = run_structure_bench(p);
+        js << (first ? "" : ",\n");
+        first = false;
+        js << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+           << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"threads\": " << p.threads
+           << ", \"ops_per_sec\": " << r.ops_per_sec
+           << ", \"flushes_per_op\": " << r.flushes_per_op
+           << ", \"fences_per_op\": " << r.fences_per_op
+           << ", \"flush_dedup_per_op\": " << r.flush_dedup_per_op << "}";
+        std::fprintf(stderr, "%s %dro %s: %.0f ops/s\n", structure_name(st), read_pct,
+                     tm_kind_name(kind), r.ops_per_sec);
+      }
+    }
+  }
+  js << "\n  ]\n}\n";
+
+  std::ofstream f(opt.out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.out.c_str());
+  return 0;
+}
+
+/// Output-shape validation for the perf-smoke CTest target: the report
+/// must exist, be structurally sound JSON (balanced, right schema tag) and
+/// contain every grid cell. Deliberately no timing assertions.
+int check_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string s = buf.str();
+  std::vector<std::string> errors;
+
+  const auto first = s.find_first_not_of(" \t\r\n");
+  const auto last = s.find_last_not_of(" \t\r\n");
+  if (first == std::string::npos || s[first] != '{' || s[last] != '}')
+    errors.push_back("not a JSON object");
+
+  long depth_brace = 0, depth_bracket = 0;
+  bool in_string = false;
+  for (const char c : s) {
+    if (c == '"') in_string = !in_string;  // report strings contain no escapes
+    if (in_string) continue;
+    if (c == '{') ++depth_brace;
+    if (c == '}') --depth_brace;
+    if (c == '[') ++depth_bracket;
+    if (c == ']') --depth_bracket;
+    if (depth_brace < 0 || depth_bracket < 0) break;
+  }
+  if (depth_brace != 0 || depth_bracket != 0 || in_string)
+    errors.push_back("unbalanced braces/brackets/quotes");
+
+  const auto count = [&s](const char* needle) {
+    std::size_t n = 0;
+    for (auto pos = s.find(needle); pos != std::string::npos; pos = s.find(needle, pos + 1)) ++n;
+    return n;
+  };
+  if (s.find("\"schema\": \"nvhalt-bench-regress-v1\"") == std::string::npos)
+    errors.push_back("missing/unknown schema tag");
+  if (s.find("\"read_scaling\"") == std::string::npos) errors.push_back("missing read_scaling");
+  if (count("\"ns_per_read\"") != 6) errors.push_back("read_scaling must have 2x3 points");
+  const std::size_t cells = count("\"ops_per_sec\"");
+  if (cells != 40) {
+    errors.push_back("grid must have 2 structures x 4 workloads x 5 TMs = 40 cells, found " +
+                     std::to_string(cells));
+  }
+  for (const char* tm : {"NV-HALT-SP", "NV-HALT-CL", "Trinity", "SPHT"}) {
+    if (s.find(std::string("\"tm\": \"") + tm + "\"") == std::string::npos)
+      errors.push_back(std::string("missing TM ") + tm);
+  }
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nvhalt::bench
+
+int main(int argc, char** argv) {
+  nvhalt::bench::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      opt.check = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_regress [--smoke] [--check] [--out PATH]\n");
+      return 2;
+    }
+  }
+  const int rc = nvhalt::bench::run_report(opt);
+  if (rc != 0) return rc;
+  return opt.check ? nvhalt::bench::check_report(opt.out) : 0;
+}

@@ -50,8 +50,12 @@ SphtTm::SphtTm(const SphtConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAlloca
 
   bump_ = std::make_unique<BumpState[]>(kMaxThreads);
   ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t)
+  for (int t = 0; t < kMaxThreads; ++t) {
     ctx_[t].rng.reseed(0x5B47 + static_cast<std::uint64_t>(t));
+    // Pre-size the per-thread redo log so steady-state commits never
+    // reallocate on the hot path.
+    ctx_[t].redo.reserve(128);
+  }
 }
 
 SphtTm::~SphtTm() = default;

@@ -39,8 +39,14 @@ TrinityTm::TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& allo
       locks_(LockMode::kTable, cfg.lock_table_entries, pool.capacity_words()) {
   gv_.value.store(0, std::memory_order_relaxed);
   ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t)
+  for (int t = 0; t < kMaxThreads; ++t) {
     ctx_[t].rng.reseed(0x7121717 + static_cast<std::uint64_t>(t));
+    // Pre-size per-transaction scratch so the steady state never
+    // reallocates on the hot path.
+    ctx_[t].rdset.reserve(256);
+    ctx_[t].wrset.reserve(64);
+    ctx_[t].held.reserve(64);
+  }
 }
 
 TrinityTm::~TrinityTm() = default;

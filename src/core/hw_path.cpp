@@ -104,6 +104,15 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
     persist_and_bump_pver(tid, ctx);
   }
 
+  // This hardware transaction published lock acquisitions at xend: bump
+  // the global commit sequence before releasing them so software readers'
+  // validation snapshots are invalidated no later than the writes become
+  // sandwich-readable (docs/PROTOCOLS.md). The bump is a plain
+  // non-transactional fetch_add — no hardware transaction subscribes to
+  // kCommitSeqLoc, so this adds no hardware abort pressure.
+  if (!ctx.hw_locks.empty())
+    htm_.nontx_fetch_add(tid, htm::kCommitSeqLoc, &commit_seq_.value, 1);
+
   // Release the hardware-acquired locks; data is durable now.
   for (const LockRef& lk : ctx.hw_locks) {
     const std::uint64_t cur = htm_.nontx_load(tid, lk.loc, lk.s);

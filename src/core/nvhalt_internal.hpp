@@ -36,6 +36,7 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx {
   htm::SmallIndexMap lock_dedupe;    // lock pointer -> wrset index that acquired it
   std::vector<std::uint32_t> acquired;  // wrset indices that performed the CAS
   std::uint64_t rv = 0;              // SP: gClock read at TxStart (Fig. 7)
+  std::uint64_t validated_seq = 0;   // commit_seq covering the last full validation
 
   // ---- Hardware path (Fig. 5) -----------------------------------------
   struct HwUndoEnt {
@@ -60,6 +61,18 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx {
 
   TmThreadStats stats;
   Xoshiro256 rng;
+
+  /// Pre-sizes every per-transaction scratch vector once at TM
+  /// construction so the steady state never reallocates on the hot path
+  /// (clear() keeps capacity; only footprints beyond these grow later).
+  void reserve_scratch() {
+    rdset.reserve(256);
+    wrset.reserve(64);
+    acquired.reserve(64);
+    persist_buf.reserve(64);
+    hw_undo.reserve(64);
+    hw_locks.reserve(64);
+  }
 };
 
 /// xabort code used by the hardware path when it encounters a foreign lock.

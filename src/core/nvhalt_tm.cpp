@@ -14,9 +14,12 @@ NvHaltTm::NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, Tx
       alloc_(alloc),
       locks_(cfg.lock_mode, cfg.lock_table_entries, pool.capacity_words()) {
   gclock_.value.store(0, std::memory_order_relaxed);
+  commit_seq_.value.store(0, std::memory_order_relaxed);
   ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t)
+  for (int t = 0; t < kMaxThreads; ++t) {
     ctx_[t].rng.reseed(0xC0FFEE + static_cast<std::uint64_t>(t));
+    ctx_[t].reserve_scratch();
+  }
 }
 
 NvHaltTm::~NvHaltTm() = default;

@@ -66,6 +66,14 @@ struct NvHaltConfig {
   /// Bound on software-path retries; < 0 means retry until commit
   /// (progressive). Tests use small bounds to assert abort behaviour.
   int max_sw_retries = -1;
+
+  /// Fig. 1 revalidates the full read set on every software read — O(n^2)
+  /// in reads. By default the software path instead revalidates only when
+  /// the global commit sequence has moved since the transaction's last
+  /// validated snapshot, which preserves opacity (docs/PROTOCOLS.md) and is
+  /// O(1) per read in the common case. Set true to restore the paper's
+  /// literal per-read revalidation (A/B comparison, counterexample tests).
+  bool validate_every_read = false;
 };
 
 class NvHaltTm final : public TransactionalMemory {
@@ -87,6 +95,7 @@ class NvHaltTm final : public TransactionalMemory {
   htm::SimHtm& htm() { return htm_; }
   LockSpace& locks() { return locks_; }
   std::uint64_t gclock() const { return gclock_.value.load(std::memory_order_acquire); }
+  std::uint64_t commit_seq() const { return commit_seq_.value.load(std::memory_order_acquire); }
 
   /// Exposed for scripted counterexample tests: run exactly one hardware
   /// (resp. software) attempt. Returns true on commit; throws
@@ -121,6 +130,12 @@ class NvHaltTm final : public TransactionalMemory {
   /// simulator so hardware transactions could in principle subscribe to it
   /// (they never do: avoiding that bottleneck is the point of hVer).
   CacheLinePadded<std::atomic<std::uint64_t>> gclock_;
+
+  /// Global commit sequence (htm::kCommitSeqLoc): bumped by every writer —
+  /// software commits and lock-publishing hardware commits — before its
+  /// locks are released. Software reads snapshot it to make common-case
+  /// read validation O(1) (docs/PROTOCOLS.md). Volatile: reset on recovery.
+  CacheLinePadded<std::atomic<std::uint64_t>> commit_seq_;
 
   std::unique_ptr<ThreadCtx[]> ctx_;
 };

@@ -39,6 +39,7 @@ void NvHaltTm::recover_data() {
   locks_.reset();
   htm_.reset();
   gclock_.value.store(0, std::memory_order_relaxed);
+  commit_seq_.value.store(0, std::memory_order_relaxed);
 
   for (int t = 0; t < kMaxThreads; ++t) {
     ctx_[t].pver_loaded = false;

@@ -1,18 +1,20 @@
 // NV-HALT software fallback path (paper Fig. 1, plus the NV-HALT-SP
-// changes of Fig. 7): a TL2-style commit-time-locking STM with full
-// read-set revalidation on every read, deferred (buffered) writes, and
-// Trinity undo-record persistence performed while the write-set locks are
-// held.
+// changes of Fig. 7): a TL2-style commit-time-locking STM with deferred
+// (buffered) writes and Trinity undo-record persistence performed while
+// the write-set locks are held. Fig. 1 revalidates the full read set on
+// every read; by default we instead revalidate only when the global
+// commit sequence (htm::kCommitSeqLoc) has moved since the transaction's
+// last validated snapshot — O(1) per read in the common case, same
+// opacity guarantee (docs/PROTOCOLS.md, "Snapshot-extension read
+// validation"; validate_every_read restores the literal protocol).
 #include <algorithm>
 
 #include "core/nvhalt_internal.hpp"
 
 namespace nvhalt {
 
-namespace {
-/// LocId of the NV-HALT-SP global software clock.
-constexpr htm::LocId kGClockLoc = htm::make_loc(htm::LocKind::kGlobal, 0x1001);
-}  // namespace
+using htm::kCommitSeqLoc;
+using htm::kGClockLoc;
 
 /// Tx handle for one software-path attempt.
 class NvHaltSwTx final : public Tx {
@@ -39,9 +41,25 @@ class NvHaltSwTx final : public Tx {
     if (l1 != l2) throw TxConflictAbort{};
 
     ctx_.rdset.push_back({a, lk.s, lk.h, lk.loc, l1, h});
-    // Fig. 1: "The read set is revalidated on each read" — this is what
-    // keeps every snapshot a doomed transaction sees consistent (opacity).
-    if (!validate_rdset()) throw TxConflictAbort{};
+    if (NVHALT_UNLIKELY(tm_.cfg_.validate_every_read)) {
+      // Fig. 1: "The read set is revalidated on each read" — this is what
+      // keeps every snapshot a doomed transaction sees consistent (opacity).
+      if (!validate_rdset()) throw TxConflictAbort{};
+      return val;
+    }
+    // Common case: every writer bumps commit_seq before releasing its
+    // locks, and values written under a held lock are unreadable (the
+    // sandwich above aborts), so an unchanged commit_seq proves no writer
+    // published between the last validated snapshot and now — the snapshot
+    // extends to this read for free. Only when the sequence moved do we pay
+    // the full revalidation, extending the snapshot to the pre-validation
+    // sequence value on success.
+    const std::uint64_t seq =
+        tm_.htm_.nontx_load(tid_, kCommitSeqLoc, &tm_.commit_seq_.value);
+    if (NVHALT_UNLIKELY(seq != ctx_.validated_seq)) {
+      if (!validate_rdset()) throw TxConflictAbort{};
+      ctx_.validated_seq = seq;
+    }
     return val;
   }
 
@@ -99,9 +117,11 @@ class NvHaltSwTx final : public Tx {
     if (tm_.cfg_.variant == Variant::kStrong) {
       // Fixed-order acquisition (TL2-style) is half of strong
       // progressiveness: opposing lock orders can no longer deadlock-abort
-      // each other forever.
-      std::sort(ctx_.wrset.begin(), ctx_.wrset.end(),
-                [](const auto& x, const auto& y) { return x.addr < y.addr; });
+      // each other forever. Sequential structure updates already produce
+      // address-sorted write sets, so check before sorting.
+      const auto by_addr = [](const auto& x, const auto& y) { return x.addr < y.addr; };
+      if (!std::is_sorted(ctx_.wrset.begin(), ctx_.wrset.end(), by_addr))
+        std::sort(ctx_.wrset.begin(), ctx_.wrset.end(), by_addr);
     }
 
     acquire_locks();
@@ -141,6 +161,12 @@ class NvHaltSwTx final : public Tx {
     for (const auto& w : ctx_.wrset)
       ctx_.persist_buf.push_back({w.addr, tm_.pool_.load(w.addr), w.val});
     tm_.persist_and_bump_pver(tid_, ctx_);
+
+    // Publication point for the read-validation cache: the bump must
+    // happen before any lock release, so a reader whose sandwich read
+    // observes our released lock is guaranteed to also observe the moved
+    // commit_seq and revalidate (docs/PROTOCOLS.md).
+    tm_.htm_.nontx_fetch_add(tid_, kCommitSeqLoc, &tm_.commit_seq_.value, 1);
 
     release_acquired();
   }
@@ -194,6 +220,10 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_sw(int tid, TxBody body) {
   ctx.wr_index.clear();
   if (cfg_.variant == Variant::kStrong)
     ctx.rv = htm_.nontx_load(tid, kGClockLoc, &gclock_.value);  // TxStart (Fig. 7)
+  // Initial validation snapshot: the empty read set is trivially valid at
+  // the commit_seq value read here.
+  if (!cfg_.validate_every_read)
+    ctx.validated_seq = htm_.nontx_load(tid, kCommitSeqLoc, &commit_seq_.value);
 
   NvHaltSwTx tx(*this, ctx, tid);
   try {

@@ -49,4 +49,15 @@ constexpr LocId loc_lock(std::uint64_t i) { return make_loc(LocKind::kLockTable,
 constexpr LocId loc_colock(gaddr_t a) { return make_loc(LocKind::kColoLock, a); }
 constexpr LocId loc_global(std::uint64_t i) { return make_loc(LocKind::kGlobal, i); }
 
+// Well-known global scalars shared across translation units.
+/// NV-HALT-SP global software clock (Fig. 7).
+inline constexpr LocId kGClockLoc = make_loc(LocKind::kGlobal, 0x1001);
+/// NV-HALT global commit sequence: bumped by every writer commit (software
+/// lock release and hardware-path lock publication) before its locks are
+/// released. Software readers snapshot it to skip full read-set
+/// revalidation while it is unchanged (docs/PROTOCOLS.md, "Snapshot-
+/// extension read validation"). Hardware transactions never subscribe to
+/// it — only non-transactional accesses touch this location.
+inline constexpr LocId kCommitSeqLoc = make_loc(LocKind::kGlobal, 0x1002);
+
 }  // namespace nvhalt::htm

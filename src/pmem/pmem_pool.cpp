@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cerrno>
 #include <cstring>
@@ -93,6 +94,7 @@ PmemPool::PmemPool(const PmemConfig& cfg) : cfg_(cfg) {
   }
 
   flush_queues_ = std::make_unique<FlushQueue[]>(kMaxThreads);
+  for (int t = 0; t < kMaxThreads; ++t) flush_queues_[t].lines.reserve(64);
   raw_bump_.store(kPverHeaderWords + kRootHeaderWords, std::memory_order_relaxed);
   pver_raw_base_ = 0;
   root_raw_base_ = kPverHeaderWords;
@@ -314,8 +316,17 @@ void PmemPool::fence(int tid) {
   poll_crash(crash_coord_);
   auto& q = flush_queues_[tid].lines;
   if (q.empty()) return;
-  for (const std::size_t line : q) persist_line(line);
-  spin_ns(cfg_.flush_latency_ns * q.size() + cfg_.fence_latency_ns);
+  // Coalesce duplicate lines before replaying the queue: clflushopt of an
+  // already-queued line buys nothing, and charging flush_latency_ns per
+  // queued entry would bill sequential write sets (two records per line)
+  // nearly twice. Dedupe, persist and charge per *unique* line.
+  std::sort(q.begin(), q.end());
+  const auto unique_end = std::unique(q.begin(), q.end());
+  const std::size_t unique_lines = static_cast<std::size_t>(unique_end - q.begin());
+  if (unique_lines < q.size())
+    flush_dedup_count_.fetch_add(q.size() - unique_lines, std::memory_order_relaxed);
+  for (auto it = q.begin(); it != unique_end; ++it) persist_line(*it);
+  spin_ns(cfg_.flush_latency_ns * unique_lines + cfg_.fence_latency_ns);
   q.clear();
   fence_count_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -181,6 +181,13 @@ class PmemPool {
   /// Number of fences executed (test observability).
   std::uint64_t fence_count() const { return fence_count_.load(std::memory_order_relaxed); }
   std::uint64_t flush_count() const { return flush_count_.load(std::memory_order_relaxed); }
+  /// Queued flushes that fence() coalesced away because an earlier flush in
+  /// the same fence epoch already covered the line (e.g. two Trinity
+  /// records sharing one cache line). Each deduped line saves one
+  /// flush_latency_ns charge and one staged->durable copy.
+  std::uint64_t flush_dedup_count() const {
+    return flush_dedup_count_.load(std::memory_order_relaxed);
+  }
 
   /// True when the pool was constructed over an existing backing file:
   /// the durable image holds a previous run's state; attach by running the
@@ -249,6 +256,7 @@ class PmemPool {
   std::atomic<std::size_t> raw_bump_;
   std::atomic<std::uint64_t> fence_count_{0};
   std::atomic<std::uint64_t> flush_count_{0};
+  std::atomic<std::uint64_t> flush_dedup_count_{0};
 
   std::size_t pver_raw_base_;  // raw index of pVerNum[0]
   std::size_t root_raw_base_;  // raw index of root slot 0

@@ -16,13 +16,29 @@ namespace {
 
 using test::small_config;
 
-RunnerConfig fig_config(bool hw_read_checks, bool hw_acquire_locks) {
+RunnerConfig fig_config(bool hw_read_checks, bool hw_acquire_locks,
+                        bool validate_every_read) {
   RunnerConfig cfg = small_config(TmKind::kNvHalt);
   cfg.nvhalt.hw_read_check_locks = hw_read_checks;
   cfg.nvhalt.hw_acquire_locks = hw_acquire_locks;
+  cfg.nvhalt.validate_every_read = validate_every_read;
   cfg.nvhalt.max_sw_retries = 8;  // never hang a scripted test
   return cfg;
 }
+
+// Each figure is replayed under both software-path validation modes: the
+// default commit_seq snapshot cache and the paper's literal per-read full
+// revalidation. The violations (and their fixes) are hardware-path
+// phenomena, so the outcome must be identical in both modes.
+class OpacityCounterexample : public ::testing::TestWithParam<bool> {
+ protected:
+  bool validate_every_read() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Validation, OpacityCounterexample, ::testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "EveryRead" : "CachedValidation";
+                         });
 
 /// Manually plays the software-path writer of Figs. 2/3 up to the point
 /// where it holds its locks and has published x but not yet y — the window
@@ -60,8 +76,9 @@ struct MidCommitWriter {
   }
 };
 
-TEST(OpacityCounterexample, Fig2_UninstrumentedHwReadsSeeInconsistentState) {
-  TmRunner runner(fig_config(/*hw_read_checks=*/false, /*hw_acquire_locks=*/true));
+TEST_P(OpacityCounterexample, Fig2_UninstrumentedHwReadsSeeInconsistentState) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/false, /*hw_acquire_locks=*/true,
+                             validate_every_read()));
   auto& nv = dynamic_cast<NvHaltTm&>(runner.tm());
   const gaddr_t x = runner.alloc().raw_alloc(0, 1);
   const gaddr_t y = runner.alloc().raw_alloc(0, 1);
@@ -81,8 +98,9 @@ TEST(OpacityCounterexample, Fig2_UninstrumentedHwReadsSeeInconsistentState) {
   writer.write_y_and_release();
 }
 
-TEST(OpacityCounterexample, Fig3_LockSubscribingHwReadsAbortInstead) {
-  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/true));
+TEST_P(OpacityCounterexample, Fig3_LockSubscribingHwReadsAbortInstead) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/true,
+                             validate_every_read()));
   auto& nv = dynamic_cast<NvHaltTm&>(runner.tm());
   const gaddr_t x = runner.alloc().raw_alloc(0, 1);
   const gaddr_t y = runner.alloc().raw_alloc(0, 1);
@@ -122,8 +140,9 @@ TEST(OpacityCounterexample, Fig3_LockSubscribingHwReadsAbortInstead) {
 // persisted must keep them protected (via locks held past xend), or a
 // later transaction can read and durably commit values derived from data
 // that a crash will revert.
-TEST(OpacityCounterexample, Fig4_PersistWithoutHwLocksViolatesDurability) {
-  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/false));
+TEST_P(OpacityCounterexample, Fig4_PersistWithoutHwLocksViolatesDurability) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/false,
+                             validate_every_read()));
   auto& tm = runner.tm();
   auto& pool = runner.pool();
   const gaddr_t x = runner.alloc().raw_alloc(0, 1);
@@ -168,8 +187,9 @@ TEST(OpacityCounterexample, Fig4_PersistWithoutHwLocksViolatesDurability) {
   EXPECT_EQ(ry, 8u);
 }
 
-TEST(OpacityCounterexample, Fig4Fixed_HwLocksBlockNonDurableReads) {
-  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/true));
+TEST_P(OpacityCounterexample, Fig4Fixed_HwLocksBlockNonDurableReads) {
+  TmRunner runner(fig_config(/*hw_read_checks=*/true, /*hw_acquire_locks=*/true,
+                             validate_every_read()));
   auto& tm = runner.tm();
   auto& pool = runner.pool();
   auto& nv = dynamic_cast<NvHaltTm&>(tm);

@@ -69,6 +69,33 @@ TEST(PmemPool, FenceOnlyCoversOwnThreadsFlushes) {
   EXPECT_EQ(pool.read_durable_record(9).cur, 30u);
 }
 
+TEST(PmemPool, FenceCoalescesSameLineFlushes) {
+  // Records are 32 bytes, lines 64: addresses 2 and 3 share a record line.
+  // Flushing both queues two entries but the fence persists (and charges)
+  // the line once, counting the duplicate in flush_dedup_count().
+  PmemPool pool(small_cfg());
+  pool.record_write(0, 2, 0, 20, 1);
+  pool.record_write(0, 3, 0, 30, 1);
+  pool.flush_record(0, 2);
+  pool.flush_record(0, 3);
+  EXPECT_EQ(pool.flush_count(), 2u);
+  EXPECT_EQ(pool.flush_dedup_count(), 0u);  // dedup happens at the fence
+  pool.fence(0);
+  EXPECT_EQ(pool.flush_dedup_count(), 1u);
+  EXPECT_EQ(pool.read_durable_record(2).cur, 20u);
+  EXPECT_EQ(pool.read_durable_record(3).cur, 30u);
+
+  // Distinct lines are not dedup'd.
+  pool.record_write(0, 2, 20, 21, 2);
+  pool.record_write(0, 8, 0, 80, 2);
+  pool.flush_record(0, 2);
+  pool.flush_record(0, 8);
+  pool.fence(0);
+  EXPECT_EQ(pool.flush_dedup_count(), 1u);
+  EXPECT_EQ(pool.read_durable_record(2).cur, 21u);
+  EXPECT_EQ(pool.read_durable_record(8).cur, 80u);
+}
+
 TEST(PmemPool, PverPersistsPerThread) {
   PmemPool pool(small_cfg());
   EXPECT_EQ(pool.load_pver(4), 0u);
