@@ -4,25 +4,33 @@
 // machine-readable JSON report so every PR leaves a throughput trajectory
 // behind. Plain binary — no google-benchmark, no external JSON library.
 //
-// Usage: bench_regress [--smoke] [--check] [--out PATH]
-//   --smoke   truncated ~10s mode (small keys, short windows), used by the
-//             perf-smoke CTest target
-//   --check   after writing the report, re-read and validate its shape;
-//             exit nonzero on a malformed or missing file
-//   --out     output path (default: BENCH_sw_hotpath.json in the CWD)
+// Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
+//   --smoke        truncated ~10s mode (small keys, short windows), used by
+//                  the perf-smoke CTest target
+//   --check        after writing the reports, re-read and validate their
+//                  shape; exit nonzero on a malformed or missing file
+//   --out          main report path (default: BENCH_sw_hotpath.json)
+//   --scaling-out  thread-scaling report path (default:
+//                  BENCH_thread_scaling.json)
 //
-// The committed BENCH_sw_hotpath.json at the repo root is a full-mode run
-// of this binary. No timing assertions anywhere: the report records
-// numbers; humans (and PR descriptions) compare them across revisions.
+// The committed BENCH_sw_hotpath.json / BENCH_thread_scaling.json at the
+// repo root are full-mode runs of this binary. No timing assertions
+// anywhere: the reports record numbers; humans (and PR descriptions)
+// compare them across revisions.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "structures/tm_hashmap.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
 
 namespace nvhalt::bench {
 namespace {
@@ -31,7 +39,12 @@ struct Options {
   bool smoke = false;
   bool check = false;
   std::string out = "BENCH_sw_hotpath.json";
+  std::string scaling_out = "BENCH_thread_scaling.json";
 };
+
+std::vector<int> scaling_thread_counts(bool smoke) {
+  return smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+}
 
 struct ScalingPoint {
   std::size_t reads;
@@ -71,6 +84,125 @@ std::vector<ScalingPoint> measure_read_scaling(bool every_read, int iters) {
 }
 
 const char* structure_name(Structure s) { return s == Structure::kAbTree ? "abtree" : "hashmap"; }
+
+// ------------------------------------------------------ thread scaling sweep
+
+struct ScalingCell {
+  TmKind kind;
+  int threads;
+  std::uint64_t total_ops;
+  double ops_per_sec;
+};
+
+/// One hashmap data point with dynamically registered workers: every worker
+/// claims a slot through tm.register_thread() and drives the structure via
+/// the registry-aware ThreadHandle overloads — the registration path the
+/// runtime layer added — rather than caller-managed dense tids.
+ScalingCell measure_scaling_point(TmKind kind, int threads, bool smoke) {
+  const std::size_t key_range = smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
+  const int duration_ms = smoke ? 20 : 150;
+
+  RunnerConfig cfg;
+  cfg.kind = kind;
+  std::size_t words = std::size_t{1} << 16;
+  while (words < key_range * 8 + (std::size_t{1} << 16)) words <<= 1;
+  cfg.pmem.capacity_words = words;
+  cfg.spht.max_threads = std::max(16, threads + 1);
+  cfg.spht.log_words_per_thread = std::size_t{1} << 18;
+  cfg.pmem.raw_words = static_cast<std::size_t>(cfg.spht.max_threads) *
+                           (cfg.spht.log_words_per_thread + 2 * kWordsPerLine) +
+                       (std::size_t{1} << 16);
+  cfg.pmem.track_store_order = false;
+  cfg.nvhalt.lock_table_entries = std::size_t{1} << 16;
+  cfg.trinity.lock_table_entries = std::size_t{1} << 16;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+
+  std::size_t buckets = 1;
+  while (buckets < key_range) buckets <<= 1;
+  TmHashMap map(tm, buckets);
+  {
+    ThreadHandle h = tm.register_thread();
+    for (word_t k = 1; k <= key_range; k += 2) map.insert(h, k, k);
+  }
+  tm.reset_stats();
+
+  SpinBarrier barrier(threads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> per_thread_ops(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadHandle h = tm.register_thread();
+      Xoshiro256 rng(0x5CA11 + static_cast<std::uint64_t>(t));
+      barrier.arrive_and_wait();
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const word_t key = 1 + static_cast<word_t>(rng.next_bounded(key_range));
+        const std::uint64_t dice = rng.next_bounded(100);
+        if (dice < 90) {
+          map.contains(h, key);
+        } else if (dice < 95) {
+          map.insert(h, key, key);
+        } else {
+          map.remove(h, key);
+        }
+        ++ops;
+      }
+      per_thread_ops[static_cast<std::size_t>(t)] = ops;
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+      1e9;
+
+  ScalingCell c{kind, threads, 0, 0};
+  for (const std::uint64_t n : per_thread_ops) c.total_ops += n;
+  c.ops_per_sec = secs > 0 ? static_cast<double>(c.total_ops) / secs : 0;
+  return c;
+}
+
+int run_scaling_report(const Options& opt) {
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-thread-scaling-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  js << "  \"structure\": \"hashmap\",\n";
+  js << "  \"read_pct\": 90,\n";
+  js << "  \"points\": [\n";
+  bool first = true;
+  for (const TmKind kind : fig8_tms()) {
+    for (const int threads : scaling_thread_counts(opt.smoke)) {
+      const ScalingCell c = measure_scaling_point(kind, threads, opt.smoke);
+      js << (first ? "" : ",\n");
+      first = false;
+      js << "    {\"tm\": \"" << tm_kind_name(kind) << "\", \"threads\": " << threads
+         << ", \"total_ops\": " << c.total_ops << ", \"ops_per_sec\": " << c.ops_per_sec << "}";
+      std::fprintf(stderr, "scaling %s x%d: %.0f ops/s\n", tm_kind_name(kind), threads,
+                   c.ops_per_sec);
+    }
+  }
+  js << "\n  ]\n}\n";
+
+  std::ofstream f(opt.scaling_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.scaling_out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.scaling_out.c_str());
+  return 0;
+}
 
 void emit_scaling(std::ostream& os, const char* key, const std::vector<ScalingPoint>& pts,
                   bool last) {
@@ -190,6 +322,43 @@ int check_report(const std::string& path) {
   return errors.empty() ? 0 : 1;
 }
 
+/// Shape validation for the thread-scaling report: right schema, balanced,
+/// one point per (TM, thread count) cell.
+int check_scaling_report(const std::string& path, bool smoke) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string s = buf.str();
+  std::vector<std::string> errors;
+
+  if (s.find("\"schema\": \"nvhalt-bench-thread-scaling-v1\"") == std::string::npos)
+    errors.push_back("missing/unknown scaling schema tag");
+
+  const auto count = [&s](const char* needle) {
+    std::size_t n = 0;
+    for (auto pos = s.find(needle); pos != std::string::npos; pos = s.find(needle, pos + 1)) ++n;
+    return n;
+  };
+  const std::size_t expected = 5 * scaling_thread_counts(smoke).size();
+  if (count("\"ops_per_sec\"") != expected) {
+    errors.push_back("scaling must have 5 TMs x " +
+                     std::to_string(scaling_thread_counts(smoke).size()) +
+                     " thread counts = " + std::to_string(expected) + " points");
+  }
+  for (const char* tm : {"NV-HALT-SP", "NV-HALT-CL", "Trinity", "SPHT"}) {
+    if (s.find(std::string("\"tm\": \"") + tm + "\"") == std::string::npos)
+      errors.push_back(std::string("scaling missing TM ") + tm);
+  }
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace nvhalt::bench
 
@@ -202,12 +371,20 @@ int main(int argc, char** argv) {
       opt.check = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opt.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--scaling-out") == 0 && i + 1 < argc) {
+      opt.scaling_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_regress [--smoke] [--check] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]\n");
       return 2;
     }
   }
-  const int rc = nvhalt::bench::run_report(opt);
+  int rc = nvhalt::bench::run_report(opt);
   if (rc != 0) return rc;
-  return opt.check ? nvhalt::bench::check_report(opt.out) : 0;
+  rc = nvhalt::bench::run_scaling_report(opt);
+  if (rc != 0) return rc;
+  if (!opt.check) return 0;
+  rc = nvhalt::bench::check_report(opt.out);
+  const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
+  return rc != 0 ? rc : rc2;
 }

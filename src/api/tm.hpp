@@ -19,10 +19,16 @@
 #include "alloc/tx_allocator.hpp"
 #include "core/tm_stats.hpp"
 #include "pmem/pmem_pool.hpp"
+#include "runtime/thread_registry.hpp"
 #include "util/common.hpp"
 #include "util/function_ref.hpp"
 
 namespace nvhalt {
+
+// Thread identity is managed by the runtime layer's registry; the handle
+// and registry types are part of the public TM surface.
+using runtime::ThreadHandle;
+using runtime::ThreadRegistry;
 
 /// Thrown by user code (or Tx::abort) to voluntarily abort the current
 /// transaction; run() then returns false without retrying.
@@ -65,11 +71,25 @@ class TransactionalMemory {
  public:
   virtual ~TransactionalMemory() = default;
 
-  /// Executes `body` as one atomic durable transaction on behalf of thread
-  /// `tid` (a dense id in [0, kMaxThreads)). Retries internally on
-  /// conflicts/aborts. Returns true if the transaction committed, false if
-  /// the body voluntarily aborted.
+  /// Executes `body` as one atomic durable transaction on behalf of the
+  /// thread slot `tid` (a dense id in [0, registry().capacity())). Retries
+  /// internally on conflicts/aborts. Returns true if the transaction
+  /// committed, false if the body voluntarily aborted.
+  ///
+  /// Compatibility shim over the registry: the first use of a tid pins its
+  /// slot permanently (the caller manages the id's lifetime, as all
+  /// pre-registry code did). New code should prefer register_thread() and
+  /// the ThreadHandle overload, which reclaim slots on handle destruction.
   virtual bool run(int tid, TxBody body) = 0;
+
+  /// Runs `body` on behalf of a dynamically registered thread.
+  bool run(ThreadHandle& h, TxBody body) { return run(h.tid(), body); }
+
+  /// This TM's thread registry (slot lifetime, capacity, churn counters).
+  virtual ThreadRegistry& registry() = 0;
+
+  /// Claims a slot for the calling thread; released when the handle dies.
+  ThreadHandle register_thread() { return ThreadHandle(registry()); }
 
   /// Post-crash recovery, phase 1: restores the volatile image from the
   /// durable state (reverting in-flight transactions / replaying logs) and

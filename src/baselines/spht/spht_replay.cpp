@@ -128,7 +128,7 @@ void SphtTm::recover_data() {
   // order after every replayed one.
   ts_source_.value.store(gpm_durable_.value.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
-  for (int t = 0; t < kMaxThreads; ++t)
+  for (int t = 0; t < cfg_.max_threads; ++t)
     ts_pub_[t].value.store(1 /*pub_pack(0, true)*/, std::memory_order_relaxed);
 }
 
@@ -146,7 +146,7 @@ void SphtTm::rebuild_allocator(std::span<const LiveBlock> live) {
   } else {
     alloc_iface_.rebuild({});
   }
-  for (int t = 0; t < kMaxThreads; ++t) bump_[t] = BumpState{};
+  for (int t = 0; t < cfg_.max_threads; ++t) bump_[t] = BumpState{};
 }
 
 }  // namespace nvhalt

@@ -1,5 +1,6 @@
 #include "baselines/spht/spht_tm.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -8,7 +9,7 @@
 #include "htm/htm_tls.hpp"
 #include "htm/small_map.hpp"
 #include "pmem/crash_sim.hpp"
-#include "util/rng.hpp"
+#include "runtime/per_thread.hpp"
 
 namespace nvhalt {
 
@@ -21,22 +22,41 @@ inline std::uint64_t pub_pack(std::uint64_t ts, bool persisted) {
 }
 inline std::uint64_t pub_ts(std::uint64_t v) { return v >> 1; }
 inline bool pub_persisted(std::uint64_t v) { return (v & 1) != 0; }
+
+/// One bound for everything per-thread: registry capacity, log array,
+/// timestamp publication array, bump states, contexts, stats aggregation.
+/// (The seed validated tids against cfg.max_threads but sized and iterated
+/// some of these with kMaxThreads — they now all agree by construction.)
+int clamped_threads(const SphtConfig& cfg) { return std::clamp(cfg.max_threads, 1, kMaxThreads); }
+
+runtime::PathPolicy make_policy(const SphtConfig& cfg) {
+  runtime::PathPolicy p;
+  p.htm_attempts = cfg.htm_attempts;
+  // SPHT backs off between failed hardware attempts (NV-HALT's fixed
+  // attempt burst does not).
+  p.backoff_between_hw = true;
+  p.adaptive.enabled = cfg.adaptive_htm_budget;
+  return p;
+}
 }  // namespace
 
-struct alignas(kCacheLineBytes) SphtTm::ThreadCtx {
+/// Stats and RNG live in the shared runtime::TxThreadState base; this adds
+/// SPHT's redo scratch.
+struct alignas(kCacheLineBytes) SphtTm::ThreadCtx : runtime::TxThreadState {
   std::vector<std::pair<gaddr_t, word_t>> redo;  // write log (HW: in-txn; SW: buffered)
   htm::SmallIndexMap redo_index;                 // gaddr -> redo index (SW read-own-writes)
   std::uint64_t ts_commit = 0;
-  TmThreadStats stats;
-  Xoshiro256 rng;
 };
 
 SphtTm::SphtTm(const SphtConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAllocator& alloc_iface)
-    : cfg_(cfg),
+    : runtime::TmRuntime(clamped_threads(cfg), make_policy(cfg)),
+      cfg_(cfg),
       pool_(pool),
       htm_(htm),
       alloc_iface_(alloc_iface),
-      log_(pool, cfg.max_threads, cfg.log_words_per_thread) {
+      log_(pool, clamped_threads(cfg), cfg.log_words_per_thread),
+      ctx_(clamped_threads(cfg)) {
+  cfg_.max_threads = clamped_threads(cfg);
   global_lock_.value.store(0, std::memory_order_relaxed);
   ts_source_.value.store(0, std::memory_order_relaxed);
   gpm_volatile_.value.store(0, std::memory_order_relaxed);
@@ -44,13 +64,13 @@ SphtTm::SphtTm(const SphtConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAlloca
   gl_held_ns_.value.store(0, std::memory_order_relaxed);
   gpm_raw_idx_ = pool_.alloc_raw(kWordsPerLine);
 
-  ts_pub_ = std::make_unique<CacheLinePadded<std::atomic<std::uint64_t>>[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t)
+  ts_pub_ = std::make_unique<CacheLinePadded<std::atomic<std::uint64_t>>[]>(
+      static_cast<std::size_t>(cfg_.max_threads));
+  for (int t = 0; t < cfg_.max_threads; ++t)
     ts_pub_[t].value.store(pub_pack(0, true), std::memory_order_relaxed);
 
-  bump_ = std::make_unique<BumpState[]>(kMaxThreads);
-  ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t) {
+  bump_ = std::make_unique<BumpState[]>(static_cast<std::size_t>(cfg_.max_threads));
+  for (int t = 0; t < ctx_.size(); ++t) {
     ctx_[t].rng.reseed(0x5B47 + static_cast<std::uint64_t>(t));
     // Pre-size the per-thread redo log so steady-state commits never
     // reallocate on the hot path.
@@ -226,6 +246,7 @@ SphtTm::AttemptResult SphtTm::attempt_hw(int tid, TxBody body) {
     if (cfg_.persist_txns)
       ts_pub_[tid].value.store(pub_pack(ts_begin, true), std::memory_order_seq_cst);
     ctx.stats.hw_aborts++;
+    ctx.last_hw_abort = a.cause;
     // A bump-chunk refill aborted us; do the refill now, outside the
     // transaction, so the retry allocates from thread-local state only.
     if (a.cause == htm::AbortCause::kExplicit && a.code == kAllocAbortCode)
@@ -324,39 +345,39 @@ SphtTm::AttemptResult SphtTm::attempt_sw(int tid, TxBody body) {
   return result;
 }
 
-bool SphtTm::run(int tid, TxBody body) {
-  if (tid < 0 || tid >= cfg_.max_threads)
-    throw TmLogicError("thread id out of range [0, SphtConfig::max_threads)");
+bool SphtTm::run_registered(int tid, TxBody body) {
   ThreadCtx& ctx = ctx_[tid];
-  if (auto* c = pool_.crash_coordinator()) c->crash_point();
 
-  for (int i = 0; i < cfg_.htm_attempts; ++i) {
-    // Wait for the fallback lock to be free before (re)trying in hardware.
-    while (htm_.nontx_load(tid, kGlLoc, &global_lock_.value) != 0) {
-      if (auto* c = pool_.crash_coordinator()) c->crash_point();
-      std::this_thread::yield();
+  struct Env {
+    SphtTm& tm;
+    ThreadCtx& ctx;
+    int tid;
+    TxBody body;
+    runtime::AttemptStatus attempt_hw() { return tm.attempt_hw(tid, body); }
+    // The fallback runs under the global lock, so a conflict abort cannot
+    // occur; if one ever surfaced, the loop would (correctly) retry rather
+    // than report it as a commit — the seed's run() conflated the two.
+    runtime::AttemptStatus attempt_sw() { return tm.attempt_sw(tid, body); }
+    bool hw_abort_was_capacity() const {
+      return ctx.last_hw_abort == htm::AbortCause::kCapacity;
     }
-    switch (attempt_hw(tid, body)) {
-      case AttemptResult::kCommitted: return true;
-      case AttemptResult::kUserAborted: return false;
-      case AttemptResult::kAborted: break;
+    void before_hw_attempt() {
+      // Wait for the fallback lock to be free before (re)trying in hardware.
+      while (tm.htm_.nontx_load(tid, kGlLoc, &tm.global_lock_.value) != 0) {
+        crash_point();
+        std::this_thread::yield();
+      }
     }
-    const int cap = i < 10 ? (1 << i) : 1024;
-    const int spins = static_cast<int>(ctx.rng.next_bounded(static_cast<std::uint64_t>(cap) + 1));
-    for (int s = 0; s < spins; ++s) cpu_relax();
-  }
-  ctx.stats.fallbacks++;
-  return attempt_sw(tid, body) != AttemptResult::kUserAborted;
+    void crash_point() {
+      if (auto* c = tm.pool_.crash_coordinator()) c->crash_point();
+    }
+  } env{*this, ctx, tid, body};
+
+  return runtime::run_retry_loop(policy_, ctx.stats, ctx.rng, ctx.adaptive, env);
 }
 
-TmStats SphtTm::stats() const {
-  TmStats agg;
-  for (int t = 0; t < kMaxThreads; ++t) agg.add(ctx_[t].stats);
-  return agg;
-}
+TmStats SphtTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
-void SphtTm::reset_stats() {
-  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].stats.reset();
-}
+void SphtTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
 
 }  // namespace nvhalt

@@ -34,6 +34,7 @@
 #include "api/tm.hpp"
 #include "baselines/spht/spht_log.hpp"
 #include "htm/sim_htm.hpp"
+#include "runtime/tm_runtime.hpp"
 #include "util/common.hpp"
 
 namespace nvhalt {
@@ -43,7 +44,8 @@ struct SphtConfig {
   int htm_attempts = 10;
   /// Persistent log words per thread.
   std::size_t log_words_per_thread = std::size_t{1} << 16;
-  /// Thread ids that may run transactions (sizes the log array).
+  /// Thread ids that may run transactions (sizes the registry, the log
+  /// array and every per-thread structure). Clamped to [1, kMaxThreads].
   int max_threads = kMaxThreads;
   /// Threads used by replay(); the paper uses 16.
   int replay_threads = 16;
@@ -53,14 +55,17 @@ struct SphtConfig {
   /// Bump-allocator chunk size in words (rounded up to whole segments of
   /// the underlying pool carver).
   std::size_t alloc_chunk_words = std::size_t{1} << 14;
+
+  /// Adaptive HTM attempt budget (runtime::AdaptivePolicy); see
+  /// NvHaltConfig::adaptive_htm_budget.
+  bool adaptive_htm_budget = false;
 };
 
-class SphtTm final : public TransactionalMemory {
+class SphtTm final : public runtime::TmRuntime {
  public:
   SphtTm(const SphtConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAllocator& alloc_iface);
   ~SphtTm() override;
 
-  bool run(int tid, TxBody body) override;
   void recover_data() override;
   void rebuild_allocator(std::span<const LiveBlock> live) override;
 
@@ -94,12 +99,19 @@ class SphtTm final : public TransactionalMemory {
   }
   void reset_global_lock_held_ns() { gl_held_ns_.value.store(0, std::memory_order_relaxed); }
 
+ protected:
+  /// Unified retry loop with SPHT's primitives: each hardware attempt is
+  /// preceded by a wait for the global fallback lock to clear, failed
+  /// attempts back off (SPHT's historical behaviour), and the software
+  /// fallback runs under the global lock.
+  bool run_registered(int tid, TxBody body) override;
+
  private:
   friend class SphtHwTx;
   friend class SphtSwTx;
   struct ThreadCtx;
 
-  enum class AttemptResult { kCommitted, kAborted, kUserAborted };
+  using AttemptResult = runtime::AttemptStatus;
   AttemptResult attempt_hw(int tid, TxBody body);
   AttemptResult attempt_sw(int tid, TxBody body);
 
@@ -147,7 +159,7 @@ class SphtTm final : public TransactionalMemory {
   };
   std::unique_ptr<BumpState[]> bump_;
 
-  std::unique_ptr<ThreadCtx[]> ctx_;
+  runtime::PerThread<ThreadCtx> ctx_;
 };
 
 }  // namespace nvhalt

@@ -1,16 +1,28 @@
 #include "baselines/trinity/trinity_tm.hpp"
 
 #include <algorithm>
-#include <thread>
 #include <vector>
 
 #include "htm/small_map.hpp"
 #include "pmem/crash_sim.hpp"
-#include "util/rng.hpp"
+#include "runtime/per_thread.hpp"
 
 namespace nvhalt {
 
-struct alignas(kCacheLineBytes) TrinityTm::ThreadCtx {
+namespace {
+
+runtime::PathPolicy make_policy(const TrinityConfig& cfg) {
+  runtime::PathPolicy p;
+  p.htm_attempts = 0;  // pure STM: no hardware path
+  p.max_sw_retries = cfg.max_retries;
+  return p;
+}
+
+}  // namespace
+
+/// Stats, RNG and the pver cache live in the shared runtime::TxThreadState
+/// base; this adds Trinity's TL2 scratch.
+struct alignas(kCacheLineBytes) TrinityTm::ThreadCtx : runtime::TxThreadState {
   struct ReadEnt {
     std::atomic<std::uint64_t>* lock_s;
     std::uint64_t seen;  // sandwich snapshot (unlocked, version <= rv)
@@ -26,20 +38,17 @@ struct alignas(kCacheLineBytes) TrinityTm::ThreadCtx {
   htm::SmallIndexMap lock_dedupe;                 // lock ptr -> first wrset index
   std::vector<std::atomic<std::uint64_t>*> held;  // locks acquired this commit
   std::uint64_t rv = 0;
-  std::uint64_t pver = 0;
-  bool pver_loaded = false;
-  TmThreadStats stats;
-  Xoshiro256 rng;
 };
 
 TrinityTm::TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& alloc)
-    : cfg_(cfg),
+    : runtime::TmRuntime(kMaxThreads, make_policy(cfg)),
+      cfg_(cfg),
       pool_(pool),
       alloc_(alloc),
-      locks_(LockMode::kTable, cfg.lock_table_entries, pool.capacity_words()) {
+      locks_(LockMode::kTable, cfg.lock_table_entries, pool.capacity_words()),
+      ctx_(kMaxThreads) {
   gv_.value.store(0, std::memory_order_relaxed);
-  ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t) {
+  for (int t = 0; t < ctx_.size(); ++t) {
     ctx_[t].rng.reseed(0x7121717 + static_cast<std::uint64_t>(t));
     // Pre-size per-transaction scratch so the steady state never
     // reallocates on the hot path.
@@ -206,31 +215,24 @@ TrinityTm::AttemptResult TrinityTm::attempt(int tid, TxBody body) {
   return AttemptResult::kCommitted;
 }
 
-bool TrinityTm::run(int tid, TxBody body) {
-  if (tid < 0 || tid >= kMaxThreads)
-    throw TmLogicError("thread id out of range [0, kMaxThreads)");
+bool TrinityTm::run_registered(int tid, TxBody body) {
   ThreadCtx& ctx = ctx_[tid];
-  if (!ctx.pver_loaded) {
-    ctx.pver = pool_.load_pver(tid);
-    ctx.pver_loaded = true;
-  }
-  if (auto* c = pool_.crash_coordinator()) c->crash_point();
+  ensure_pver(pool_, tid, ctx);
 
-  int retries = 0;
-  for (;;) {
-    switch (attempt(tid, body)) {
-      case AttemptResult::kCommitted: return true;
-      case AttemptResult::kUserAborted: return false;
-      case AttemptResult::kAborted: break;
+  struct Env {
+    TrinityTm& tm;
+    int tid;
+    TxBody body;
+    runtime::AttemptStatus attempt_hw() { return runtime::AttemptStatus::kAborted; }
+    runtime::AttemptStatus attempt_sw() { return tm.attempt(tid, body); }
+    bool hw_abort_was_capacity() const { return false; }
+    void before_hw_attempt() {}
+    void crash_point() {
+      if (auto* c = tm.pool_.crash_coordinator()) c->crash_point();
     }
-    ++retries;
-    if (cfg_.max_retries >= 0 && retries > cfg_.max_retries) return false;
-    const int cap = retries < 10 ? (1 << retries) : 1024;
-    const int spins = static_cast<int>(ctx.rng.next_bounded(static_cast<std::uint64_t>(cap)));
-    for (int i = 0; i < spins; ++i) cpu_relax();
-    if (retries > 2) std::this_thread::yield();
-    if (auto* c = pool_.crash_coordinator()) c->crash_point();
-  }
+  } env{*this, tid, body};
+
+  return runtime::run_retry_loop(policy_, ctx.stats, ctx.rng, ctx.adaptive, env);
 }
 
 void TrinityTm::recover_data() {
@@ -253,19 +255,13 @@ void TrinityTm::recover_data() {
 
   locks_.reset();
   gv_.value.store(0, std::memory_order_relaxed);
-  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].pver_loaded = false;
+  ctx_.for_each([](ThreadCtx& c) { c.pver_loaded = false; });
 }
 
 void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebuild(live); }
 
-TmStats TrinityTm::stats() const {
-  TmStats agg;
-  for (int t = 0; t < kMaxThreads; ++t) agg.add(ctx_[t].stats);
-  return agg;
-}
+TmStats TrinityTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
-void TrinityTm::reset_stats() {
-  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].stats.reset();
-}
+void TrinityTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
 
 }  // namespace nvhalt

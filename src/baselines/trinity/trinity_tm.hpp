@@ -28,6 +28,7 @@
 
 #include "api/tm.hpp"
 #include "locks/lock_table.hpp"
+#include "runtime/tm_runtime.hpp"
 #include "util/common.hpp"
 
 namespace nvhalt {
@@ -38,12 +39,11 @@ struct TrinityConfig {
   int max_retries = -1;
 };
 
-class TrinityTm final : public TransactionalMemory {
+class TrinityTm final : public runtime::TmRuntime {
  public:
   TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& alloc);
   ~TrinityTm() override;
 
-  bool run(int tid, TxBody body) override;
   void recover_data() override;
   void rebuild_allocator(std::span<const LiveBlock> live) override;
 
@@ -55,11 +55,16 @@ class TrinityTm final : public TransactionalMemory {
 
   std::uint64_t gv() const { return gv_.value.load(std::memory_order_acquire); }
 
+ protected:
+  /// Software-only instantiation of the unified retry loop (htm_attempts
+  /// is pinned to 0: Trinity has no hardware path).
+  bool run_registered(int tid, TxBody body) override;
+
  private:
   friend class TrinityTx;
   struct ThreadCtx;
 
-  enum class AttemptResult { kCommitted, kAborted, kUserAborted };
+  using AttemptResult = runtime::AttemptStatus;
   AttemptResult attempt(int tid, TxBody body);
 
   TrinityConfig cfg_;
@@ -67,7 +72,7 @@ class TrinityTm final : public TransactionalMemory {
   TxAllocator& alloc_;
   LockSpace locks_;
   CacheLinePadded<std::atomic<std::uint64_t>> gv_;  // TL2 global version clock
-  std::unique_ptr<ThreadCtx[]> ctx_;
+  runtime::PerThread<ThreadCtx> ctx_;
 };
 
 }  // namespace nvhalt

@@ -5,14 +5,15 @@
 #include <vector>
 
 #include "core/nvhalt_tm.hpp"
-#include "core/tm_stats.hpp"
 #include "htm/small_map.hpp"
 #include "locks/versioned_lock.hpp"
-#include "util/rng.hpp"
+#include "runtime/per_thread.hpp"
 
 namespace nvhalt {
 
-struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx {
+/// Stats, RNG, adaptive budget and the pver cache live in the shared
+/// runtime::TxThreadState base; this adds NV-HALT's path-specific scratch.
+struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx : runtime::TxThreadState {
   // ---- Software path (Fig. 1) ----------------------------------------
   struct ReadEnt {
     gaddr_t addr;
@@ -54,13 +55,6 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx {
     word_t val;
   };
   std::vector<PersistEnt> persist_buf;
-
-  std::uint64_t pver = 0;  // cached persistent version number
-  bool pver_loaded = false;
-  htm::AbortCause last_hw_abort = htm::AbortCause::kConflict;
-
-  TmThreadStats stats;
-  Xoshiro256 rng;
 
   /// Pre-sizes every per-transaction scratch vector once at TM
   /// construction so the steady state never reallocates on the hot path

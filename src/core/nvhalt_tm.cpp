@@ -1,22 +1,34 @@
 #include "core/nvhalt_tm.hpp"
 
-#include <thread>
-
 #include "core/nvhalt_internal.hpp"
 #include "pmem/crash_sim.hpp"
 
 namespace nvhalt {
 
+namespace {
+
+runtime::PathPolicy make_policy(const NvHaltConfig& cfg) {
+  runtime::PathPolicy p;
+  p.htm_attempts = cfg.htm_attempts;
+  p.fallback_on_capacity = cfg.fallback_on_capacity;
+  p.max_sw_retries = cfg.max_sw_retries;
+  p.adaptive.enabled = cfg.adaptive_htm_budget;
+  return p;
+}
+
+}  // namespace
+
 NvHaltTm::NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAllocator& alloc)
-    : cfg_(cfg),
+    : runtime::TmRuntime(kMaxThreads, make_policy(cfg)),
+      cfg_(cfg),
       pool_(pool),
       htm_(htm),
       alloc_(alloc),
-      locks_(cfg.lock_mode, cfg.lock_table_entries, pool.capacity_words()) {
+      locks_(cfg.lock_mode, cfg.lock_table_entries, pool.capacity_words()),
+      ctx_(kMaxThreads) {
   gclock_.value.store(0, std::memory_order_relaxed);
   commit_seq_.value.store(0, std::memory_order_relaxed);
-  ctx_ = std::make_unique<ThreadCtx[]>(kMaxThreads);
-  for (int t = 0; t < kMaxThreads; ++t) {
+  for (int t = 0; t < ctx_.size(); ++t) {
     ctx_[t].rng.reseed(0xC0FFEE + static_cast<std::uint64_t>(t));
     ctx_[t].reserve_scratch();
   }
@@ -29,15 +41,9 @@ const char* NvHaltTm::name() const {
   return cfg_.lock_mode == LockMode::kColocated ? "NV-HALT-CL" : "NV-HALT";
 }
 
-TmStats NvHaltTm::stats() const {
-  TmStats agg;
-  for (int t = 0; t < kMaxThreads; ++t) agg.add(ctx_[t].stats);
-  return agg;
-}
+TmStats NvHaltTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
-void NvHaltTm::reset_stats() {
-  for (int t = 0; t < kMaxThreads; ++t) ctx_[t].stats.reset();
-}
+void NvHaltTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
 
 void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // Trinity-style persistence under held locks (Sec. 3.2): write each
@@ -59,69 +65,38 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   pool_.fence(tid);
 }
 
-void NvHaltTm::sw_backoff(int tid, int attempt) {
-  // Bounded randomized exponential backoff; yields because this container
-  // may expose a single CPU.
+bool NvHaltTm::run_registered(int tid, TxBody body) {
   ThreadCtx& ctx = ctx_[tid];
-  const int cap = attempt < 10 ? (1 << attempt) : 1024;
-  const int spins = static_cast<int>(ctx.rng.next_bounded(static_cast<std::uint64_t>(cap)));
-  for (int i = 0; i < spins; ++i) cpu_relax();
-  if (attempt > 2) std::this_thread::yield();
-}
+  ensure_pver(pool_, tid, ctx);
 
-bool NvHaltTm::run(int tid, TxBody body) {
-  if (tid < 0 || tid >= kMaxThreads)
-    throw TmLogicError("thread id out of range [0, kMaxThreads)");
-  ThreadCtx& ctx = ctx_[tid];
-  if (!ctx.pver_loaded) {
-    ctx.pver = pool_.load_pver(tid);
-    ctx.pver_loaded = true;
-  }
-  if (auto* c = pool_.crash_coordinator()) c->crash_point();
-
-  // O(1)-abortable progress: a fixed number of hardware attempts...
-  for (int i = 0; i < cfg_.htm_attempts; ++i) {
-    switch (attempt_hw(tid, body)) {
-      case AttemptResult::kCommitted: return true;
-      case AttemptResult::kUserAborted: return false;
-      case AttemptResult::kAborted: break;
+  struct Env {
+    NvHaltTm& tm;
+    ThreadCtx& ctx;
+    int tid;
+    TxBody body;
+    runtime::AttemptStatus attempt_hw() { return tm.attempt_hw(tid, body); }
+    runtime::AttemptStatus attempt_sw() { return tm.attempt_sw(tid, body); }
+    bool hw_abort_was_capacity() const {
+      return ctx.last_hw_abort == htm::AbortCause::kCapacity;
     }
-    // A capacity abort will recur on every retry of the same footprint;
-    // optionally skip straight to the software path.
-    if (cfg_.fallback_on_capacity && ctx.last_hw_abort == htm::AbortCause::kCapacity) break;
-  }
-  if (cfg_.htm_attempts > 0) ctx.stats.fallbacks++;
-
-  // ...then the progressive software path until commit or voluntary abort.
-  int retries = 0;
-  for (;;) {
-    switch (attempt_sw(tid, body)) {
-      case AttemptResult::kCommitted: return true;
-      case AttemptResult::kUserAborted: return false;
-      case AttemptResult::kAborted: break;
+    void before_hw_attempt() {}
+    void crash_point() {
+      if (auto* c = tm.pool_.crash_coordinator()) c->crash_point();
     }
-    ++retries;
-    if (cfg_.max_sw_retries >= 0 && retries > cfg_.max_sw_retries) return false;
-    sw_backoff(tid, retries);
-    if (auto* c = pool_.crash_coordinator()) c->crash_point();
-  }
+  } env{*this, ctx, tid, body};
+
+  return runtime::run_retry_loop(policy_, ctx.stats, ctx.rng, ctx.adaptive, env);
 }
 
 bool NvHaltTm::attempt_hw_once(int tid, TxBody body) {
-  ThreadCtx& ctx = ctx_[tid];
-  if (!ctx.pver_loaded) {
-    ctx.pver = pool_.load_pver(tid);
-    ctx.pver_loaded = true;
-  }
+  registry().ensure_registered(tid);
+  ensure_pver(pool_, tid, ctx_[tid]);
   return attempt_hw(tid, body) == AttemptResult::kCommitted;
 }
 
 bool NvHaltTm::attempt_sw_once(int tid, TxBody body) {
-  ThreadCtx& ctx = ctx_[tid];
-  if (!ctx.pver_loaded) {
-    ctx.pver = pool_.load_pver(tid);
-    ctx.pver_loaded = true;
-  }
+  registry().ensure_registered(tid);
+  ensure_pver(pool_, tid, ctx_[tid]);
   return attempt_sw(tid, body) == AttemptResult::kCommitted;
 }
 

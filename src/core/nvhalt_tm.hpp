@@ -31,6 +31,7 @@
 #include "htm/sim_htm.hpp"
 #include "htm/small_map.hpp"
 #include "locks/lock_table.hpp"
+#include "runtime/tm_runtime.hpp"
 #include "util/rng.hpp"
 
 namespace nvhalt {
@@ -67,6 +68,12 @@ struct NvHaltConfig {
   /// (progressive). Tests use small bounds to assert abort behaviour.
   int max_sw_retries = -1;
 
+  /// Adaptive HTM attempt budget (runtime::AdaptivePolicy): shrink the
+  /// hardware attempt budget while the recent abort rate is high, grow it
+  /// back when attempts start committing. Off by default (the paper uses a
+  /// fixed C); finer knobs via TmRuntime::set_path_policy.
+  bool adaptive_htm_budget = false;
+
   /// Fig. 1 revalidates the full read set on every software read — O(n^2)
   /// in reads. By default the software path instead revalidates only when
   /// the global commit sequence has moved since the transaction's last
@@ -76,12 +83,11 @@ struct NvHaltConfig {
   bool validate_every_read = false;
 };
 
-class NvHaltTm final : public TransactionalMemory {
+class NvHaltTm final : public runtime::TmRuntime {
  public:
   NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAllocator& alloc);
   ~NvHaltTm() override;
 
-  bool run(int tid, TxBody body) override;
   void recover_data() override;
   void rebuild_allocator(std::span<const LiveBlock> live) override;
 
@@ -103,13 +109,18 @@ class NvHaltTm final : public TransactionalMemory {
   bool attempt_hw_once(int tid, TxBody body);
   bool attempt_sw_once(int tid, TxBody body);
 
+ protected:
+  /// The unified retry loop (runtime/retry_policy.hpp) with this TM's
+  /// hardware/software attempts plugged in.
+  bool run_registered(int tid, TxBody body) override;
+
  private:
   friend class NvHaltSwTx;
   friend class NvHaltHwTx;
 
   struct ThreadCtx;
 
-  enum class AttemptResult { kCommitted, kAborted, kUserAborted };
+  using AttemptResult = runtime::AttemptStatus;
   AttemptResult attempt_hw(int tid, TxBody body);
   AttemptResult attempt_sw(int tid, TxBody body);
 
@@ -117,8 +128,6 @@ class NvHaltTm final : public TransactionalMemory {
   /// while the corresponding locks are held, then advances and persists the
   /// calling thread's persistent version number (Sec. 3.2).
   void persist_and_bump_pver(int tid, ThreadCtx& ctx);
-
-  void sw_backoff(int tid, int attempt);
 
   NvHaltConfig cfg_;
   PmemPool& pool_;
@@ -137,7 +146,7 @@ class NvHaltTm final : public TransactionalMemory {
   /// read validation O(1) (docs/PROTOCOLS.md). Volatile: reset on recovery.
   CacheLinePadded<std::atomic<std::uint64_t>> commit_seq_;
 
-  std::unique_ptr<ThreadCtx[]> ctx_;
+  runtime::PerThread<ThreadCtx> ctx_;
 };
 
 }  // namespace nvhalt

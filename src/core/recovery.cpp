@@ -41,14 +41,15 @@ void NvHaltTm::recover_data() {
   gclock_.value.store(0, std::memory_order_relaxed);
   commit_seq_.value.store(0, std::memory_order_relaxed);
 
-  for (int t = 0; t < kMaxThreads; ++t) {
-    ctx_[t].pver_loaded = false;
-    ctx_[t].rdset.clear();
-    ctx_[t].wrset.clear();
-    ctx_[t].hw_undo.clear();
-    ctx_[t].hw_locks.clear();
-    ctx_[t].acquired.clear();
-  }
+  ctx_.for_each([](ThreadCtx& c) {
+    c.pver_loaded = false;
+    c.adaptive.reset();
+    c.rdset.clear();
+    c.wrset.clear();
+    c.hw_undo.clear();
+    c.hw_locks.clear();
+    c.acquired.clear();
+  });
 }
 
 void NvHaltTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebuild(live); }

@@ -1,0 +1,79 @@
+// Unified per-thread state for the TM runtime layer.
+//
+// TxThreadState is the slice of per-thread context every TM needs — outcome
+// stats, the backoff RNG, the adaptive-budget controller, and the cached
+// persistent version number. Each TM's ThreadCtx derives from it and adds
+// its path-specific scratch (read/write sets, redo/undo logs, ...).
+//
+// PerThread<Ctx> replaces the hand-rolled `make_unique<ThreadCtx[]>` blocks:
+// a fixed-size array of cache-line-aligned per-slot contexts indexed by
+// registry slot id, with the stats aggregation/reset helpers all five TMs
+// previously duplicated (and in one case sized inconsistently).
+#pragma once
+
+#include <memory>
+
+#include "core/tm_stats.hpp"
+#include "htm/htm_types.hpp"
+#include "runtime/retry_policy.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt::runtime {
+
+/// Per-registry-slot runtime state shared by every TM's thread context.
+struct TxThreadState {
+  TmThreadStats stats;
+  Xoshiro256 rng;
+  AdaptiveBudget adaptive;
+
+  /// Cached persistent version number (loaded lazily from the pool header
+  /// the first time a slot runs a transaction, invalidated by recovery).
+  std::uint64_t pver = 0;
+  bool pver_loaded = false;
+
+  /// Cause of the most recent hardware-path abort (drives the
+  /// fallback-on-capacity policy). Unused by software-only TMs.
+  htm::AbortCause last_hw_abort = htm::AbortCause::kConflict;
+};
+
+/// Fixed-size array of cache-line-aligned per-slot contexts, indexed by the
+/// dense slot ids a ThreadRegistry hands out.
+template <typename Ctx>
+class PerThread {
+ public:
+  explicit PerThread(int n) : n_(n), slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(n))) {}
+
+  Ctx& operator[](int i) { return slots_[i].ctx; }
+  const Ctx& operator[](int i) const { return slots_[i].ctx; }
+
+  int size() const { return n_; }
+
+  template <typename F>
+  void for_each(F&& f) {
+    for (int i = 0; i < n_; ++i) f(slots_[i].ctx);
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    Ctx ctx;
+  };
+
+  int n_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Aggregates every slot's TmThreadStats (Ctx must derive from
+/// TxThreadState or expose a `stats` member).
+template <typename Ctx>
+TmStats aggregate_thread_stats(const PerThread<Ctx>& per_thread) {
+  TmStats agg;
+  for (int i = 0; i < per_thread.size(); ++i) agg.add(per_thread[i].stats);
+  return agg;
+}
+
+template <typename Ctx>
+void reset_thread_stats(PerThread<Ctx>& per_thread) {
+  per_thread.for_each([](Ctx& c) { c.stats.reset(); });
+}
+
+}  // namespace nvhalt::runtime

@@ -1,0 +1,168 @@
+// The single implementation of the transaction retry loop shared by all
+// five TMs (NV-HALT, NV-HALT-CL, NV-HALT-SP, Trinity, SPHT).
+//
+// Brown's HTM-template line of work and Brown & Ravi's concurrency-cost
+// analysis both show that fallback-path policy — how many hardware attempts,
+// when to give up early, how to back off — is where hybrid TMs win or lose.
+// Before this layer existed each TM hand-rolled its own copy of the loop and
+// they had drifted (different backoff bounds, a fallback result mistaken for
+// a commit). Now the loop lives here once, and each TM supplies only its
+// attempt primitives through a small Env adapter; the knobs are a PathPolicy
+// value configurable per TM instance (TmRuntime::set_path_policy).
+//
+// Loop shape (paper Fig. 1/5/7 attempt ordering, O(1)-abortability):
+//   1. at most `budget` hardware attempts, where budget is htm_attempts or
+//      the adaptive controller's current value;
+//   2. optional fast-fallback on a capacity abort (the footprint will not
+//      shrink on retry) and optional backoff between hardware attempts
+//      (SPHT's historical behaviour);
+//   3. then software attempts until commit / voluntary abort / the
+//      max_sw_retries bound, with bounded randomized exponential backoff
+//      between attempts.
+#pragma once
+
+#include <algorithm>
+
+#include "core/tm_stats.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt::runtime {
+
+/// Bounded randomized exponential backoff. The spin count for attempt k is
+/// drawn uniformly from [0, min(1 << min(k, shift_cap), max_spins)); from
+/// yield_after attempts on the thread additionally yields, because this
+/// container may expose a single CPU. One definition for every TM — the
+/// seed TMs disagreed by an off-by-one in the draw bound (SPHT drew from
+/// cap + 1, the others from cap); the unified policy draws from cap.
+struct BackoffPolicy {
+  int shift_cap = 10;
+  int max_spins = 1024;
+  int yield_after = 2;
+};
+
+/// Adaptive HTM attempt budget: when the recent hardware abort rate is high
+/// (capacity/conflict pressure), attempts are mostly wasted work before the
+/// inevitable fallback, so the budget shrinks; when attempts start
+/// committing again it grows back toward the configured maximum.
+struct AdaptivePolicy {
+  bool enabled = false;
+  /// Hardware attempts per adaptation window.
+  int window = 64;
+  /// Halve the budget when the window abort rate reaches this...
+  double high_abort_rate = 0.75;
+  /// ...and grow it by one when the rate falls to this.
+  double low_abort_rate = 0.25;
+  /// Floor for the shrunken budget (stays >= 1 so the fast path is probed).
+  int min_attempts = 1;
+};
+
+/// The per-TM-instance path/retry policy (the loop's knobs).
+struct PathPolicy {
+  /// C in "C-abortable": hardware attempts before falling back; 0 means
+  /// software-only (Trinity, or NV-HALT with the fast path disabled).
+  int htm_attempts = 0;
+  /// Fall back immediately on a capacity abort.
+  bool fallback_on_capacity = false;
+  /// Back off between failed hardware attempts (SPHT does; NV-HALT's fixed
+  /// attempt burst does not).
+  bool backoff_between_hw = false;
+  /// Bound on software-path retries; < 0 retries until commit (progressive).
+  int max_sw_retries = -1;
+  BackoffPolicy backoff;
+  AdaptivePolicy adaptive;
+};
+
+/// Outcome of one hardware or software attempt.
+enum class AttemptStatus { kCommitted, kAborted, kUserAborted };
+
+/// Per-thread state of the adaptive budget controller. Plain data, no
+/// locking: each instance belongs to one registry slot.
+class AdaptiveBudget {
+ public:
+  /// Current hardware attempt budget under `p` (== p.htm_attempts until the
+  /// controller has adapted, or when adaptation is disabled).
+  int budget(const PathPolicy& p) const {
+    if (!p.adaptive.enabled || budget_ < 0) return p.htm_attempts;
+    return budget_;
+  }
+
+  /// Records one hardware attempt outcome and adapts at window boundaries.
+  void record(const PathPolicy& p, bool aborted) {
+    if (!p.adaptive.enabled) return;
+    if (budget_ < 0) budget_ = p.htm_attempts;
+    ++window_attempts_;
+    if (aborted) ++window_aborts_;
+    if (window_attempts_ < p.adaptive.window) return;
+    const double rate =
+        static_cast<double>(window_aborts_) / static_cast<double>(window_attempts_);
+    if (rate >= p.adaptive.high_abort_rate)
+      budget_ = std::max(p.adaptive.min_attempts, budget_ / 2);
+    else if (rate <= p.adaptive.low_abort_rate)
+      budget_ = std::min(p.htm_attempts, budget_ + 1);
+    window_attempts_ = 0;
+    window_aborts_ = 0;
+  }
+
+  void reset() { *this = AdaptiveBudget{}; }
+
+ private:
+  int budget_ = -1;  // -1: not yet adapted, use the configured maximum
+  int window_attempts_ = 0;
+  int window_aborts_ = 0;
+};
+
+/// The one backoff implementation (see BackoffPolicy).
+void backoff(const BackoffPolicy& b, Xoshiro256& rng, int attempt);
+
+/// Runs one transaction through the unified retry loop. `Env` supplies the
+/// TM-specific primitives:
+///   AttemptStatus attempt_hw();     // one hardware attempt
+///   AttemptStatus attempt_sw();     // one software attempt
+///   bool hw_abort_was_capacity();   // valid right after attempt_hw aborted
+///   void before_hw_attempt();       // e.g. SPHT waits for the fallback lock
+///   void crash_point();             // crash-injection hook (may throw)
+/// Returns true on commit, false on voluntary abort or retry exhaustion.
+template <typename Env>
+bool run_retry_loop(const PathPolicy& pol, TmThreadStats& stats, Xoshiro256& rng,
+                    AdaptiveBudget& adaptive, Env&& env) {
+  env.crash_point();
+
+  const int budget = adaptive.budget(pol);
+  for (int i = 0; i < budget; ++i) {
+    env.before_hw_attempt();
+    switch (env.attempt_hw()) {
+      case AttemptStatus::kCommitted:
+        adaptive.record(pol, /*aborted=*/false);
+        return true;
+      case AttemptStatus::kUserAborted:
+        adaptive.record(pol, /*aborted=*/false);
+        return false;
+      case AttemptStatus::kAborted:
+        break;
+    }
+    adaptive.record(pol, /*aborted=*/true);
+    // A capacity abort recurs on every retry of the same footprint;
+    // optionally skip straight to the software path.
+    if (pol.fallback_on_capacity && env.hw_abort_was_capacity()) break;
+    if (pol.backoff_between_hw) backoff(pol.backoff, rng, i + 1);
+  }
+  if (budget > 0) stats.fallbacks++;
+
+  // Software path until commit or voluntary abort (progressive), bounded by
+  // max_sw_retries when configured.
+  int retries = 0;
+  for (;;) {
+    switch (env.attempt_sw()) {
+      case AttemptStatus::kCommitted: return true;
+      case AttemptStatus::kUserAborted: return false;
+      case AttemptStatus::kAborted: break;
+    }
+    ++retries;
+    if (pol.max_sw_retries >= 0 && retries > pol.max_sw_retries) return false;
+    backoff(pol.backoff, rng, retries);
+    env.crash_point();
+  }
+}
+
+}  // namespace nvhalt::runtime

@@ -1,0 +1,56 @@
+#include "runtime/thread_registry.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace nvhalt::runtime {
+
+ThreadRegistry::ThreadRegistry(int capacity)
+    : capacity_(std::clamp(capacity, 1, kMaxThreads)),
+      slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(capacity_))) {}
+
+void ThreadRegistry::note_registered_locked(int slot) {
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  total_registrations_.fetch_add(1, std::memory_order_acq_rel);
+  int hw = high_water_.load(std::memory_order_relaxed);
+  while (slot + 1 > hw &&
+         !high_water_.compare_exchange_weak(hw, slot + 1, std::memory_order_acq_rel)) {
+  }
+}
+
+int ThreadRegistry::acquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int s = 0; s < capacity_; ++s) {
+    if (slots_[s].state.load(std::memory_order_relaxed) == kFree) {
+      slots_[s].state.store(kHandle, std::memory_order_release);
+      note_registered_locked(s);
+      return s;
+    }
+  }
+  throw TmLogicError("ThreadRegistry: all " + std::to_string(capacity_) +
+                     " slots are registered");
+}
+
+void ThreadRegistry::release(int slot) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slot < 0 || slot >= capacity_)
+    throw TmLogicError("ThreadRegistry::release: slot out of range");
+  const std::uint8_t st = slots_[slot].state.load(std::memory_order_relaxed);
+  if (st == kFree) throw TmLogicError("ThreadRegistry::release: slot is not registered");
+  if (st == kPinned)
+    throw TmLogicError("ThreadRegistry::release: slot is pinned by the dense-tid API");
+  slots_[slot].state.store(kFree, std::memory_order_release);
+  active_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ThreadRegistry::ensure_registered(int slot) {
+  if (slot < 0 || slot >= capacity_)
+    throw TmLogicError("thread id out of range [0, " + std::to_string(capacity_) + ")");
+  if (slots_[slot].state.load(std::memory_order_acquire) != kFree) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slots_[slot].state.load(std::memory_order_relaxed) != kFree) return;
+  slots_[slot].state.store(kPinned, std::memory_order_release);
+  note_registered_locked(slot);
+}
+
+}  // namespace nvhalt::runtime

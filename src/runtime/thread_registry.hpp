@@ -1,0 +1,145 @@
+// Dynamic thread registry: the runtime-layer replacement for caller-managed
+// dense thread ids.
+//
+// Every TM owns one ThreadRegistry (via TmRuntime). Worker threads either
+//   * register dynamically — ThreadHandle h = tm.register_thread(); — and
+//     run transactions through the handle (slots are reclaimed on handle
+//     destruction and reused by later registrants, so arbitrarily many
+//     threads can come and go as long as no more than capacity() are
+//     registered at once), or
+//   * keep using the historical dense-tid API, run(tid, body), which pins
+//     the slot `tid` on first use and never releases it (the compatibility
+//     shim: a caller-managed id is a registration the caller promises to
+//     manage forever).
+//
+// Slots are handed out lowest-free-first so dense iteration up to
+// high_water() covers every slot that ever ran a transaction — this is the
+// bound stats aggregation and per-thread resets use.
+//
+// Registration is deliberately mutex-based: it happens once per thread
+// lifetime (not per transaction), and the mutex gives the release→reacquire
+// happens-before edge that makes per-slot context reuse race-free. Only the
+// is-registered fast-path check on run(tid, ...) is lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "util/common.hpp"
+
+namespace nvhalt::runtime {
+
+class ThreadRegistry {
+ public:
+  /// Capacity is clamped to [1, kMaxThreads]: persistent per-thread
+  /// structures (pVerNum slots, conflict-table reader masks) have a static
+  /// kMaxThreads layout, so a slot index must stay below it.
+  explicit ThreadRegistry(int capacity = kMaxThreads);
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  /// Claims the lowest free slot. Throws TmLogicError when all capacity()
+  /// slots are registered.
+  int acquire();
+
+  /// Returns a slot claimed by acquire(). Throws on a slot that is free or
+  /// pinned (pinned slots are caller-managed and never released).
+  void release(int slot);
+
+  /// Compatibility shim for the dense-tid API: marks `slot` as permanently
+  /// registered. Idempotent and cheap when already registered (one acquire
+  /// load). Throws TmLogicError when slot is outside [0, capacity()).
+  void ensure_registered(int slot);
+
+  bool is_registered(int slot) const {
+    return slot >= 0 && slot < capacity_ &&
+           slots_[slot].state.load(std::memory_order_acquire) != kFree;
+  }
+
+  int capacity() const { return capacity_; }
+
+  /// Currently registered slots (handles + pinned).
+  int active() const { return active_.load(std::memory_order_acquire); }
+
+  /// One past the highest slot ever registered: the dense bound for stats
+  /// aggregation and per-thread iteration.
+  int high_water() const { return high_water_.load(std::memory_order_acquire); }
+
+  /// Lifetime acquire/pin count — exceeds capacity() once slots have been
+  /// reclaimed and reused (what the churn tests assert).
+  std::uint64_t total_registrations() const {
+    return total_registrations_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::uint8_t kFree = 0;
+  static constexpr std::uint8_t kHandle = 1;  // released by ThreadHandle
+  static constexpr std::uint8_t kPinned = 2;  // dense-tid shim, never released
+
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<std::uint8_t> state{kFree};
+  };
+
+  void note_registered_locked(int slot);
+
+  const int capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Serializes registration state changes; see header comment.
+  mutable std::mutex mu_;
+  std::atomic<int> active_{0};
+  std::atomic<int> high_water_{0};
+  std::atomic<std::uint64_t> total_registrations_{0};
+};
+
+/// RAII registration: claims a slot on construction, releases it on
+/// destruction. Move-only; a moved-from handle is empty.
+class ThreadHandle {
+ public:
+  ThreadHandle() = default;
+  explicit ThreadHandle(ThreadRegistry& reg) : reg_(&reg), tid_(reg.acquire()) {}
+  ~ThreadHandle() { reset(); }
+
+  ThreadHandle(const ThreadHandle&) = delete;
+  ThreadHandle& operator=(const ThreadHandle&) = delete;
+  ThreadHandle(ThreadHandle&& o) noexcept : reg_(o.reg_), tid_(o.tid_) {
+    o.reg_ = nullptr;
+    o.tid_ = -1;
+  }
+  ThreadHandle& operator=(ThreadHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      reg_ = o.reg_;
+      tid_ = o.tid_;
+      o.reg_ = nullptr;
+      o.tid_ = -1;
+    }
+    return *this;
+  }
+
+  /// The dense slot id this handle holds. Throws on an empty handle.
+  int tid() const {
+    if (reg_ == nullptr) throw TmLogicError("tid() on an empty ThreadHandle");
+    return tid_;
+  }
+
+  bool valid() const { return reg_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  /// Releases the slot early (idempotent).
+  void reset() {
+    if (reg_ != nullptr) {
+      reg_->release(tid_);
+      reg_ = nullptr;
+      tid_ = -1;
+    }
+  }
+
+ private:
+  ThreadRegistry* reg_ = nullptr;
+  int tid_ = -1;
+};
+
+}  // namespace nvhalt::runtime

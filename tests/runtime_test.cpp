@@ -1,0 +1,335 @@
+// Unit tests for the shared TM runtime layer: ThreadRegistry / ThreadHandle
+// slot lifecycle, the AdaptiveBudget controller, and the unified retry loop
+// driven through a scripted Env.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "runtime/per_thread.hpp"
+#include "runtime/retry_policy.hpp"
+#include "runtime/thread_registry.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt::runtime {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(ThreadRegistry, AcquiresLowestFreeSlotFirst) {
+  ThreadRegistry reg(8);
+  EXPECT_EQ(reg.acquire(), 0);
+  EXPECT_EQ(reg.acquire(), 1);
+  EXPECT_EQ(reg.acquire(), 2);
+  reg.release(1);
+  EXPECT_EQ(reg.acquire(), 1);  // reclaimed slot is reused before slot 3
+  EXPECT_EQ(reg.acquire(), 3);
+}
+
+TEST(ThreadRegistry, CapacityExhaustionThrows) {
+  ThreadRegistry reg(2);
+  reg.acquire();
+  reg.acquire();
+  EXPECT_THROW(reg.acquire(), TmLogicError);
+  reg.release(0);
+  EXPECT_EQ(reg.acquire(), 0);  // space again after a release
+}
+
+TEST(ThreadRegistry, CapacityIsClampedToValidRange) {
+  EXPECT_EQ(ThreadRegistry(0).capacity(), 1);
+  EXPECT_EQ(ThreadRegistry(-5).capacity(), 1);
+  EXPECT_EQ(ThreadRegistry(kMaxThreads * 4).capacity(), kMaxThreads);
+  EXPECT_EQ(ThreadRegistry(7).capacity(), 7);
+}
+
+TEST(ThreadRegistry, ReleaseOfFreeSlotThrows) {
+  ThreadRegistry reg(4);
+  EXPECT_THROW(reg.release(0), TmLogicError);
+  EXPECT_THROW(reg.release(-1), TmLogicError);
+  EXPECT_THROW(reg.release(4), TmLogicError);
+}
+
+TEST(ThreadRegistry, EnsureRegisteredPinsSlot) {
+  ThreadRegistry reg(4);
+  reg.ensure_registered(2);
+  EXPECT_TRUE(reg.is_registered(2));
+  reg.ensure_registered(2);  // idempotent
+  EXPECT_EQ(reg.active(), 1);
+
+  // Dynamic acquisition skips the pinned slot.
+  EXPECT_EQ(reg.acquire(), 0);
+  EXPECT_EQ(reg.acquire(), 1);
+  EXPECT_EQ(reg.acquire(), 3);
+
+  // Pinned slots are caller-managed forever: releasing one is a bug.
+  EXPECT_THROW(reg.release(2), TmLogicError);
+  EXPECT_THROW(reg.ensure_registered(4), TmLogicError);
+  EXPECT_THROW(reg.ensure_registered(-1), TmLogicError);
+}
+
+TEST(ThreadRegistry, CountersTrackLifecycle) {
+  ThreadRegistry reg(4);
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_EQ(reg.high_water(), 0);
+  EXPECT_EQ(reg.total_registrations(), 0u);
+
+  reg.acquire();
+  reg.acquire();
+  EXPECT_EQ(reg.active(), 2);
+  EXPECT_EQ(reg.high_water(), 2);
+
+  reg.release(0);
+  EXPECT_EQ(reg.active(), 1);
+  EXPECT_EQ(reg.high_water(), 2);  // high water never recedes
+
+  reg.acquire();  // reuses slot 0
+  reg.ensure_registered(3);
+  EXPECT_EQ(reg.active(), 3);
+  EXPECT_EQ(reg.high_water(), 4);
+  EXPECT_EQ(reg.total_registrations(), 4u);  // 3 acquires + 1 pin
+}
+
+TEST(ThreadHandle, RaiiReleasesOnDestruction) {
+  ThreadRegistry reg(4);
+  {
+    ThreadHandle h(reg);
+    EXPECT_TRUE(h.valid());
+    EXPECT_EQ(h.tid(), 0);
+    EXPECT_EQ(reg.active(), 1);
+  }
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_FALSE(reg.is_registered(0));
+}
+
+TEST(ThreadHandle, MoveTransfersOwnership) {
+  ThreadRegistry reg(4);
+  ThreadHandle a(reg);
+  const int tid = a.tid();
+
+  ThreadHandle b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from query
+  EXPECT_THROW(a.tid(), TmLogicError);
+  EXPECT_EQ(b.tid(), tid);
+  EXPECT_EQ(reg.active(), 1);
+
+  ThreadHandle c;
+  c = std::move(b);
+  EXPECT_EQ(c.tid(), tid);
+  EXPECT_EQ(reg.active(), 1);
+
+  c.reset();
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(reg.active(), 0);
+  c.reset();  // idempotent
+}
+
+// ---------------------------------------------------------- adaptive budget
+
+PathPolicy adaptive_policy(int attempts, int window) {
+  PathPolicy p;
+  p.htm_attempts = attempts;
+  p.adaptive.enabled = true;
+  p.adaptive.window = window;
+  return p;
+}
+
+TEST(AdaptiveBudget, DisabledUsesConfiguredAttempts) {
+  PathPolicy p;
+  p.htm_attempts = 7;
+  AdaptiveBudget a;
+  EXPECT_EQ(a.budget(p), 7);
+  a.record(p, /*aborted=*/true);  // no-op when disabled
+  EXPECT_EQ(a.budget(p), 7);
+}
+
+TEST(AdaptiveBudget, ShrinksUnderHighAbortRate) {
+  const PathPolicy p = adaptive_policy(/*attempts=*/8, /*window=*/4);
+  AdaptiveBudget a;
+  EXPECT_EQ(a.budget(p), 8);
+  for (int i = 0; i < 4; ++i) a.record(p, /*aborted=*/true);
+  EXPECT_EQ(a.budget(p), 4);  // halved at the window boundary
+  for (int i = 0; i < 4; ++i) a.record(p, /*aborted=*/true);
+  EXPECT_EQ(a.budget(p), 2);
+}
+
+TEST(AdaptiveBudget, FloorsAtMinAttempts) {
+  PathPolicy p = adaptive_policy(/*attempts=*/4, /*window=*/2);
+  p.adaptive.min_attempts = 2;
+  AdaptiveBudget a;
+  for (int i = 0; i < 20; ++i) a.record(p, /*aborted=*/true);
+  EXPECT_EQ(a.budget(p), 2);  // never shrinks below the floor
+}
+
+TEST(AdaptiveBudget, RegrowsWhenAbortsSubside) {
+  const PathPolicy p = adaptive_policy(/*attempts=*/8, /*window=*/4);
+  AdaptiveBudget a;
+  for (int i = 0; i < 8; ++i) a.record(p, /*aborted=*/true);
+  EXPECT_EQ(a.budget(p), 2);
+  // Two clean windows grow the budget back by one each.
+  for (int i = 0; i < 8; ++i) a.record(p, /*aborted=*/false);
+  EXPECT_EQ(a.budget(p), 4);
+  // Growth is capped at the configured maximum.
+  for (int i = 0; i < 100; ++i) a.record(p, /*aborted=*/false);
+  EXPECT_EQ(a.budget(p), 8);
+}
+
+TEST(AdaptiveBudget, ResetForgetsAdaptation) {
+  const PathPolicy p = adaptive_policy(/*attempts=*/8, /*window=*/2);
+  AdaptiveBudget a;
+  for (int i = 0; i < 4; ++i) a.record(p, /*aborted=*/true);
+  ASSERT_LT(a.budget(p), 8);
+  a.reset();
+  EXPECT_EQ(a.budget(p), 8);
+}
+
+// ------------------------------------------------------------- retry loop
+
+/// Scripted Env: plays back fixed sequences of hardware and software
+/// attempt outcomes and records what the loop asked of it.
+struct ScriptedEnv {
+  std::vector<AttemptStatus> hw;
+  std::vector<AttemptStatus> sw;
+  bool capacity_abort = false;
+  int hw_calls = 0;
+  int sw_calls = 0;
+  int waits = 0;
+
+  AttemptStatus attempt_hw() { return hw.at(static_cast<std::size_t>(hw_calls++)); }
+  AttemptStatus attempt_sw() { return sw.at(static_cast<std::size_t>(sw_calls++)); }
+  bool hw_abort_was_capacity() const { return capacity_abort; }
+  void before_hw_attempt() { ++waits; }
+  void crash_point() {}
+};
+
+struct LoopFixture {
+  TmThreadStats stats;
+  Xoshiro256 rng{0xBEEF};
+  AdaptiveBudget adaptive;
+  bool run(const PathPolicy& p, ScriptedEnv& env) {
+    return run_retry_loop(p, stats, rng, adaptive, env);
+  }
+};
+
+TEST(RunRetryLoop, HardwareCommitShortCircuits) {
+  LoopFixture f;
+  PathPolicy p;
+  p.htm_attempts = 4;
+  ScriptedEnv env;
+  env.hw = {AttemptStatus::kAborted, AttemptStatus::kCommitted};
+  EXPECT_TRUE(f.run(p, env));
+  EXPECT_EQ(env.hw_calls, 2);
+  EXPECT_EQ(env.sw_calls, 0);
+  EXPECT_EQ(env.waits, 2);  // before_hw_attempt precedes every attempt
+  EXPECT_EQ(f.stats.fallbacks, 0u);
+}
+
+TEST(RunRetryLoop, ExhaustedBudgetFallsBackAndCountsOnce) {
+  LoopFixture f;
+  PathPolicy p;
+  p.htm_attempts = 3;
+  ScriptedEnv env;
+  env.hw = {AttemptStatus::kAborted, AttemptStatus::kAborted, AttemptStatus::kAborted};
+  env.sw = {AttemptStatus::kAborted, AttemptStatus::kCommitted};
+  EXPECT_TRUE(f.run(p, env));
+  EXPECT_EQ(env.hw_calls, 3);
+  EXPECT_EQ(env.sw_calls, 2);
+  EXPECT_EQ(f.stats.fallbacks, 1u);
+}
+
+TEST(RunRetryLoop, SoftwareOnlyPolicyNeverCountsFallback) {
+  LoopFixture f;
+  PathPolicy p;  // htm_attempts = 0: Trinity-style pure software
+  ScriptedEnv env;
+  env.sw = {AttemptStatus::kCommitted};
+  EXPECT_TRUE(f.run(p, env));
+  EXPECT_EQ(env.hw_calls, 0);
+  EXPECT_EQ(env.waits, 0);
+  EXPECT_EQ(f.stats.fallbacks, 0u);
+}
+
+TEST(RunRetryLoop, CapacityAbortFastFallback) {
+  LoopFixture f;
+  PathPolicy p;
+  p.htm_attempts = 10;
+  p.fallback_on_capacity = true;
+  ScriptedEnv env;
+  env.hw = {AttemptStatus::kAborted};
+  env.capacity_abort = true;  // footprint won't shrink: skip remaining attempts
+  env.sw = {AttemptStatus::kCommitted};
+  EXPECT_TRUE(f.run(p, env));
+  EXPECT_EQ(env.hw_calls, 1);
+  EXPECT_EQ(env.sw_calls, 1);
+  EXPECT_EQ(f.stats.fallbacks, 1u);
+}
+
+TEST(RunRetryLoop, UserAbortReturnsFalseFromEitherPath) {
+  {
+    LoopFixture f;
+    PathPolicy p;
+    p.htm_attempts = 2;
+    ScriptedEnv env;
+    env.hw = {AttemptStatus::kUserAborted};
+    EXPECT_FALSE(f.run(p, env));
+    EXPECT_EQ(env.sw_calls, 0);
+  }
+  {
+    LoopFixture f;
+    PathPolicy p;
+    ScriptedEnv env;
+    // A software conflict abort retries; only the voluntary abort gives up.
+    env.sw = {AttemptStatus::kAborted, AttemptStatus::kUserAborted};
+    EXPECT_FALSE(f.run(p, env));
+    EXPECT_EQ(env.sw_calls, 2);
+  }
+}
+
+TEST(RunRetryLoop, MaxSwRetriesBoundsTheSoftwarePath) {
+  LoopFixture f;
+  PathPolicy p;
+  p.max_sw_retries = 2;
+  ScriptedEnv env;
+  env.sw = std::vector<AttemptStatus>(8, AttemptStatus::kAborted);
+  EXPECT_FALSE(f.run(p, env));
+  // Initial attempt + max_sw_retries retries.
+  EXPECT_EQ(env.sw_calls, 3);
+}
+
+TEST(RunRetryLoop, AdaptiveBudgetShrinksAcrossTransactions) {
+  LoopFixture f;
+  PathPolicy p = adaptive_policy(/*attempts=*/4, /*window=*/8);
+  // Every hardware attempt aborts: after enough windows the controller
+  // should have shrunk the per-transaction attempt budget to the floor.
+  for (int txn = 0; txn < 32; ++txn) {
+    ScriptedEnv env;
+    env.hw = std::vector<AttemptStatus>(8, AttemptStatus::kAborted);
+    env.sw = {AttemptStatus::kCommitted};
+    EXPECT_TRUE(f.run(p, env));
+  }
+  EXPECT_EQ(f.adaptive.budget(p), p.adaptive.min_attempts);
+  ScriptedEnv env;
+  env.hw = std::vector<AttemptStatus>(8, AttemptStatus::kAborted);
+  env.sw = {AttemptStatus::kCommitted};
+  EXPECT_TRUE(f.run(p, env));
+  EXPECT_EQ(env.hw_calls, 1);  // only the floor's worth of hardware attempts
+}
+
+// --------------------------------------------------------------- per-thread
+
+TEST(PerThread, AggregateAndResetCoverAllSlots) {
+  struct Ctx : TxThreadState {};
+  PerThread<Ctx> slots(4);
+  for (int t = 0; t < slots.size(); ++t) {
+    slots[t].stats.commits = static_cast<std::uint64_t>(t + 1);
+    slots[t].stats.hw_aborts = 2;
+  }
+  const TmStats agg = aggregate_thread_stats(slots);
+  EXPECT_EQ(agg.commits, 1u + 2u + 3u + 4u);
+  EXPECT_EQ(agg.hw_aborts, 8u);
+
+  reset_thread_stats(slots);
+  EXPECT_EQ(aggregate_thread_stats(slots).commits, 0u);
+  EXPECT_EQ(aggregate_thread_stats(slots).hw_aborts, 0u);
+}
+
+}  // namespace
+}  // namespace nvhalt::runtime
