@@ -5,6 +5,7 @@
 // behind. Plain binary — no google-benchmark, no external JSON library.
 //
 // Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
+//                      [--baseline PATH]
 //   --smoke        truncated ~10s mode (small keys, short windows), used by
 //                  the perf-smoke CTest target
 //   --check        after writing the reports, re-read and validate their
@@ -12,14 +13,23 @@
 //   --out          main report path (default: BENCH_sw_hotpath.json)
 //   --scaling-out  thread-scaling report path (default:
 //                  BENCH_thread_scaling.json)
+//   --baseline     compare the fresh report's grid cells against a previous
+//                  report (e.g. the committed BENCH_sw_hotpath.json)
 //
 // The committed BENCH_sw_hotpath.json / BENCH_thread_scaling.json at the
-// repo root are full-mode runs of this binary. No timing assertions
-// anywhere: the reports record numbers; humans (and PR descriptions)
-// compare them across revisions.
+// repo root are full-mode runs of this binary. By default there are no
+// timing assertions anywhere: the reports record numbers; humans (and PR
+// descriptions) compare them across revisions, and --baseline prints the
+// per-cell deltas. Setting $NVHALT_BENCH_TOLERANCE to a positive fraction
+// (e.g. 0.5) turns --baseline into a gate: any grid cell slower than
+// baseline * (1 - tolerance) fails the run. CI leaves it unset/0 so shared
+// noisy runners stay advisory-not-flaky; the knob exists for controlled
+// perf rigs.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,7 +50,18 @@ struct Options {
   bool check = false;
   std::string out = "BENCH_sw_hotpath.json";
   std::string scaling_out = "BENCH_thread_scaling.json";
+  std::string baseline;
 };
+
+/// Fractional tolerance from the environment (e.g. "0.5"); <= 0 or unset
+/// means advisory mode — print deltas, never fail.
+double bench_tolerance() {
+  const char* v = std::getenv("NVHALT_BENCH_TOLERANCE");
+  if (v == nullptr || *v == '\0') return 0.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v || parsed < 0) ? 0.0 : parsed;
+}
 
 std::vector<int> scaling_thread_counts(bool smoke) {
   return smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
@@ -359,6 +380,104 @@ int check_scaling_report(const std::string& path, bool smoke) {
   return errors.empty() ? 0 : 1;
 }
 
+// ------------------------------------------------- baseline comparison
+
+/// One parsed grid cell: "structure/read_pct/tm" -> ops_per_sec. The
+/// reports are emitted one grid object per line by this binary, so a
+/// line-oriented field scan is a complete parser for them.
+std::vector<std::pair<std::string, double>> parse_grid_cells(const std::string& text) {
+  std::vector<std::pair<std::string, double>> cells;
+  std::istringstream is(text);
+  std::string line;
+  const auto field = [&line](const char* key) -> std::string {
+    const std::string needle = std::string("\"") + key + "\": ";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) return {};
+    auto v = line.substr(pos + needle.size());
+    if (!v.empty() && v[0] == '"') {
+      const auto q = v.find('"', 1);
+      return q == std::string::npos ? std::string{} : v.substr(1, q - 1);
+    }
+    return v.substr(0, v.find_first_of(",}"));
+  };
+  while (std::getline(is, line)) {
+    const std::string st = field("structure");
+    const std::string tm = field("tm");
+    const std::string pct = field("read_pct");
+    const std::string ops = field("ops_per_sec");
+    if (st.empty() || tm.empty() || pct.empty() || ops.empty()) continue;
+    cells.emplace_back(st + "/" + pct + "ro/" + tm, std::strtod(ops.c_str(), nullptr));
+  }
+  return cells;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return {};
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+/// Compares the fresh report's grid against a baseline report. Advisory by
+/// default (prints every cell's ratio, worst first, returns 0); with a
+/// positive $NVHALT_BENCH_TOLERANCE it fails when any cell drops below
+/// baseline * (1 - tolerance).
+int compare_with_baseline(const Options& opt) {
+  const std::string base_text = read_file(opt.baseline);
+  if (base_text.empty()) {
+    std::fprintf(stderr, "bench_regress --baseline: cannot read %s\n", opt.baseline.c_str());
+    return 1;
+  }
+  const std::string cur_text = read_file(opt.out);
+  const auto base_cells = parse_grid_cells(base_text);
+  const auto cur_cells = parse_grid_cells(cur_text);
+  if (base_cells.empty() || cur_cells.empty()) {
+    std::fprintf(stderr, "bench_regress --baseline: no comparable grid cells\n");
+    return 1;
+  }
+  const bool mode_mismatch = (base_text.find("\"mode\": \"full\"") != std::string::npos) !=
+                             (cur_text.find("\"mode\": \"full\"") != std::string::npos);
+  if (mode_mismatch)
+    std::fprintf(stderr,
+                 "bench_regress --baseline: WARNING smoke/full mode mismatch — "
+                 "ratios are indicative only\n");
+
+  const double tolerance = bench_tolerance();
+  struct Delta {
+    std::string key;
+    double ratio;
+  };
+  std::vector<Delta> deltas;
+  for (const auto& [key, cur_ops] : cur_cells) {
+    for (const auto& [bkey, base_ops] : base_cells) {
+      if (bkey == key && base_ops > 0) {
+        deltas.push_back({key, cur_ops / base_ops});
+        break;
+      }
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const Delta& a, const Delta& b) { return a.ratio < b.ratio; });
+
+  int violations = 0;
+  for (const Delta& d : deltas) {
+    const bool slow = tolerance > 0 && d.ratio < 1.0 - tolerance;
+    if (slow) ++violations;
+    std::fprintf(stderr, "baseline %-28s %6.2fx%s\n", d.key.c_str(), d.ratio,
+                 slow ? "  << REGRESSION" : "");
+  }
+  if (tolerance <= 0) {
+    std::fprintf(stderr, "bench_regress --baseline: advisory mode (%zu cells compared, "
+                         "set NVHALT_BENCH_TOLERANCE to gate)\n",
+                 deltas.size());
+    return 0;
+  }
+  std::fprintf(stderr, "bench_regress --baseline: %d of %zu cells below %.0f%% of baseline\n",
+               violations, deltas.size(), (1.0 - tolerance) * 100.0);
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace nvhalt::bench
 
@@ -373,9 +492,12 @@ int main(int argc, char** argv) {
       opt.out = argv[++i];
     } else if (std::strcmp(argv[i], "--scaling-out") == 0 && i + 1 < argc) {
       opt.scaling_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      opt.baseline = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]\n");
+                   "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
+                   "[--baseline PATH]\n");
       return 2;
     }
   }
@@ -383,8 +505,12 @@ int main(int argc, char** argv) {
   if (rc != 0) return rc;
   rc = nvhalt::bench::run_scaling_report(opt);
   if (rc != 0) return rc;
-  if (!opt.check) return 0;
-  rc = nvhalt::bench::check_report(opt.out);
-  const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
-  return rc != 0 ? rc : rc2;
+  if (opt.check) {
+    rc = nvhalt::bench::check_report(opt.out);
+    const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
+    if (rc == 0) rc = rc2;
+    if (rc != 0) return rc;
+  }
+  if (!opt.baseline.empty()) return nvhalt::bench::compare_with_baseline(opt);
+  return rc;
 }

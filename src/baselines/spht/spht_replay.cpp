@@ -38,47 +38,97 @@ std::vector<std::pair<gaddr_t, word_t>> reduce_records(std::vector<SphtLog::TxnR
 }
 }  // namespace
 
-void SphtTm::replay(int nthreads) {
+void SphtTm::replay(int nthreads) { replay_impl(/*caller_tid=*/0, nthreads, false); }
+
+void SphtTm::replay_impl(int caller_tid, int nthreads, bool durable_prefix_only) {
   std::vector<SphtLog::TxnRec> recs;
-  log_.collect(gpm_volatile_.value.load(std::memory_order_acquire), recs);
+  // Checkpoint replays must take EVERY record: truncate_all() below erases
+  // the logs wholesale, and a record above the volatile marker belongs to a
+  // committed transaction whose owner is still between publishing its log
+  // (which is all the full-log quiesce waits for) and advancing the marker.
+  // Filtering by the marker here would truncate the only durable copy of a
+  // transaction that is about to be acknowledged. Recovery replays are the
+  // opposite: the durable marker defines the durably-committed prefix, and
+  // records beyond it must not surface.
+  const std::uint64_t max_ts = durable_prefix_only
+                                   ? gpm_volatile_.value.load(std::memory_order_acquire)
+                                   : ~std::uint64_t{0};
+  log_.collect(max_ts, recs);
+  std::uint64_t applied_ts = 0;
+  for (const auto& r : recs) applied_ts = std::max(applied_ts, r.ts);
   const auto final_writes = reduce_records(recs);
 
   if (!final_writes.empty()) {
-    const int workers = std::max(1, std::min<int>(nthreads, static_cast<int>(final_writes.size())));
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers));
-    const std::size_t per = (final_writes.size() + static_cast<std::size_t>(workers) - 1) /
-                            static_cast<std::size_t>(workers);
-    std::atomic<bool> power_failed{false};
-    for (int w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        try {
-          const std::size_t lo = static_cast<std::size_t>(w) * per;
-          const std::size_t hi = std::min(final_writes.size(), lo + per);
-          for (std::size_t i = lo; i < hi; ++i) {
-            const auto [a, v] = final_writes[i];
-            // The NVM heap image lives in the records' `cur` field; replay
-            // writes it and persists the line. `old`/`pver` are unused by
-            // SPHT (they are Trinity machinery).
-            PRecord r = pool_.read_record(a);
-            pool_.record_write(/*tid=*/w, a, r.old, v, /*seq=*/0);
-            pool_.flush_record(/*tid=*/w, a);
+    // Threads quiesced by the full-log path can still be flushing the
+    // marker line from persist_marker_until with their own pool tid, so
+    // replay workers must not share live threads' flush queues: they take
+    // dedicated tids from the top of the pool's range. With no spare tids
+    // (max_threads == kMaxThreads) replay runs on the caller's thread.
+    const int spare = kMaxThreads - cfg_.max_threads;
+    const int workers =
+        std::min<int>({nthreads, spare, static_cast<int>(final_writes.size())});
+    const auto apply_range = [&](int tid, std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto [a, v] = final_writes[i];
+        // The NVM heap image lives in the records' `cur` field; replay
+        // writes it and persists the line. `old`/`pver` are unused by
+        // SPHT (they are Trinity machinery).
+        PRecord r = pool_.read_record(a);
+        pool_.record_write(tid, a, r.old, v, /*seq=*/0);
+        pool_.flush_record(tid, a);
+      }
+      pool_.fence(tid);
+    };
+    if (workers < 1) {
+      apply_range(caller_tid, 0, final_writes.size());
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      const std::size_t per = (final_writes.size() + static_cast<std::size_t>(workers) - 1) /
+                              static_cast<std::size_t>(workers);
+      std::atomic<bool> power_failed{false};
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          try {
+            const std::size_t lo = static_cast<std::size_t>(w) * per;
+            const std::size_t hi = std::min(final_writes.size(), lo + per);
+            apply_range(kMaxThreads - 1 - w, lo, hi);
+          } catch (const SimulatedPowerFailure&) {
+            // Replay is idempotent redo: a power failure mid-replay simply
+            // means recovery replays again. Surfaced on the calling thread.
+            power_failed.store(true, std::memory_order_release);
           }
-          pool_.fence(w);
-        } catch (const SimulatedPowerFailure&) {
-          // Replay is idempotent redo: a power failure mid-replay simply
-          // means recovery replays again. Surfaced on the calling thread.
-          power_failed.store(true, std::memory_order_release);
-        }
-      });
+        });
+      }
+      for (auto& t : threads) t.join();
+      if (power_failed.load(std::memory_order_acquire)) throw SimulatedPowerFailure{};
     }
-    for (auto& t : threads) t.join();
-    if (power_failed.load(std::memory_order_acquire)) throw SimulatedPowerFailure{};
+  }
+
+  if (!durable_prefix_only && applied_ts != 0) {
+    // Once the logs are truncated the checkpointed transactions live only
+    // in the heap image, so the durable marker must cover them first —
+    // recovery trusts the heap for everything at or below the marker and
+    // seeds the timestamp source from it, keeping timestamps monotonic
+    // across a crash. A power failure between this fence and the
+    // truncation replays idempotently (the records are still <= marker).
+    std::uint64_t cur = gpm_volatile_.value.load(std::memory_order_acquire);
+    while (cur < applied_ts && !gpm_volatile_.value.compare_exchange_weak(
+                                   cur, applied_ts, std::memory_order_acq_rel)) {
+    }
+    std::lock_guard<std::mutex> lk(gpm_mu_);
+    const std::uint64_t m = gpm_volatile_.value.load(std::memory_order_acquire);
+    if (gpm_durable_.value.load(std::memory_order_acquire) < m) {
+      pool_.raw_store(gpm_raw_idx_, m);
+      pool_.flush_raw(caller_tid, gpm_raw_idx_);
+      pool_.fence(caller_tid);
+      gpm_durable_.value.store(m, std::memory_order_release);
+    }
   }
 
   // Logs are durable in the heap image now; truncate them. A crash between
   // the fences above and this truncation replays idempotently.
-  log_.truncate_all(/*tid=*/0);
+  log_.truncate_all(caller_tid);
 }
 
 void SphtTm::replay_full_logs(int tid) {
@@ -100,7 +150,7 @@ void SphtTm::replay_full_logs(int tid) {
     while (!((ts_pub_[t].value.load(std::memory_order_seq_cst) & 1) != 0))
       std::this_thread::yield();
   }
-  replay(cfg_.replay_threads);
+  replay_impl(tid, cfg_.replay_threads, false);
   if (!already_held) {
     gl_held_ns_.value.fetch_add(
         static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -117,7 +167,7 @@ void SphtTm::recover_data() {
   gpm_volatile_.value.store(pool_.raw_load(gpm_raw_idx_), std::memory_order_relaxed);
   gpm_durable_.value.store(gpm_volatile_.value.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
-  replay(1);
+  replay_impl(/*caller_tid=*/0, 1, /*durable_prefix_only=*/true);
 
   for (gaddr_t a = 1; a < pool_.capacity_words(); ++a)
     pool_.store(a, pool_.read_record(a).cur);

@@ -77,9 +77,11 @@ class SphtTm final : public runtime::TmRuntime {
   TmStats stats() const override;
   void reset_stats() override;
 
-  /// Replays all persisted log records with ts <= the persistent marker
-  /// into the NVM heap image and truncates the logs. Must be called
-  /// quiescently (no concurrent transactions), as in the paper's setup.
+  /// Checkpoints every persisted log record into the NVM heap image,
+  /// durably advances the marker over the checkpointed timestamps, and
+  /// truncates the logs. Callable at full quiescence (benchmarks, as in
+  /// the paper's setup) or under the global fallback lock with the
+  /// log-persist phases drained (the full-log path).
   void replay(int nthreads);
 
   std::uint64_t persistent_marker() const {
@@ -125,6 +127,13 @@ class SphtTm final : public runtime::TmRuntime {
 
   /// Handles a full log: quiesce via the global lock, replay, truncate.
   void replay_full_logs(int tid);
+
+  /// Shared replay body. `durable_prefix_only` selects recovery semantics
+  /// (apply only records at or below the durable marker) over checkpoint
+  /// semantics (apply everything, then durably advance the marker before
+  /// truncating). `caller_tid` is the invoking thread's pool tid, used for
+  /// all serial flush/fence work.
+  void replay_impl(int caller_tid, int nthreads, bool durable_prefix_only);
 
   gaddr_t bump_alloc(int tid, std::size_t nwords);
 

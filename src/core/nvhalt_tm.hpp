@@ -81,6 +81,12 @@ struct NvHaltConfig {
   /// O(1) per read in the common case. Set true to restore the paper's
   /// literal per-read revalidation (A/B comparison, counterexample tests).
   bool validate_every_read = false;
+
+  /// Test-only fault injection: recover_data() skips the Nth undo-record
+  /// revert it would otherwise apply (-1 = disabled). The crash-prefix
+  /// enumeration checker's mutation test uses this to prove a broken
+  /// recovery is caught with a replayable (trace, prefix, seed) triple.
+  int recovery_skip_nth_revert = -1;
 };
 
 class NvHaltTm final : public runtime::TmRuntime {

@@ -18,11 +18,17 @@ void NvHaltTm::recover_data() {
   std::uint64_t durable_pver[kMaxThreads];
   for (int t = 0; t < kMaxThreads; ++t) durable_pver[t] = pool_.load_pver(t);
 
+  int reverts_seen = 0;
   for (gaddr_t a = 1; a < pool_.capacity_words(); ++a) {
     PRecord r = pool_.read_record(a);
     const int wtid = pver_tid(r.pver);
     const std::uint64_t seq = pver_seq(r.pver);
     if (seq >= durable_pver[wtid] && r.cur != r.old) {
+      if (reverts_seen++ == cfg_.recovery_skip_nth_revert) {
+        // Fault injection (tests only): leave this in-flight record torn.
+        pool_.store(a, r.cur);
+        continue;
+      }
       // In-flight at the crash: revert and persist the reversion so a
       // crash during recovery re-reverts idempotently.
       pool_.revert_record(a);

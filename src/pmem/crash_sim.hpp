@@ -23,18 +23,41 @@ class CrashCoordinator {
   /// Trips the freeze flag: every thread dies at its next crash point.
   void trip() { frozen_.store(true, std::memory_order_release); }
 
+  /// Deterministic variant: the n-th crash point reached from now on (n = 1
+  /// means the very next one, across all threads) trips the freeze flag and
+  /// throws. Lets tests place a power failure at an exact instruction
+  /// boundary — e.g. between two line write-backs of one fence — instead of
+  /// racing a wall-clock trip.
+  void trip_after(std::uint64_t n) { countdown_.store(n, std::memory_order_release); }
+
   /// Re-arms the coordinator for another crash cycle.
-  void reset() { frozen_.store(false, std::memory_order_release); }
+  void reset() {
+    frozen_.store(false, std::memory_order_release);
+    countdown_.store(0, std::memory_order_release);
+  }
 
   bool tripped() const { return frozen_.load(std::memory_order_acquire); }
 
   /// Called from instrumented code. Throws once the coordinator is tripped.
   void crash_point() const {
     if (frozen_.load(std::memory_order_acquire)) throw SimulatedPowerFailure{};
+    std::uint64_t c = countdown_.load(std::memory_order_acquire);
+    while (c != 0) {
+      if (countdown_.compare_exchange_weak(c, c - 1, std::memory_order_acq_rel)) {
+        if (c == 1) {
+          frozen_.store(true, std::memory_order_release);
+          throw SimulatedPowerFailure{};
+        }
+        break;
+      }
+    }
   }
 
  private:
-  std::atomic<bool> frozen_{false};
+  // crash_point() stays const for callers holding a const coordinator, but
+  // a countdown expiry must latch the freeze flag; both words are mutable.
+  mutable std::atomic<bool> frozen_{false};
+  mutable std::atomic<std::uint64_t> countdown_{0};
 };
 
 }  // namespace nvhalt

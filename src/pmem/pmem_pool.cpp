@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "htm/htm_tls.hpp"
+#include "pmem/crash_enum.hpp"
 #include "pmem/crash_sim.hpp"
 
 namespace nvhalt {
@@ -167,6 +168,23 @@ void PmemPool::spin_ns(std::uint64_t ns) const {
   while (std::chrono::steady_clock::now() < deadline) cpu_relax();
 }
 
+void PmemPool::journal_store(int tid, std::size_t line, std::size_t word_in_space, bool is_raw,
+                             std::uint64_t value) {
+  if (NVHALT_LIKELY(cfg_.journal == nullptr)) return;
+  const std::size_t global_word = is_raw ? word_in_space : raw_space_words() + word_in_space;
+  cfg_.journal->on_store(tid, line, global_word, value);
+}
+
+void PmemPool::journal_flush(int tid, std::size_t line) {
+  if (NVHALT_LIKELY(cfg_.journal == nullptr)) return;
+  cfg_.journal->on_flush(tid, line);
+}
+
+void PmemPool::journal_fence(int tid) {
+  if (NVHALT_LIKELY(cfg_.journal == nullptr)) return;
+  cfg_.journal->on_fence(tid);
+}
+
 void PmemPool::mark_store(std::size_t line, std::size_t word_in_space, bool is_raw) {
   if (!cfg_.track_store_order) return;
   const std::uint32_t stamp = line_clock_[line].fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -185,10 +203,13 @@ void PmemPool::record_write(int tid, gaddr_t a, word_t old_val, word_t new_val,
   const std::size_t base = a * 4;  // record = 4 u64 words
   rec_staged_[base + 1].store(old_val, std::memory_order_release);
   mark_store(line, base + 1, false);
+  journal_store(tid, line, base + 1, false, old_val);
   rec_staged_[base + 2].store(pack_pver(tid, seq), std::memory_order_release);
   mark_store(line, base + 2, false);
+  journal_store(tid, line, base + 2, false, pack_pver(tid, seq));
   rec_staged_[base + 0].store(new_val, std::memory_order_release);
   mark_store(line, base + 0, false);
+  journal_store(tid, line, base + 0, false, new_val);
   spin_ns(cfg_.nvm_store_latency_ns);
 }
 
@@ -197,6 +218,7 @@ void PmemPool::flush_record(int tid, gaddr_t a) {
   poll_crash(crash_coord_);
   if (htm::in_hw_txn()) htm::abort_on_flush();
   flush_queues_[tid].lines.push_back(record_line_of(a));
+  journal_flush(tid, record_line_of(a));
   flush_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -224,6 +246,7 @@ void PmemPool::revert_record(gaddr_t a) {
   const std::uint64_t old_val = rec_staged_[base + 1].load(std::memory_order_acquire);
   rec_staged_[base + 0].store(old_val, std::memory_order_release);
   mark_store(line, base + 0, false);
+  journal_store(0, line, base + 0, false, old_val);
 }
 
 std::uint64_t PmemPool::load_pver(int tid) const {
@@ -235,6 +258,7 @@ void PmemPool::store_pver(int tid, std::uint64_t v) {
   const std::size_t idx = pver_raw_base_ + static_cast<std::size_t>(tid) * kWordsPerLine;
   raw_staged_[idx].store(v, std::memory_order_release);
   mark_store(raw_line_of(idx), idx, true);
+  journal_store(tid, raw_line_of(idx), idx, true, v);
   spin_ns(cfg_.nvm_store_latency_ns);
 }
 
@@ -243,6 +267,7 @@ void PmemPool::flush_pver(int tid) {
   if (htm::in_hw_txn()) htm::abort_on_flush();
   const std::size_t idx = pver_raw_base_ + static_cast<std::size_t>(tid) * kWordsPerLine;
   flush_queues_[tid].lines.push_back(raw_line_of(idx));
+  journal_flush(tid, raw_line_of(idx));
   flush_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -255,9 +280,11 @@ void PmemPool::store_root_persist(int tid, int slot, std::uint64_t v) {
   const std::size_t idx = root_raw_base_ + static_cast<std::size_t>(slot) * kWordsPerLine;
   raw_staged_[idx].store(v, std::memory_order_release);
   mark_store(raw_line_of(idx), idx, true);
+  journal_store(tid, raw_line_of(idx), idx, true, v);
   spin_ns(cfg_.nvm_store_latency_ns);
   if (flush_active()) {
     flush_queues_[tid].lines.push_back(raw_line_of(idx));
+    journal_flush(tid, raw_line_of(idx));
     flush_count_.fetch_add(1, std::memory_order_relaxed);
     fence(tid);
   }
@@ -284,6 +311,7 @@ std::uint64_t PmemPool::raw_load_durable(std::size_t idx) const {
 void PmemPool::raw_store(std::size_t idx, std::uint64_t v) {
   raw_staged_[idx].store(v, std::memory_order_release);
   mark_store(raw_line_of(idx), idx, true);
+  journal_store(0, raw_line_of(idx), idx, true, v);
   spin_ns(cfg_.nvm_store_latency_ns);
 }
 
@@ -291,6 +319,7 @@ void PmemPool::flush_raw(int tid, std::size_t idx) {
   if (!flush_active()) return;
   if (htm::in_hw_txn()) htm::abort_on_flush();
   flush_queues_[tid].lines.push_back(raw_line_of(idx));
+  journal_flush(tid, raw_line_of(idx));
   flush_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -325,7 +354,14 @@ void PmemPool::fence(int tid) {
   const std::size_t unique_lines = static_cast<std::size_t>(unique_end - q.begin());
   if (unique_lines < q.size())
     flush_dedup_count_.fetch_add(q.size() - unique_lines, std::memory_order_relaxed);
-  for (auto it = q.begin(); it != unique_end; ++it) persist_line(*it);
+  journal_fence(tid);
+  for (auto it = q.begin(); it != unique_end; ++it) {
+    // A power failure can strike between individual line write-backs, so
+    // the random-trip tests must be able to crash mid-coalesce too,
+    // leaving a partially persisted fence behind.
+    poll_crash(crash_coord_);
+    persist_line(*it);
+  }
   spin_ns(cfg_.flush_latency_ns * unique_lines + cfg_.fence_latency_ns);
   q.clear();
   fence_count_.fetch_add(1, std::memory_order_relaxed);
@@ -339,6 +375,41 @@ void PmemPool::persist_record_now(int tid, gaddr_t a) {
 void PmemPool::clear_volatile() {
   for (std::size_t i = 0; i < cfg_.capacity_words; ++i)
     vmem_[i].store(0, std::memory_order_relaxed);
+}
+
+void PmemPool::install_crash_image(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> words) {
+  const std::size_t raw_words_padded = raw_space_words();
+  const std::size_t rec_words = record_lines_ * kWordsPerLine;
+  for (std::size_t i = 0; i < raw_words_padded; ++i)
+    raw_durable_[i].store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < rec_words; ++i)
+    rec_durable_[i].store(0, std::memory_order_relaxed);
+  for (const auto& [word, value] : words) {
+    if (word >= persist_space_words()) throw TmLogicError("crash image word out of range");
+    if (word < raw_words_padded) {
+      raw_durable_[word].store(value, std::memory_order_relaxed);
+    } else {
+      rec_durable_[word - raw_words_padded].store(value, std::memory_order_relaxed);
+    }
+  }
+  // Power was lost: the caches held nothing beyond the durable image.
+  for (std::size_t i = 0; i < raw_words_padded; ++i)
+    raw_staged_[i].store(raw_durable_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  for (std::size_t i = 0; i < rec_words; ++i)
+    rec_staged_[i].store(rec_durable_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  if (cfg_.track_store_order) {
+    for (std::size_t i = 0; i < total_lines_; ++i) {
+      line_clock_[i].store(0, std::memory_order_relaxed);
+      line_fenced_[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < total_lines_ * kWordsPerLine; ++i)
+      word_stamp_[i].store(0, std::memory_order_relaxed);
+  }
+  for (int t = 0; t < kMaxThreads; ++t) flush_queues_[t].lines.clear();
+  clear_volatile();
 }
 
 void PmemPool::persist_line_prefix(std::size_t line, Xoshiro256& rng) {

@@ -28,12 +28,16 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/common.hpp"
 #include "util/rng.hpp"
 
 namespace nvhalt {
+
+class PersistJournal;  // pmem/crash_enum.hpp
 
 /// One persistent record per transactional word (Trinity layout). `cur` is
 /// the current value, `old` the pre-transaction value, `pver` packs the
@@ -94,6 +98,12 @@ struct PmemConfig {
   /// spans process restarts (run, exit, re-run the same pool file and call
   /// recover_data()). Geometry must match the existing file's.
   std::string backing_path;
+  /// Test-only: when set, the pool records every persistence event (staged
+  /// store, line flush, fence) into this journal for the crash-prefix
+  /// enumeration checker (pmem/crash_enum.hpp). Must outlive the pool.
+  /// Installed at construction so TM-constructor-time persistence is
+  /// captured too (the materializer assumes a zero initial durable image).
+  PersistJournal* journal = nullptr;
 };
 
 /// The simulated persistent heap. Thread-safe for all word/record/raw
@@ -178,6 +188,23 @@ class PmemPool {
   /// Erases the volatile user image (crash() does this; exposed for tests).
   void clear_volatile();
 
+  /// Resets the pool to the post-crash state a materialized crash image
+  /// describes (pmem/crash_enum.hpp): the durable image becomes exactly
+  /// {zeros overlaid with `words`}, the staged image is reset to the
+  /// durable one, the volatile image and flush queues are cleared, and
+  /// store-order tracking is rewound. Each entry is a (global persistent
+  /// word index, value) pair in the unified raw-then-record word space.
+  /// Must be called quiescently; recovery runs against the result.
+  void install_crash_image(std::span<const std::pair<std::uint64_t, std::uint64_t>> words);
+
+  // ---- Persistent word-space geometry (journal/crash-image indexing) ---
+  /// Words in the raw region, including pVerNum/root headers and padding.
+  std::size_t raw_space_words() const { return raw_lines_ * kWordsPerLine; }
+  /// Total persistent words (raw space followed by the record space).
+  std::size_t persist_space_words() const { return total_lines_ * kWordsPerLine; }
+  /// Global persistent word index of word `a`'s record (4 words/record).
+  std::size_t record_word_base(gaddr_t a) const { return raw_space_words() + a * 4; }
+
   /// Number of fences executed (test observability).
   std::uint64_t fence_count() const { return fence_count_.load(std::memory_order_relaxed); }
   std::uint64_t flush_count() const { return flush_count_.load(std::memory_order_relaxed); }
@@ -212,6 +239,12 @@ class PmemPool {
   std::size_t record_line_of(gaddr_t a) const { return raw_lines_ + a / 2; }
 
   void mark_store(std::size_t line, std::size_t word_in_space, bool is_raw);
+  // Journal hooks (no-ops unless cfg_.journal is set). `word_in_space` is
+  // an index within the raw or record space; the hook globalizes it.
+  void journal_store(int tid, std::size_t line, std::size_t word_in_space, bool is_raw,
+                     std::uint64_t value);
+  void journal_flush(int tid, std::size_t line);
+  void journal_fence(int tid);
   void map_backing_file(std::size_t raw_words_padded, std::size_t rec_words);
   void persist_line(std::size_t line);          // staged -> durable, whole line
   void persist_line_prefix(std::size_t line, Xoshiro256& rng);  // adversary

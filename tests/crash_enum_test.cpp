@@ -1,0 +1,320 @@
+// Tests for the crash-prefix enumeration checker (pmem/crash_enum.hpp):
+// journal recording, deterministic image materialization, replayable
+// failure triples, trace/bundle file round-trips, the fence mid-coalesce
+// crash-point fix, and the acceptance runs — every fence boundary of an
+// 8-thread mixed workload recovers consistently on all five TMs, and a
+// deliberately broken recovery is caught with a replayable triple.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "crash_harness.hpp"
+#include "pmem/crash_sim.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::all_kinds;
+using test::crash_config;
+using test::CrashHarnessOptions;
+using test::CrashImageVerifier;
+using test::CrashTraceBundle;
+using test::run_crash_workload;
+
+/// Durable value of `word` in a materialized image (0 when absent).
+std::uint64_t image_value(const CrashImage& img, std::uint64_t word) {
+  const auto it = std::lower_bound(img.words.begin(), img.words.end(), word,
+                                   [](const auto& p, std::uint64_t w) { return p.first < w; });
+  return (it != img.words.end() && it->first == word) ? it->second : 0;
+}
+
+TEST(CrashJournalTest, RecordsStoresFlushesAndFencesInOrder) {
+  PersistJournal journal;
+  RunnerConfig cfg = crash_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+
+  const std::size_t start = journal.size();
+  ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) { tx.write(a, 42); }));
+  const auto events = journal.events();
+  ASSERT_GT(events.size(), start);
+
+  // The commit staged the record for `a` — old (base+1), pver (base+2),
+  // cur (base+0) in Trinity order — then flushed its line and fenced.
+  const std::uint64_t base = runner.pool().record_word_base(a);
+  std::ptrdiff_t i_old = -1, i_cur = -1, i_flush = -1, i_fence = -1;
+  std::uint64_t rec_line = 0;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const PersistEvent& ev = events[i];
+    if (ev.kind == PersistEventKind::kStore && ev.word == base + 1 && i_old < 0) {
+      i_old = static_cast<std::ptrdiff_t>(i);
+      rec_line = ev.line;
+    }
+    if (ev.kind == PersistEventKind::kStore && ev.word == base + 0 && ev.value == 42)
+      i_cur = static_cast<std::ptrdiff_t>(i);
+    if (ev.kind == PersistEventKind::kFlush && i_cur >= 0 && ev.line == rec_line && i_flush < 0)
+      i_flush = static_cast<std::ptrdiff_t>(i);
+    if (ev.kind == PersistEventKind::kFence && i_flush >= 0 && i_fence < 0)
+      i_fence = static_cast<std::ptrdiff_t>(i);
+  }
+  ASSERT_GE(i_old, 0) << "record old-value store not journaled";
+  ASSERT_GE(i_cur, 0) << "record cur-value store not journaled";
+  ASSERT_GE(i_flush, 0) << "record line flush not journaled";
+  ASSERT_GE(i_fence, 0) << "fence not journaled";
+  EXPECT_LT(i_old, i_cur) << "Trinity store order (old before cur) not preserved";
+  EXPECT_LT(i_cur, i_flush);
+  EXPECT_LT(i_flush, i_fence);
+
+  // The pver bump lands in the raw space (word < raw_space_words).
+  bool saw_raw_store = false;
+  for (std::size_t i = start; i < events.size(); ++i)
+    saw_raw_store |= events[i].kind == PersistEventKind::kStore &&
+                     events[i].word < runner.pool().raw_space_words();
+  EXPECT_TRUE(saw_raw_store) << "pver store not journaled";
+}
+
+TEST(CrashJournalTest, FullPrefixImageMatchesPoolDurableState) {
+  PersistJournal journal;
+  RunnerConfig cfg = crash_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  std::vector<gaddr_t> slots;
+  for (int i = 0; i < 8; ++i) slots.push_back(runner.alloc().raw_alloc(0, 1));
+  for (word_t round = 1; round <= 5; ++round)
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(slots[i], round * 10 + i); }));
+
+  const auto events = journal.events();
+  const CrashImage img = materialize_crash_image(events, events.size(), 0);
+  for (const gaddr_t a : slots) {
+    const PRecord durable = runner.pool().read_durable_record(a);
+    const std::uint64_t base = runner.pool().record_word_base(a);
+    EXPECT_EQ(image_value(img, base + 0), durable.cur) << "slot " << a;
+    EXPECT_EQ(image_value(img, base + 1), durable.old) << "slot " << a;
+    EXPECT_EQ(image_value(img, base + 2), durable.pver) << "slot " << a;
+  }
+}
+
+TEST(CrashJournalTest, PrefixAtFenceBoundaryReflectsOnlyEarlierCommits) {
+  PersistJournal journal;
+  RunnerConfig cfg = crash_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  const gaddr_t x = runner.alloc().raw_alloc(0, 1);
+  ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) { tx.write(x, 1); }));
+  const std::size_t after_first = journal.size();
+  ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) { tx.write(x, 2); }));
+  const auto events = journal.events();
+
+  // A commit's last persistence event is its pver fence, so the post-commit
+  // journal size is one of the enumerator's fence boundaries.
+  CrashEnumerator en(events, CrashEnumOptions{});
+  EXPECT_NE(std::find(en.boundaries().begin(), en.boundaries().end(), after_first),
+            en.boundaries().end());
+
+  TmRunner verifier(crash_config(TmKind::kNvHalt));
+  const std::vector<LiveBlock> live{{x, 1}};
+  const auto recovered_value = [&](std::size_t prefix) {
+    const CrashImage img = materialize_crash_image(events, prefix, 0);
+    verifier.pool().install_crash_image(img.words);
+    verifier.tm().recover_data();
+    verifier.tm().rebuild_allocator(live);
+    word_t v = 0;
+    verifier.tm().run(0, [&](Tx& tx) { v = tx.read(x); });
+    return v;
+  };
+  EXPECT_EQ(recovered_value(0), 0u);
+  EXPECT_EQ(recovered_value(after_first), 1u);
+  EXPECT_EQ(recovered_value(events.size()), 2u);
+}
+
+TEST(CrashJournalTest, SeededSubsetImagesAreReproducible) {
+  CrashHarnessOptions opt;
+  opt.txs_per_thread = 6;
+  const CrashTraceBundle tr = run_crash_workload(opt);
+
+  CrashEnumOptions eopt;
+  CrashEnumerator en1(tr.events, eopt);
+  CrashEnumerator en2(tr.events, eopt);
+  ASSERT_EQ(en1.trace_hash(), tr.trace_hash);
+  ASSERT_GT(en1.boundaries().size(), 2u);
+
+  const std::size_t prefix = en1.boundaries()[en1.boundaries().size() / 2];
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    // Same triple, independently derived → bit-identical image.
+    const std::uint64_t seed1 = en1.subset_seed_for(prefix, s);
+    const std::uint64_t seed2 = en2.subset_seed_for(prefix, s);
+    ASSERT_EQ(seed1, seed2);
+    const CrashImage a = materialize_crash_image(tr.events, prefix, seed1);
+    const CrashImage b = materialize_crash_image(tr.events, prefix, seed2);
+    EXPECT_EQ(a, b);
+  }
+
+  // The subset adversary persists dirty lines on top of the fence image.
+  const CrashImage fence_img = materialize_crash_image(tr.events, prefix, 0);
+  const CrashImage subset_img =
+      materialize_crash_image(tr.events, prefix, en1.subset_seed_for(prefix, 0));
+  EXPECT_GE(subset_img.words.size(), fence_img.words.size());
+}
+
+TEST(CrashJournalTest, TraceFileRoundTrip) {
+  CrashHarnessOptions opt;
+  opt.transfer_threads = 1;
+  opt.counter_threads = 1;
+  opt.map_threads = 0;
+  opt.txs_per_thread = 4;
+  const CrashTraceBundle tr = run_crash_workload(opt);
+  const std::string path = ::testing::TempDir() + "/crash_trace_roundtrip.bin";
+  save_trace(path, tr.events);
+  const auto loaded = load_trace(path);
+  EXPECT_EQ(loaded, tr.events);
+  EXPECT_EQ(PersistJournal::hash(loaded), tr.trace_hash);
+}
+
+TEST(CrashJournalTest, BundleFileRoundTrip) {
+  CrashHarnessOptions opt;
+  opt.txs_per_thread = 4;
+  const CrashTraceBundle tr = run_crash_workload(opt);
+  const std::string path = ::testing::TempDir() + "/crash_bundle_roundtrip.bin";
+  test::save_bundle(path, tr);
+  const CrashTraceBundle lt = test::load_bundle(path);
+  EXPECT_EQ(lt.events, tr.events);
+  EXPECT_EQ(lt.trace_hash, tr.trace_hash);
+  EXPECT_EQ(lt.accounts, tr.accounts);
+  EXPECT_EQ(lt.counter_a, tr.counter_a);
+  EXPECT_EQ(lt.counter_b, tr.counter_b);
+  EXPECT_EQ(lt.counter_attempted, tr.counter_attempted);
+  EXPECT_EQ(lt.prefill_bound, tr.prefill_bound);
+  ASSERT_EQ(lt.counter_acked.size(), tr.counter_acked.size());
+  for (std::size_t c = 0; c < tr.counter_acked.size(); ++c) {
+    ASSERT_EQ(lt.counter_acked[c].size(), tr.counter_acked[c].size());
+    for (std::size_t i = 0; i < tr.counter_acked[c].size(); ++i) {
+      EXPECT_EQ(lt.counter_acked[c][i].bound, tr.counter_acked[c][i].bound);
+      EXPECT_EQ(lt.counter_acked[c][i].value, tr.counter_acked[c][i].value);
+    }
+  }
+  // The loaded bundle drives a verifier just like the fresh one.
+  CrashEnumOptions eopt;
+  eopt.max_prefixes = 8;
+  CrashEnumerator en(lt.events, eopt);
+  CrashImageVerifier verifier(lt);
+  const auto failure = en.run(verifier.checker());
+  EXPECT_FALSE(failure.has_value()) << failure->triple.to_string() << ": " << failure->why;
+}
+
+TEST(CrashJournalTest, ReplayRejectsTripleFromDifferentTrace) {
+  CrashHarnessOptions opt;
+  opt.transfer_threads = 1;
+  opt.counter_threads = 0;
+  opt.map_threads = 0;
+  opt.txs_per_thread = 2;
+  const CrashTraceBundle tr = run_crash_workload(opt);
+  CrashEnumerator en(tr.events, CrashEnumOptions{});
+  const CrashTriple foreign{tr.trace_hash + 1, 0, 0};
+  const auto failure = en.replay(
+      foreign, [](const CrashImage&, std::size_t, std::uint64_t, std::string*) { return true; });
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->why.find("hash mismatch"), std::string::npos);
+}
+
+// Regression for the fence coalescing loop: a power failure must be able to
+// strike *between* individual line write-backs of one fence, leaving the
+// fence partially persisted. Before the fix, fence() polled the crash
+// coordinator only on entry, so a crash could never interrupt the
+// sort+unique+persist loop and every queued line persisted atomically.
+// CrashCoordinator::trip_after makes the placement exact: fence() polls
+// once on entry and once before each unique line's write-back, so a
+// countdown of 2 + k dies with exactly k lines durable.
+TEST(CrashJournalTest, FenceCrashCanLeavePartiallyPersistedQueue) {
+  constexpr std::size_t kLines = 32;
+  for (const std::size_t target : {std::size_t{1}, kLines / 2, kLines - 1}) {
+    PmemConfig cfg;
+    cfg.capacity_words = std::size_t{1} << 10;
+    cfg.raw_words = kLines * kWordsPerLine + kWordsPerLine;
+    PmemPool pool(cfg);
+    CrashCoordinator coord;
+    pool.set_crash_coordinator(&coord);
+
+    const std::size_t base = pool.alloc_raw(kLines * kWordsPerLine);
+    for (std::size_t k = 0; k < kLines; ++k) {
+      pool.raw_store(base + k * kWordsPerLine, k + 1);
+      pool.flush_raw(0, base + k * kWordsPerLine);
+    }
+
+    coord.trip_after(2 + target);  // entry poll, then one poll per line
+    EXPECT_THROW(pool.fence(0), SimulatedPowerFailure);
+
+    std::size_t persisted = 0;
+    for (std::size_t k = 0; k < kLines; ++k)
+      persisted += pool.raw_load_durable(base + k * kWordsPerLine) != 0 ? 1 : 0;
+    // fence() persists the coalesced queue in sorted (= allocation) order,
+    // so the count of durable lines is exactly the crash placement.
+    EXPECT_EQ(persisted, target);
+  }
+}
+
+// ---- Acceptance: exhaustive enumeration over all five TMs -----------------
+
+class CrashEnumAllTms : public ::testing::TestWithParam<TmKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTms, CrashEnumAllTms, ::testing::ValuesIn(all_kinds()),
+                         test::kind_param_name);
+
+TEST_P(CrashEnumAllTms, EveryFenceBoundaryRecoversConsistently) {
+  CrashHarnessOptions opt;
+  opt.kind = GetParam();
+  ASSERT_EQ(opt.transfer_threads + opt.counter_threads + opt.map_threads, 8);
+  const CrashTraceBundle tr = run_crash_workload(opt);
+
+  CrashEnumOptions eopt;
+  eopt.subset_seeds_per_prefix = 2;
+  CrashEnumerator en(tr.events, eopt);
+  ASSERT_GT(en.boundaries().size(), 50u) << "workload produced suspiciously few fences";
+
+  CrashImageVerifier verifier(tr);
+  const auto failure = en.run(verifier.checker());
+  ASSERT_FALSE(failure.has_value())
+      << "durable-linearizability violation at " << failure->triple.to_string() << ": "
+      << failure->why;
+  EXPECT_EQ(en.stats().prefixes_checked, en.boundaries().size());
+  EXPECT_EQ(en.stats().images_checked, en.boundaries().size() * (1 + eopt.subset_seeds_per_prefix));
+  EXPECT_FALSE(en.stats().budget_exhausted);
+}
+
+// ---- Acceptance: mutation testing of recovery -----------------------------
+
+TEST(CrashEnumMutationTest, BrokenRecoveryIsCaughtWithReplayableTriple) {
+  CrashHarnessOptions opt;  // NV-HALT: the skip knob lives in its recovery
+  const CrashTraceBundle tr = run_crash_workload(opt);
+
+  CrashEnumOptions eopt;
+  eopt.subset_seeds_per_prefix = 1;
+  CrashEnumerator en(tr.events, eopt);
+
+  // Recovery that silently skips its first undo-record revert leaves a torn
+  // transaction behind at some crash prefix; the checker must find it.
+  CrashImageVerifier broken(tr, /*recovery_skip_nth_revert=*/0);
+  const auto failure = en.run(broken.checker());
+  ASSERT_TRUE(failure.has_value()) << "mutated recovery escaped the checker";
+  EXPECT_EQ(failure->triple.trace_hash, tr.trace_hash);
+  EXPECT_FALSE(failure->why.empty());
+
+  // The triple replays: a fresh broken verifier fails the same image...
+  CrashImageVerifier broken_again(tr, 0);
+  CrashEnumerator replayer(tr.events, eopt);
+  const auto again = replayer.replay(failure->triple, broken_again.checker());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->triple.prefix, failure->triple.prefix);
+  EXPECT_EQ(again->triple.subset_seed, failure->triple.subset_seed);
+
+  // ...and intact recovery passes it, isolating the fault to the mutation.
+  CrashImageVerifier intact(tr);
+  EXPECT_FALSE(replayer.replay(failure->triple, intact.checker()).has_value());
+}
+
+}  // namespace
+}  // namespace nvhalt

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "pmem/crash_sim.hpp"
@@ -147,6 +148,7 @@ TEST_P(CrashRecoveryTest, HashMapAckedInsertsSurvive) {
   runner.pool().set_crash_coordinator(&coord);
   std::vector<std::vector<word_t>> acked(kThreads);
   std::vector<std::vector<word_t>> attempted(kThreads);
+  std::atomic<std::size_t> progress{0};
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
@@ -154,12 +156,22 @@ TEST_P(CrashRecoveryTest, HashMapAckedInsertsSurvive) {
         for (word_t i = 1;; ++i) {
           const word_t key = static_cast<word_t>(t) * 100000 + i;
           attempted[static_cast<std::size_t>(t)].push_back(key);
-          if (map.insert(t, key, key * 3)) acked[static_cast<std::size_t>(t)].push_back(key);
+          if (map.insert(t, key, key * 3)) {
+            acked[static_cast<std::size_t>(t)].push_back(key);
+            progress.fetch_add(1, std::memory_order_release);
+          }
         }
       } catch (const SimulatedPowerFailure&) {
       }
     });
   }
+  // Wait for real progress before pulling the plug: a fixed sleep trips the
+  // crash before the first ack when CI runners are oversubscribed, failing
+  // the total_acked > 0 assertion below for want of a workload.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (progress.load(std::memory_order_acquire) < 8 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
   std::this_thread::sleep_for(std::chrono::microseconds(4000));
   coord.trip();
   for (auto& w : workers) w.join();
