@@ -115,6 +115,7 @@ BenchResult run_structure_bench(const BenchParams& p) {
   r.ops_per_sec = w.ops_per_sec;
   r.tm = tm.stats();
   r.htm = runner.htm().aggregate_stats();
+  r.tel = tm.telemetry();
   if (r.total_ops > 0) {
     r.flushes_per_op = static_cast<double>(flushes_measured) / static_cast<double>(r.total_ops);
     r.fences_per_op = static_cast<double>(fences_measured) / static_cast<double>(r.total_ops);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "api/tm_factory.hpp"
+#include "telemetry/tx_telemetry.hpp"
 
 namespace nvhalt::bench {
 
@@ -72,6 +73,9 @@ struct BenchResult {
   /// fallback lock was held, i.e. all concurrency was disabled (paper
   /// Sec. 5.3). Zero for the other TMs.
   double serialized_frac = 0;
+  /// Abort taxonomy + histograms for the measured phase (the taxonomy is
+  /// live at every telemetry level; latency histograms need level >= 1).
+  telemetry::TmTelemetry tel;
 };
 
 /// Runs one data point: build system, prefill to 50%, measure.

@@ -5,7 +5,7 @@
 // behind. Plain binary — no google-benchmark, no external JSON library.
 //
 // Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
-//                      [--baseline PATH]
+//                      [--taxonomy-out PATH] [--baseline PATH]
 //   --smoke        truncated ~10s mode (small keys, short windows), used by
 //                  the perf-smoke CTest target
 //   --check        after writing the reports, re-read and validate their
@@ -13,6 +13,10 @@
 //   --out          main report path (default: BENCH_sw_hotpath.json)
 //   --scaling-out  thread-scaling report path (default:
 //                  BENCH_thread_scaling.json)
+//   --taxonomy-out abort-taxonomy sidecar path, one line per grid cell with
+//                  the decoded abort-cause split (default: BENCH_taxonomy.json);
+//                  --check additionally asserts each cell's cause counts sum
+//                  to its hw_aborts exactly
 //   --baseline     compare the fresh report's grid cells against a previous
 //                  report (e.g. the committed BENCH_sw_hotpath.json)
 //
@@ -50,6 +54,7 @@ struct Options {
   bool check = false;
   std::string out = "BENCH_sw_hotpath.json";
   std::string scaling_out = "BENCH_thread_scaling.json";
+  std::string taxonomy_out = "BENCH_taxonomy.json";
   std::string baseline;
 };
 
@@ -247,6 +252,14 @@ int run_report(const Options& opt) {
   emit_scaling(js, "every_read", measure_read_scaling(/*every_read=*/true, scale_iters), true);
   js << "  },\n";
 
+  // Taxonomy sidecar: one line per grid cell with the decoded abort-cause
+  // split, so throughput regressions come with their abort story attached.
+  std::ostringstream tax;
+  tax << "{\n";
+  tax << "  \"schema\": \"nvhalt-bench-taxonomy-v1\",\n";
+  tax << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  tax << "  \"cells\": [\n";
+
   js << "  \"grid\": [\n";
   bool first = true;
   for (const Structure st : {Structure::kAbTree, Structure::kHashMap}) {
@@ -261,6 +274,7 @@ int run_report(const Options& opt) {
         p.duration_ms = opt.smoke ? 20 : 150;
         const BenchResult r = run_structure_bench(p);
         js << (first ? "" : ",\n");
+        tax << (first ? "" : ",\n");
         first = false;
         js << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
            << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"threads\": " << p.threads
@@ -268,12 +282,24 @@ int run_report(const Options& opt) {
            << ", \"flushes_per_op\": " << r.flushes_per_op
            << ", \"fences_per_op\": " << r.fences_per_op
            << ", \"flush_dedup_per_op\": " << r.flush_dedup_per_op << "}";
+        const auto& t = r.tel.tx.taxonomy;
+        tax << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+            << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"commits\": " << r.tm.commits
+            << ", \"hw_aborts\": " << r.tm.hw_aborts;
+        for (std::size_t c = 0; c < telemetry::kNumAbortCauses; ++c) {
+          tax << ", \"" << htm::abort_cause_name(static_cast<htm::AbortCause>(c))
+              << "\": " << t.hw_by_cause[c];
+        }
+        tax << ", \"sw_aborts\": " << t.sw_aborts << ", \"user_aborts\": " << t.user_aborts
+            << ", \"fallbacks\": " << r.tm.fallbacks
+            << ", \"write_set_p99\": " << r.tel.tx.write_set_size.quantile_bound(0.99) << "}";
         std::fprintf(stderr, "%s %dro %s: %.0f ops/s\n", structure_name(st), read_pct,
                      tm_kind_name(kind), r.ops_per_sec);
       }
     }
   }
   js << "\n  ]\n}\n";
+  tax << "\n  ]\n}\n";
 
   std::ofstream f(opt.out, std::ios::trunc);
   if (!f) {
@@ -283,6 +309,15 @@ int run_report(const Options& opt) {
   f << js.str();
   f.close();
   std::fprintf(stderr, "bench_regress: wrote %s\n", opt.out.c_str());
+
+  std::ofstream tf(opt.taxonomy_out, std::ios::trunc);
+  if (!tf) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.taxonomy_out.c_str());
+    return 1;
+  }
+  tf << tax.str();
+  tf.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.taxonomy_out.c_str());
   return 0;
 }
 
@@ -374,6 +409,48 @@ int check_scaling_report(const std::string& path, bool smoke) {
     if (s.find(std::string("\"tm\": \"") + tm + "\"") == std::string::npos)
       errors.push_back(std::string("scaling missing TM ") + tm);
   }
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
+/// Shape + consistency validation for the taxonomy sidecar: 40 cells, and
+/// on every cell the per-cause counts must sum to hw_aborts exactly — the
+/// invariant record_hw_abort() maintains at the source.
+int check_taxonomy(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  std::string line;
+  bool saw_schema = false;
+  std::size_t cells = 0;
+  while (std::getline(f, line)) {
+    if (line.find("\"schema\": \"nvhalt-bench-taxonomy-v1\"") != std::string::npos)
+      saw_schema = true;
+    const auto field = [&line](const std::string& key) -> long long {
+      const std::string needle = "\"" + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::atoll(line.c_str() + pos + needle.size());
+    };
+    const long long hw = field("hw_aborts");
+    if (hw < 0) continue;
+    ++cells;
+    long long by_cause = 0;
+    for (std::size_t c = 0; c < telemetry::kNumAbortCauses; ++c)
+      by_cause += std::max(0LL, field(htm::abort_cause_name(static_cast<htm::AbortCause>(c))));
+    if (by_cause != hw) {
+      errors.push_back("cell " + std::to_string(cells) + ": cause sum " +
+                       std::to_string(by_cause) + " != hw_aborts " + std::to_string(hw));
+    }
+  }
+  if (!saw_schema) errors.push_back("missing/unknown taxonomy schema tag");
+  if (cells != 40)
+    errors.push_back("taxonomy must have 40 cells, found " + std::to_string(cells));
 
   for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
   if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
@@ -492,12 +569,14 @@ int main(int argc, char** argv) {
       opt.out = argv[++i];
     } else if (std::strcmp(argv[i], "--scaling-out") == 0 && i + 1 < argc) {
       opt.scaling_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--taxonomy-out") == 0 && i + 1 < argc) {
+      opt.taxonomy_out = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       opt.baseline = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
-                   "[--baseline PATH]\n");
+                   "[--taxonomy-out PATH] [--baseline PATH]\n");
       return 2;
     }
   }
@@ -508,7 +587,9 @@ int main(int argc, char** argv) {
   if (opt.check) {
     rc = nvhalt::bench::check_report(opt.out);
     const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
+    const int rc3 = nvhalt::bench::check_taxonomy(opt.taxonomy_out);
     if (rc == 0) rc = rc2;
+    if (rc == 0) rc = rc3;
     if (rc != 0) return rc;
   }
   if (!opt.baseline.empty()) return nvhalt::bench::compare_with_baseline(opt);

@@ -4,7 +4,14 @@
 // figures. Scale knobs are the usual NVHALT_BENCH_* environment variables.
 //
 //   $ NVHALT_BENCH_MS=300 ./build/bench/bench_report
+//
+// With --taxonomy PATH it instead renders a bench_regress abort-taxonomy
+// sidecar (BENCH_taxonomy.json) into markdown tables — one per structure,
+// abort causes as columns — and exits without running any benchmark.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -87,9 +94,100 @@ void print_fig9(const BenchScale& scale) {
   }
 }
 
+// ---- taxonomy markdown rendering (--taxonomy) ----------------------------
+
+struct TaxonomyCell {
+  std::string structure, tm;
+  long long read_pct = 0;
+  long long commits = 0, hw_aborts = 0, sw_aborts = 0, user_aborts = 0, fallbacks = 0;
+  long long write_set_p99 = 0;
+  long long by_cause[telemetry::kNumAbortCauses] = {};
+};
+
+/// Line-oriented parse of the sidecar (bench_regress writes one cell
+/// object per line, so no general JSON parser is needed).
+std::vector<TaxonomyCell> parse_taxonomy(std::ifstream& f) {
+  std::vector<TaxonomyCell> cells;
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto str_field = [&line](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": \"";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      const auto start = pos + needle.size();
+      const auto end = line.find('"', start);
+      return end == std::string::npos ? std::string{} : line.substr(start, end - start);
+    };
+    const auto num_field = [&line](const std::string& key) -> long long {
+      const std::string needle = "\"" + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return 0;
+      return std::atoll(line.c_str() + pos + needle.size());
+    };
+    TaxonomyCell c;
+    c.structure = str_field("structure");
+    c.tm = str_field("tm");
+    if (c.structure.empty() || c.tm.empty()) continue;
+    c.read_pct = num_field("read_pct");
+    c.commits = num_field("commits");
+    c.hw_aborts = num_field("hw_aborts");
+    c.sw_aborts = num_field("sw_aborts");
+    c.user_aborts = num_field("user_aborts");
+    c.fallbacks = num_field("fallbacks");
+    c.write_set_p99 = num_field("write_set_p99");
+    for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
+      c.by_cause[i] = num_field(htm::abort_cause_name(static_cast<htm::AbortCause>(i)));
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+int render_taxonomy_markdown(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_report --taxonomy: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const std::vector<TaxonomyCell> cells = parse_taxonomy(f);
+  if (cells.empty()) {
+    std::fprintf(stderr, "bench_report --taxonomy: no cells in %s\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("# Abort taxonomy (%s)\n", path.c_str());
+  for (const char* st : {"abtree", "hashmap"}) {
+    bool any = false;
+    for (const TaxonomyCell& c : cells) any |= c.structure == st;
+    if (!any) continue;
+    std::printf("\n## %s\n\n", st);
+    std::printf("| workload | tm | commits | hw aborts");
+    for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
+      std::printf(" | %s", htm::abort_cause_name(static_cast<htm::AbortCause>(i)));
+    std::printf(" | sw aborts | fallbacks | wrset p99 |\n");
+    std::printf("|---|---|---:|---:");
+    for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i) std::printf("|---:");
+    std::printf("|---:|---:|---:|\n");
+    for (const TaxonomyCell& c : cells) {
+      if (c.structure != st) continue;
+      std::printf("| %s | %s | %lld | %lld", workload_name(static_cast<int>(c.read_pct)).c_str(),
+                  c.tm.c_str(), c.commits, c.hw_aborts);
+      for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
+        std::printf(" | %lld", c.by_cause[i]);
+      std::printf(" | %lld | %lld | %lld |\n", c.sw_aborts, c.fallbacks, c.write_set_p99);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--taxonomy") == 0 && i + 1 < argc)
+      return render_taxonomy_markdown(argv[i + 1]);
+    std::fprintf(stderr, "usage: bench_report [--taxonomy PATH]\n");
+    return 2;
+  }
   const BenchScale scale = read_scale_from_env();
   std::printf("NV-HALT evaluation report (simulated HTM + simulated NVM; see EXPERIMENTS.md\n"
               "for the distortion analysis — shapes, not absolute numbers, are meaningful)\n");

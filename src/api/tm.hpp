@@ -20,6 +20,7 @@
 #include "core/tm_stats.hpp"
 #include "pmem/pmem_pool.hpp"
 #include "runtime/thread_registry.hpp"
+#include "telemetry/tx_telemetry.hpp"
 #include "util/common.hpp"
 #include "util/function_ref.hpp"
 
@@ -113,6 +114,11 @@ class TransactionalMemory {
   virtual const char* name() const = 0;
   virtual TmStats stats() const = 0;
   virtual void reset_stats() = 0;
+
+  /// Aggregated telemetry (abort taxonomy, latency/size histograms,
+  /// adaptive-budget window). Same quiescence contract as stats(): callable
+  /// any time, exact only when no transactions are in flight.
+  virtual telemetry::TmTelemetry telemetry() const = 0;
 };
 
 }  // namespace nvhalt

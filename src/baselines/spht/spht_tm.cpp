@@ -112,10 +112,12 @@ class SphtHwTx final : public Tx {
   SphtHwTx(SphtTm& tm, SphtTm::ThreadCtx& ctx, int tid) : tm_(tm), ctx_(ctx), tid_(tid) {}
 
   word_t read(gaddr_t a) override {
+    telemetry::trace2(telemetry::EventKind::kRead, static_cast<int>(tid_), a);
     return tm_.htm_.load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
   }
 
   void write(gaddr_t a, word_t v) override {
+    telemetry::trace2(telemetry::EventKind::kWrite, static_cast<int>(tid_), a);
     if (tm_.cfg_.persist_txns) ctx_.redo.emplace_back(a, v);
     tm_.htm_.store(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a), v);
   }
@@ -137,12 +139,14 @@ class SphtSwTx final : public Tx {
   SphtSwTx(SphtTm& tm, SphtTm::ThreadCtx& ctx, int tid) : tm_(tm), ctx_(ctx), tid_(tid) {}
 
   word_t read(gaddr_t a) override {
+    telemetry::trace2(telemetry::EventKind::kRead, static_cast<int>(tid_), a);
     const std::uint32_t found = ctx_.redo_index.find(a);
     if (found != htm::SmallIndexMap::kNotFound) return ctx_.redo[found].second;
     return tm_.htm_.nontx_load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
   }
 
   void write(gaddr_t a, word_t v) override {
+    telemetry::trace2(telemetry::EventKind::kWrite, static_cast<int>(tid_), a);
     const std::uint32_t found = ctx_.redo_index.find(a);
     if (found != htm::SmallIndexMap::kNotFound) {
       ctx_.redo[found].second = v;
@@ -184,6 +188,9 @@ void SphtTm::persist_marker_until(int tid, std::uint64_t ts) {
 
 void SphtTm::persist_committed(int tid, std::uint64_t ts_commit) {
   ThreadCtx& ctx = ctx_[tid];
+  ctx.tel.write_set_size.record(ctx.redo.size());
+  [[maybe_unused]] std::uint64_t ack_t0 = 0;
+  if constexpr (telemetry::kLevel >= 1) ack_t0 = telemetry::now_ticks();
 
   // 1. Append + persist the redo log record.
   while (!log_.append(tid, ts_commit, ctx.redo)) replay_full_logs(tid);
@@ -212,6 +219,15 @@ void SphtTm::persist_committed(int tid, std::uint64_t ts_commit) {
          !gpm_volatile_.value.compare_exchange_weak(cur, ts_commit, std::memory_order_acq_rel)) {
   }
   persist_marker_until(tid, ts_commit);
+
+  // The transaction is durable only now — the whole of persist_committed is
+  // SPHT's ordering-negotiation overhead (Sec. 2.1.4), so its latency is
+  // the ack latency.
+  if constexpr (telemetry::kLevel >= 1) {
+    const std::uint64_t waited = telemetry::now_ticks() - ack_t0;
+    ctx.tel.ack_latency.record(waited);
+    telemetry::trace1(telemetry::EventKind::kDurabilityAck, tid, waited);
+  }
 }
 
 SphtTm::AttemptResult SphtTm::attempt_hw(int tid, TxBody body) {
@@ -245,8 +261,7 @@ SphtTm::AttemptResult SphtTm::attempt_hw(int tid, TxBody body) {
     htm_.cancel(tid);
     if (cfg_.persist_txns)
       ts_pub_[tid].value.store(pub_pack(ts_begin, true), std::memory_order_seq_cst);
-    ctx.stats.hw_aborts++;
-    ctx.last_hw_abort = a.cause;
+    ctx.record_hw_abort(tid, a.cause, a.code);
     // A bump-chunk refill aborted us; do the refill now, outside the
     // transaction, so the retry allocates from thread-local state only.
     if (a.cause == htm::AbortCause::kExplicit && a.code == kAllocAbortCode)
@@ -285,12 +300,19 @@ SphtTm::AttemptResult SphtTm::attempt_sw(int tid, TxBody body) {
 
   // The trivial fallback: claim the global lock, disabling all concurrency
   // (hardware transactions subscribed to it abort on our CAS).
+  [[maybe_unused]] std::uint64_t stall_t0 = 0;
+  if constexpr (telemetry::kLevel >= 1) stall_t0 = telemetry::now_ticks();
   std::uint64_t expected = 0;
   while (!htm_.nontx_cas(tid, kGlLoc, &global_lock_.value, expected,
                          static_cast<std::uint64_t>(tid) + 1)) {
     expected = 0;
     if (auto* c = pool_.crash_coordinator()) c->crash_point();
     std::this_thread::yield();
+  }
+  if constexpr (telemetry::kLevel >= 1) {
+    telemetry::trace1(telemetry::EventKind::kLockStall, tid,
+                      telemetry::now_ticks() - stall_t0);
+    telemetry::trace1(telemetry::EventKind::kLockAcquire, tid, 1);
   }
   const auto gl_acquired_at = std::chrono::steady_clock::now();
   const auto account_gl = [&] {
@@ -358,14 +380,20 @@ bool SphtTm::run_registered(int tid, TxBody body) {
     // occur; if one ever surfaced, the loop would (correctly) retry rather
     // than report it as a commit — the seed's run() conflated the two.
     runtime::AttemptStatus attempt_sw() { return tm.attempt_sw(tid, body); }
-    bool hw_abort_was_capacity() const {
-      return ctx.last_hw_abort == htm::AbortCause::kCapacity;
-    }
     void before_hw_attempt() {
       // Wait for the fallback lock to be free before (re)trying in hardware.
+      [[maybe_unused]] std::uint64_t t0 = 0;
+      [[maybe_unused]] bool stalled = false;
+      if constexpr (telemetry::kLevel >= 1) t0 = telemetry::now_ticks();
       while (tm.htm_.nontx_load(tid, kGlLoc, &tm.global_lock_.value) != 0) {
+        stalled = true;
         crash_point();
         std::this_thread::yield();
+      }
+      if constexpr (telemetry::kLevel >= 1) {
+        if (stalled)
+          telemetry::trace1(telemetry::EventKind::kLockStall, tid,
+                            telemetry::now_ticks() - t0);
       }
     }
     void crash_point() {
@@ -373,11 +401,15 @@ bool SphtTm::run_registered(int tid, TxBody body) {
     }
   } env{*this, ctx, tid, body};
 
-  return runtime::run_retry_loop(policy_, ctx.stats, ctx.rng, ctx.adaptive, env);
+  return runtime::run_retry_loop(policy_, tid, ctx, env);
 }
 
 TmStats SphtTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
 void SphtTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
+
+telemetry::TmTelemetry SphtTm::telemetry() const {
+  return runtime::aggregate_thread_telemetry(ctx_, policy_);
+}
 
 }  // namespace nvhalt

@@ -76,6 +76,7 @@ class SphtTm final : public runtime::TmRuntime {
   const char* name() const override { return "SPHT"; }
   TmStats stats() const override;
   void reset_stats() override;
+  telemetry::TmTelemetry telemetry() const override;
 
   /// Checkpoints every persisted log record into the NVM heap image,
   /// durably advances the marker over the checkpointed timestamps, and

@@ -67,6 +67,7 @@ class TrinityTx final : public Tx {
       : tm_(tm), ctx_(ctx), tid_(tid) {}
 
   word_t read(gaddr_t a) override {
+    telemetry::trace2(telemetry::EventKind::kRead, tid_, a);
     const std::uint32_t found = ctx_.wr_index.find(a);
     if (found != htm::SmallIndexMap::kNotFound) return ctx_.wrset[found].val;
 
@@ -83,6 +84,7 @@ class TrinityTx final : public Tx {
   }
 
   void write(gaddr_t a, word_t v) override {
+    telemetry::trace2(telemetry::EventKind::kWrite, tid_, a);
     const std::uint32_t found = ctx_.wr_index.find(a);
     if (found != htm::SmallIndexMap::kNotFound) {
       ctx_.wrset[found].val = v;
@@ -146,6 +148,8 @@ class TrinityTx final : public Tx {
     }
 
     // Persist with Trinity records while the locks are held, then apply.
+    ctx_.tel.write_set_size.record(ctx_.wrset.size());
+    telemetry::trace1(telemetry::EventKind::kLockAcquire, tid_, ctx_.held.size());
     for (const auto& w : ctx_.wrset) {
       const word_t old = tm_.pool_.load(w.addr);
       tm_.pool_.record_write(tid_, w.addr, old, w.val, ctx_.pver);
@@ -225,14 +229,13 @@ bool TrinityTm::run_registered(int tid, TxBody body) {
     TxBody body;
     runtime::AttemptStatus attempt_hw() { return runtime::AttemptStatus::kAborted; }
     runtime::AttemptStatus attempt_sw() { return tm.attempt(tid, body); }
-    bool hw_abort_was_capacity() const { return false; }
     void before_hw_attempt() {}
     void crash_point() {
       if (auto* c = tm.pool_.crash_coordinator()) c->crash_point();
     }
   } env{*this, tid, body};
 
-  return runtime::run_retry_loop(policy_, ctx.stats, ctx.rng, ctx.adaptive, env);
+  return runtime::run_retry_loop(policy_, tid, ctx, env);
 }
 
 void TrinityTm::recover_data() {
@@ -263,5 +266,9 @@ void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebu
 TmStats TrinityTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
 void TrinityTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
+
+telemetry::TmTelemetry TrinityTm::telemetry() const {
+  return runtime::aggregate_thread_telemetry(ctx_, policy_);
+}
 
 }  // namespace nvhalt

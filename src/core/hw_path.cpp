@@ -21,6 +21,7 @@ class NvHaltHwTx final : public Tx {
       : tm_(tm), ctx_(ctx), tid_(tid) {}
 
   word_t read(gaddr_t a) override {
+    telemetry::trace2(telemetry::EventKind::kRead, tid_, a);
     if (tm_.cfg_.hw_read_check_locks) {
       LockRef lk = tm_.locks_.ref(a);
       const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
@@ -30,6 +31,7 @@ class NvHaltHwTx final : public Tx {
   }
 
   void write(gaddr_t a, word_t v) override {
+    telemetry::trace2(telemetry::EventKind::kWrite, tid_, a);
     const bool persisting = tm_.cfg_.persist_hw_txns;
     if (persisting && tm_.cfg_.hw_acquire_locks) {
       LockRef lk = tm_.locks_.ref(a);
@@ -80,8 +82,7 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
     htm_.cancel(tid);  // no-op if SimHtm already cleaned up; needed for
                        // HtmAbort raised outside the simulator (allocator)
     alloc_.on_abort(tid);
-    ctx.stats.hw_aborts++;
-    ctx.last_hw_abort = a.cause;
+    ctx.record_hw_abort(tid, a.cause, a.code);
     return AttemptResult::kAborted;
   } catch (const TxUserAbort&) {
     htm_.cancel(tid);
@@ -97,6 +98,8 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
   // The hardware transaction committed: its writes and lock acquisitions
   // are visible. Persist the write set under those locks (flushes must
   // happen outside the transaction — they would have aborted it).
+  if (!ctx.hw_locks.empty())
+    telemetry::trace1(telemetry::EventKind::kLockAcquire, tid, ctx.hw_locks.size());
   if (cfg_.persist_hw_txns && !ctx.hw_undo.empty()) {
     ctx.persist_buf.clear();
     for (const auto& u : ctx.hw_undo)

@@ -45,6 +45,10 @@ TmStats NvHaltTm::stats() const { return runtime::aggregate_thread_stats(ctx_); 
 
 void NvHaltTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
 
+telemetry::TmTelemetry NvHaltTm::telemetry() const {
+  return runtime::aggregate_thread_telemetry(ctx_, policy_);
+}
+
 void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // Trinity-style persistence under held locks (Sec. 3.2): write each
   // record (old value, {tid, pVerNum}, new value), flush it, and update the
@@ -53,6 +57,7 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // the transaction durably committed. Only afterwards may locks be
   // released (done by the caller), preserving the invariant that an
   // address is non-durable only while locked.
+  ctx.tel.write_set_size.record(ctx.persist_buf.size());
   for (const ThreadCtx::PersistEnt& e : ctx.persist_buf) {
     pool_.record_write(tid, e.addr, e.old, e.val, ctx.pver);
     pool_.flush_record(tid, e.addr);
@@ -76,16 +81,13 @@ bool NvHaltTm::run_registered(int tid, TxBody body) {
     TxBody body;
     runtime::AttemptStatus attempt_hw() { return tm.attempt_hw(tid, body); }
     runtime::AttemptStatus attempt_sw() { return tm.attempt_sw(tid, body); }
-    bool hw_abort_was_capacity() const {
-      return ctx.last_hw_abort == htm::AbortCause::kCapacity;
-    }
     void before_hw_attempt() {}
     void crash_point() {
       if (auto* c = tm.pool_.crash_coordinator()) c->crash_point();
     }
   } env{*this, ctx, tid, body};
 
-  return runtime::run_retry_loop(policy_, ctx.stats, ctx.rng, ctx.adaptive, env);
+  return runtime::run_retry_loop(policy_, tid, ctx, env);
 }
 
 bool NvHaltTm::attempt_hw_once(int tid, TxBody body) {

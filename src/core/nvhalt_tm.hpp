@@ -102,6 +102,7 @@ class NvHaltTm final : public runtime::TmRuntime {
   const char* name() const override;
   TmStats stats() const override;
   void reset_stats() override;
+  telemetry::TmTelemetry telemetry() const override;
 
   const NvHaltConfig& config() const { return cfg_; }
   htm::SimHtm& htm() { return htm_; }

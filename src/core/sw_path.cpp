@@ -23,6 +23,7 @@ class NvHaltSwTx final : public Tx {
       : tm_(tm), ctx_(ctx), tid_(tid) {}
 
   word_t read(gaddr_t a) override {
+    telemetry::trace2(telemetry::EventKind::kRead, tid_, a);
     // Read-own-writes: the write set is buffered until commit.
     const std::uint32_t found = ctx_.wr_index.find(a);
     if (found != htm::SmallIndexMap::kNotFound) return ctx_.wrset[found].val;
@@ -59,11 +60,13 @@ class NvHaltSwTx final : public Tx {
     if (NVHALT_UNLIKELY(seq != ctx_.validated_seq)) {
       if (!validate_rdset()) throw TxConflictAbort{};
       ctx_.validated_seq = seq;
+      telemetry::trace1(telemetry::EventKind::kSwExtend, tid_, seq);
     }
     return val;
   }
 
   void write(gaddr_t a, word_t v) override {
+    telemetry::trace2(telemetry::EventKind::kWrite, tid_, a);
     const std::uint32_t found = ctx_.wr_index.find(a);
     if (found != htm::SmallIndexMap::kNotFound) {
       ctx_.wrset[found].val = v;
@@ -86,6 +89,7 @@ class NvHaltSwTx final : public Tx {
   /// lock word, or be locked by this thread with exactly one intervening
   /// acquire (our own commit-time acquisition).
   bool validate_rdset() const {
+    telemetry::trace1(telemetry::EventKind::kSwValidate, tid_, ctx_.rdset.size());
     for (const auto& e : ctx_.rdset) {
       const std::uint64_t cur = tm_.htm_.nontx_load(tid_, e.lock_loc, e.lock_s);
       if (cur == e.seen_s) continue;
@@ -197,6 +201,7 @@ class NvHaltSwTx final : public Tx {
       ctx_.lock_dedupe.insert(key, i);
       ctx_.acquired.push_back(i);
     }
+    telemetry::trace1(telemetry::EventKind::kLockAcquire, tid_, ctx_.acquired.size());
   }
 
   void release_acquired() {

@@ -13,6 +13,7 @@
 #include "htm/htm_tls.hpp"
 #include "pmem/crash_enum.hpp"
 #include "pmem/crash_sim.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nvhalt {
 
@@ -220,6 +221,7 @@ void PmemPool::flush_record(int tid, gaddr_t a) {
   flush_queues_[tid].lines.push_back(record_line_of(a));
   journal_flush(tid, record_line_of(a));
   flush_count_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, record_line_of(a));
 }
 
 PRecord PmemPool::read_record(gaddr_t a) const {
@@ -269,6 +271,7 @@ void PmemPool::flush_pver(int tid) {
   flush_queues_[tid].lines.push_back(raw_line_of(idx));
   journal_flush(tid, raw_line_of(idx));
   flush_count_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, raw_line_of(idx));
 }
 
 std::uint64_t PmemPool::load_root(int slot) const {
@@ -286,6 +289,7 @@ void PmemPool::store_root_persist(int tid, int slot, std::uint64_t v) {
     flush_queues_[tid].lines.push_back(raw_line_of(idx));
     journal_flush(tid, raw_line_of(idx));
     flush_count_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, raw_line_of(idx));
     fence(tid);
   }
 }
@@ -321,6 +325,7 @@ void PmemPool::flush_raw(int tid, std::size_t idx) {
   flush_queues_[tid].lines.push_back(raw_line_of(idx));
   journal_flush(tid, raw_line_of(idx));
   flush_count_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, raw_line_of(idx));
 }
 
 void PmemPool::persist_line(std::size_t line) {
@@ -365,6 +370,14 @@ void PmemPool::fence(int tid) {
   spin_ns(cfg_.flush_latency_ns * unique_lines + cfg_.fence_latency_ns);
   q.clear();
   fence_count_.fetch_add(1, std::memory_order_relaxed);
+  flush_queues_[tid].fence_lines.record(unique_lines);
+  telemetry::trace1(telemetry::EventKind::kFence, tid, unique_lines);
+}
+
+telemetry::PowHistogram PmemPool::fence_flush_hist() const {
+  telemetry::PowHistogram h;
+  for (int t = 0; t < kMaxThreads; ++t) h.add(flush_queues_[t].fence_lines);
+  return h;
 }
 
 void PmemPool::persist_record_now(int tid, gaddr_t a) {

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/histogram.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
 
@@ -216,6 +217,12 @@ class PmemPool {
     return flush_dedup_count_.load(std::memory_order_relaxed);
   }
 
+  /// Histogram of unique lines written back per fence, merged over all
+  /// per-thread queues. Each queue's histogram is written only by the
+  /// fencing thread, so call this quiescently (same contract as the TM
+  /// stats accessors).
+  telemetry::PowHistogram fence_flush_hist() const;
+
   /// True when the pool was constructed over an existing backing file:
   /// the durable image holds a previous run's state; attach by running the
   /// TM's recover_data() before any transaction.
@@ -283,6 +290,8 @@ class PmemPool {
   // Per-thread flush queues (lines awaiting the next fence).
   struct alignas(kCacheLineBytes) FlushQueue {
     std::vector<std::size_t> lines;
+    /// Unique lines written back per fence (telemetry; owner-thread only).
+    telemetry::PowHistogram fence_lines;
   };
   std::unique_ptr<FlushQueue[]> flush_queues_;
 

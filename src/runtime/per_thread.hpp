@@ -16,6 +16,8 @@
 #include "core/tm_stats.hpp"
 #include "htm/htm_types.hpp"
 #include "runtime/retry_policy.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/tx_telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace nvhalt::runtime {
@@ -26,6 +28,10 @@ struct TxThreadState {
   Xoshiro256 rng;
   AdaptiveBudget adaptive;
 
+  /// Telemetry counters (abort taxonomy + latency/size histograms). Live at
+  /// every NVHALT_TELEMETRY level; see telemetry/tx_telemetry.hpp.
+  telemetry::TxTelemetry tel;
+
   /// Cached persistent version number (loaded lazily from the pool header
   /// the first time a slot runs a transaction, invalidated by recovery).
   std::uint64_t pver = 0;
@@ -34,6 +40,18 @@ struct TxThreadState {
   /// Cause of the most recent hardware-path abort (drives the
   /// fallback-on-capacity policy). Unused by software-only TMs.
   htm::AbortCause last_hw_abort = htm::AbortCause::kConflict;
+
+  /// The one place a hardware abort is accounted: bumps the coarse counter,
+  /// the per-cause taxonomy, and the retry policy's last-cause in lockstep
+  /// so they can never disagree (last_hw_abort alone used to lose history).
+  /// `code` is the xabort code for explicit aborts (trace payload only).
+  void record_hw_abort(int tid, htm::AbortCause c, std::uint8_t code = 0) {
+    stats.hw_aborts++;
+    last_hw_abort = c;
+    tel.taxonomy.hw_by_cause[static_cast<std::size_t>(c)]++;
+    telemetry::trace1(telemetry::EventKind::kHwAbort, tid, code,
+                      static_cast<std::uint8_t>(c));
+  }
 };
 
 /// Fixed-size array of cache-line-aligned per-slot contexts, indexed by the
@@ -73,7 +91,39 @@ TmStats aggregate_thread_stats(const PerThread<Ctx>& per_thread) {
 
 template <typename Ctx>
 void reset_thread_stats(PerThread<Ctx>& per_thread) {
-  per_thread.for_each([](Ctx& c) { c.stats.reset(); });
+  per_thread.for_each([](Ctx& c) {
+    c.stats.reset();
+    c.tel.reset();
+  });
+}
+
+/// Aggregates every slot's telemetry block into a per-TM view. The
+/// taxonomy's sw/user tallies are mirrored from TmThreadStats here (they
+/// are not tracked twice per-thread), so they agree with stats() by
+/// construction; hw_by_cause comes from record_hw_abort, which bumps
+/// stats.hw_aborts at the same site — sum(hw_by_cause) == hw_aborts
+/// exactly. The adaptive snapshot reports the minimum-budget thread's
+/// window: the view that explains fallback pressure.
+template <typename Ctx>
+telemetry::TmTelemetry aggregate_thread_telemetry(const PerThread<Ctx>& per_thread,
+                                                  const PathPolicy& pol) {
+  telemetry::TmTelemetry agg;
+  agg.adaptive.enabled = pol.adaptive.enabled;
+  agg.adaptive.current_budget = pol.htm_attempts;
+  for (int i = 0; i < per_thread.size(); ++i) {
+    const Ctx& c = per_thread[i];
+    agg.tx.add(c.tel);
+    agg.tx.taxonomy.sw_aborts += c.stats.sw_aborts;
+    agg.tx.taxonomy.user_aborts += c.stats.user_aborts;
+    const int b = c.adaptive.current_budget(pol);
+    if (i == 0 || b < agg.adaptive.current_budget) {
+      agg.adaptive.current_budget = b;
+      agg.adaptive.window_attempts = c.adaptive.window_attempts();
+      agg.adaptive.window_aborts = c.adaptive.window_aborts();
+      agg.adaptive.window_abort_rate = c.adaptive.window_abort_rate();
+    }
+  }
+  return agg;
 }
 
 }  // namespace nvhalt::runtime

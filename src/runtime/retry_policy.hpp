@@ -24,6 +24,8 @@
 #include <algorithm>
 
 #include "core/tm_stats.hpp"
+#include "htm/htm_types.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
 
@@ -106,6 +108,19 @@ class AdaptiveBudget {
 
   void reset() { *this = AdaptiveBudget{}; }
 
+  // Readable controller state (benches and the metrics registry; see
+  // telemetry::AdaptiveSnapshot). current_budget is budget() under a name
+  // that reads as an observation rather than a decision.
+  int current_budget(const PathPolicy& p) const { return budget(p); }
+  std::uint64_t window_attempts() const { return static_cast<std::uint64_t>(window_attempts_); }
+  std::uint64_t window_aborts() const { return static_cast<std::uint64_t>(window_aborts_); }
+  /// Abort rate of the in-progress window (0 when the window is empty).
+  double window_abort_rate() const {
+    return window_attempts_ == 0
+               ? 0.0
+               : static_cast<double>(window_aborts_) / static_cast<double>(window_attempts_);
+  }
+
  private:
   int budget_ = -1;  // -1: not yet adapted, use the configured maximum
   int window_attempts_ = 0;
@@ -115,52 +130,84 @@ class AdaptiveBudget {
 /// The one backoff implementation (see BackoffPolicy).
 void backoff(const BackoffPolicy& b, Xoshiro256& rng, int attempt);
 
-/// Runs one transaction through the unified retry loop. `Env` supplies the
-/// TM-specific primitives:
-///   AttemptStatus attempt_hw();     // one hardware attempt
+/// Runs one transaction through the unified retry loop. `State` is a
+/// TxThreadState (taken as a template parameter so this header need not
+/// include per_thread.hpp, which includes this one); the loop uses its
+/// stats, rng, adaptive controller, telemetry block and last_hw_abort.
+/// `Env` supplies the TM-specific primitives:
+///   AttemptStatus attempt_hw();     // one hardware attempt; on abort the
+///                                   // Env must have called
+///                                   // State::record_hw_abort(tid, cause)
 ///   AttemptStatus attempt_sw();     // one software attempt
-///   bool hw_abort_was_capacity();   // valid right after attempt_hw aborted
 ///   void before_hw_attempt();       // e.g. SPHT waits for the fallback lock
 ///   void crash_point();             // crash-injection hook (may throw)
+/// Capacity fast-fallback reads State::last_hw_abort, which
+/// record_hw_abort keeps current — the old Env::hw_abort_was_capacity()
+/// adapter is gone.
+///
+/// Telemetry: lifecycle events (tx begin, hw attempt, fallback, sw attempt,
+/// commits/aborts) are emitted at NVHALT_TELEMETRY >= 1, and per-path
+/// commit latency is recorded into tx_latency_hw/sw at the same level; at
+/// level 0 all of it compiles out (no timestamps are ever taken).
 /// Returns true on commit, false on voluntary abort or retry exhaustion.
-template <typename Env>
-bool run_retry_loop(const PathPolicy& pol, TmThreadStats& stats, Xoshiro256& rng,
-                    AdaptiveBudget& adaptive, Env&& env) {
+template <typename State, typename Env>
+bool run_retry_loop(const PathPolicy& pol, int tid, State& ts, Env&& env) {
+  namespace tel = nvhalt::telemetry;
   env.crash_point();
+  tel::trace1(tel::EventKind::kTxBegin, tid);
+  [[maybe_unused]] std::uint64_t t0 = 0;
+  if constexpr (tel::kLevel >= 1) t0 = tel::now_ticks();
 
-  const int budget = adaptive.budget(pol);
+  const int budget = ts.adaptive.budget(pol);
+  int hw_attempts_made = 0;
   for (int i = 0; i < budget; ++i) {
     env.before_hw_attempt();
+    tel::trace1(tel::EventKind::kHwAttempt, tid, static_cast<std::uint64_t>(i));
+    ++hw_attempts_made;
     switch (env.attempt_hw()) {
       case AttemptStatus::kCommitted:
-        adaptive.record(pol, /*aborted=*/false);
+        ts.adaptive.record(pol, /*aborted=*/false);
+        tel::trace1(tel::EventKind::kHwCommit, tid);
+        if constexpr (tel::kLevel >= 1) ts.tel.tx_latency_hw.record(tel::now_ticks() - t0);
         return true;
       case AttemptStatus::kUserAborted:
-        adaptive.record(pol, /*aborted=*/false);
+        ts.adaptive.record(pol, /*aborted=*/false);
+        tel::trace1(tel::EventKind::kUserAbort, tid);
         return false;
       case AttemptStatus::kAborted:
         break;
     }
-    adaptive.record(pol, /*aborted=*/true);
+    ts.adaptive.record(pol, /*aborted=*/true);
     // A capacity abort recurs on every retry of the same footprint;
     // optionally skip straight to the software path.
-    if (pol.fallback_on_capacity && env.hw_abort_was_capacity()) break;
-    if (pol.backoff_between_hw) backoff(pol.backoff, rng, i + 1);
+    if (pol.fallback_on_capacity && ts.last_hw_abort == htm::AbortCause::kCapacity) break;
+    if (pol.backoff_between_hw) backoff(pol.backoff, ts.rng, i + 1);
   }
-  if (budget > 0) stats.fallbacks++;
+  if (budget > 0) {
+    ts.stats.fallbacks++;
+    tel::trace1(tel::EventKind::kFallback, tid, static_cast<std::uint64_t>(hw_attempts_made));
+  }
 
   // Software path until commit or voluntary abort (progressive), bounded by
   // max_sw_retries when configured.
   int retries = 0;
   for (;;) {
+    tel::trace1(tel::EventKind::kSwAttempt, tid, static_cast<std::uint64_t>(retries));
     switch (env.attempt_sw()) {
-      case AttemptStatus::kCommitted: return true;
-      case AttemptStatus::kUserAborted: return false;
-      case AttemptStatus::kAborted: break;
+      case AttemptStatus::kCommitted:
+        tel::trace1(tel::EventKind::kSwCommit, tid, static_cast<std::uint64_t>(retries));
+        if constexpr (tel::kLevel >= 1) ts.tel.tx_latency_sw.record(tel::now_ticks() - t0);
+        return true;
+      case AttemptStatus::kUserAborted:
+        tel::trace1(tel::EventKind::kUserAbort, tid);
+        return false;
+      case AttemptStatus::kAborted:
+        tel::trace1(tel::EventKind::kSwAbort, tid);
+        break;
     }
     ++retries;
     if (pol.max_sw_retries >= 0 && retries > pol.max_sw_retries) return false;
-    backoff(pol.backoff, rng, retries);
+    backoff(pol.backoff, ts.rng, retries);
     env.crash_point();
   }
 }

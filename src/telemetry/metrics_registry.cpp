@@ -1,0 +1,202 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "htm/htm_types.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nvhalt::telemetry {
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(std::min<int>(n, sizeof(buf) - 1)));
+}
+
+void json_hist(std::string& out, const char* key, const PowHistogram& h) {
+  append(out, "\"%s\":{\"count\":%llu,\"sum\":%llu,\"mean\":%.2f,\"p50\":%llu,\"p99\":%llu,\"buckets\":[",
+         key, static_cast<unsigned long long>(h.count()),
+         static_cast<unsigned long long>(h.sum()), h.mean(),
+         static_cast<unsigned long long>(h.quantile_bound(0.50)),
+         static_cast<unsigned long long>(h.quantile_bound(0.99)));
+  const int hi = h.used_buckets();
+  for (int b = 0; b < hi; ++b) {
+    append(out, "%s%llu", b ? "," : "",
+           static_cast<unsigned long long>(h.bucket_count(b)));
+  }
+  out += "]}";
+}
+
+void json_taxonomy(std::string& out, const AbortTaxonomy& t) {
+  out += "\"abort_taxonomy\":{";
+  for (std::size_t c = 0; c < kNumAbortCauses; ++c) {
+    append(out, "%s\"%s\":%llu", c ? "," : "",
+           htm::abort_cause_name(static_cast<htm::AbortCause>(c)),
+           static_cast<unsigned long long>(t.hw_by_cause[c]));
+  }
+  append(out, ",\"hw_total\":%llu,\"sw_aborts\":%llu,\"user_aborts\":%llu}",
+         static_cast<unsigned long long>(t.hw_total()),
+         static_cast<unsigned long long>(t.sw_aborts),
+         static_cast<unsigned long long>(t.user_aborts));
+}
+
+void prom_counter(std::string& out, const char* metric, const std::string& labels,
+                  std::uint64_t v) {
+  append(out, "nvhalt_%s%s %llu\n", metric,
+         labels.empty() ? "" : ("{" + labels + "}").c_str(),
+         static_cast<unsigned long long>(v));
+}
+
+void prom_hist(std::string& out, const char* metric, const std::string& labels,
+               const PowHistogram& h) {
+  const std::string sep = labels.empty() ? "" : ",";
+  std::uint64_t cum = 0;
+  const int hi = h.used_buckets();
+  for (int b = 0; b < hi; ++b) {
+    cum += h.bucket_count(b);
+    append(out, "nvhalt_%s_bucket{%s%sle=\"%llu\"} %llu\n", metric, labels.c_str(),
+           sep.c_str(),
+           static_cast<unsigned long long>(PowHistogram::bucket_upper_bound(b)),
+           static_cast<unsigned long long>(cum));
+  }
+  append(out, "nvhalt_%s_bucket{%s%sle=\"+Inf\"} %llu\n", metric, labels.c_str(),
+         sep.c_str(), static_cast<unsigned long long>(h.count()));
+  append(out, "nvhalt_%s_sum%s %llu\n", metric,
+         labels.empty() ? "" : ("{" + labels + "}").c_str(),
+         static_cast<unsigned long long>(h.sum()));
+  append(out, "nvhalt_%s_count%s %llu\n", metric,
+         labels.empty() ? "" : ("{" + labels + "}").c_str(),
+         static_cast<unsigned long long>(h.count()));
+}
+
+}  // namespace
+
+void MetricsRegistry::add_tm(TransactionalMemory& tm, std::string label) {
+  if (label.empty()) label = tm.name();
+  tms_.push_back({&tm, std::move(label)});
+}
+
+void MetricsRegistry::add_pool(PmemPool& pool, std::string label) {
+  pools_.push_back({&pool, std::move(label)});
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const TmEntry& e : tms_) {
+    TmMetrics m;
+    m.name = e.label;
+    m.stats = e.tm->stats();
+    m.tel = e.tm->telemetry();
+    snap.tms.push_back(std::move(m));
+  }
+  for (const PoolEntry& e : pools_) {
+    PoolMetrics m;
+    m.name = e.label;
+    m.flush_count = e.pool->flush_count();
+    m.fence_count = e.pool->fence_count();
+    m.flush_dedup_count = e.pool->flush_dedup_count();
+    m.fence_lines = e.pool->fence_flush_hist();
+    snap.pools.push_back(std::move(m));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"schema\":\"nvhalt-metrics-v1\",\"telemetry_level\":";
+  append(out, "%d,\"tms\":[", kLevel);
+  for (std::size_t i = 0; i < tms.size(); ++i) {
+    const TmMetrics& m = tms[i];
+    if (i) out += ",";
+    append(out,
+           "{\"name\":\"%s\",\"commits\":%llu,\"hw_commits\":%llu,\"sw_commits\":%llu,"
+           "\"read_only_commits\":%llu,\"hw_aborts\":%llu,\"sw_aborts\":%llu,"
+           "\"fallbacks\":%llu,\"user_aborts\":%llu,",
+           m.name.c_str(), static_cast<unsigned long long>(m.stats.commits),
+           static_cast<unsigned long long>(m.stats.hw_commits),
+           static_cast<unsigned long long>(m.stats.sw_commits),
+           static_cast<unsigned long long>(m.stats.read_only_commits),
+           static_cast<unsigned long long>(m.stats.hw_aborts),
+           static_cast<unsigned long long>(m.stats.sw_aborts),
+           static_cast<unsigned long long>(m.stats.fallbacks),
+           static_cast<unsigned long long>(m.stats.user_aborts));
+    json_taxonomy(out, m.tel.tx.taxonomy);
+    out += ",";
+    json_hist(out, "tx_latency_hw_ticks", m.tel.tx.tx_latency_hw);
+    out += ",";
+    json_hist(out, "tx_latency_sw_ticks", m.tel.tx.tx_latency_sw);
+    out += ",";
+    json_hist(out, "write_set_words", m.tel.tx.write_set_size);
+    out += ",";
+    json_hist(out, "ack_latency_ticks", m.tel.tx.ack_latency);
+    append(out,
+           ",\"adaptive\":{\"enabled\":%s,\"current_budget\":%d,"
+           "\"window_attempts\":%llu,\"window_aborts\":%llu,\"window_abort_rate\":%.4f}}",
+           m.tel.adaptive.enabled ? "true" : "false", m.tel.adaptive.current_budget,
+           static_cast<unsigned long long>(m.tel.adaptive.window_attempts),
+           static_cast<unsigned long long>(m.tel.adaptive.window_aborts),
+           m.tel.adaptive.window_abort_rate);
+  }
+  out += "],\"pools\":[";
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    const PoolMetrics& p = pools[i];
+    if (i) out += ",";
+    append(out,
+           "{\"name\":\"%s\",\"flush_count\":%llu,\"fence_count\":%llu,"
+           "\"flush_dedup_count\":%llu,",
+           p.name.c_str(), static_cast<unsigned long long>(p.flush_count),
+           static_cast<unsigned long long>(p.fence_count),
+           static_cast<unsigned long long>(p.flush_dedup_count));
+    json_hist(out, "fence_lines", p.fence_lines);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  out += "# HELP nvhalt_commits_total Committed transactions.\n";
+  out += "# TYPE nvhalt_commits_total counter\n";
+  out += "# HELP nvhalt_hw_aborts_total Hardware aborts by decoded cause.\n";
+  out += "# TYPE nvhalt_hw_aborts_total counter\n";
+  for (const TmMetrics& m : tms) {
+    const std::string tm_label = "tm=\"" + m.name + "\"";
+    prom_counter(out, "commits_total", tm_label + ",path=\"hw\"", m.stats.hw_commits);
+    prom_counter(out, "commits_total", tm_label + ",path=\"sw\"", m.stats.sw_commits);
+    prom_counter(out, "read_only_commits_total", tm_label, m.stats.read_only_commits);
+    prom_counter(out, "fallbacks_total", tm_label, m.stats.fallbacks);
+    prom_counter(out, "sw_aborts_total", tm_label, m.tel.tx.taxonomy.sw_aborts);
+    prom_counter(out, "user_aborts_total", tm_label, m.tel.tx.taxonomy.user_aborts);
+    for (std::size_t c = 0; c < kNumAbortCauses; ++c) {
+      prom_counter(out, "hw_aborts_total",
+                   tm_label + ",cause=\"" +
+                       htm::abort_cause_name(static_cast<htm::AbortCause>(c)) + "\"",
+                   m.tel.tx.taxonomy.hw_by_cause[c]);
+    }
+    prom_hist(out, "tx_latency_ticks", tm_label + ",path=\"hw\"", m.tel.tx.tx_latency_hw);
+    prom_hist(out, "tx_latency_ticks", tm_label + ",path=\"sw\"", m.tel.tx.tx_latency_sw);
+    prom_hist(out, "write_set_words", tm_label, m.tel.tx.write_set_size);
+    prom_hist(out, "ack_latency_ticks", tm_label, m.tel.tx.ack_latency);
+    append(out, "nvhalt_adaptive_budget{%s} %d\n", tm_label.c_str(),
+           m.tel.adaptive.current_budget);
+    append(out, "nvhalt_adaptive_window_abort_rate{%s} %.4f\n", tm_label.c_str(),
+           m.tel.adaptive.window_abort_rate);
+  }
+  for (const PoolMetrics& p : pools) {
+    const std::string pool_label = "pool=\"" + p.name + "\"";
+    prom_counter(out, "pool_flushes_total", pool_label, p.flush_count);
+    prom_counter(out, "pool_fences_total", pool_label, p.fence_count);
+    prom_counter(out, "pool_flush_dedup_total", pool_label, p.flush_dedup_count);
+    prom_hist(out, "pool_fence_lines", pool_label, p.fence_lines);
+  }
+  return out;
+}
+
+}  // namespace nvhalt::telemetry

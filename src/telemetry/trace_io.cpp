@@ -1,0 +1,225 @@
+#include "telemetry/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "htm/htm_types.hpp"
+
+namespace nvhalt::telemetry {
+
+namespace {
+
+bool kind_from_name(const std::string& name, EventKind& out) {
+  for (int k = 0; k < static_cast<int>(EventKind::kNumKinds); ++k) {
+    if (name == event_kind_name(static_cast<EventKind>(k))) {
+      out = static_cast<EventKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool cause_from_name(const std::string& name, std::uint8_t& out) {
+  if (name == "-") {
+    out = 0xFF;
+    return true;
+  }
+  for (std::uint8_t c = 0; c < static_cast<std::uint8_t>(htm::AbortCause::kNumCauses); ++c) {
+    if (name == htm::abort_cause_name(static_cast<htm::AbortCause>(c))) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+std::uint64_t TraceDump::total_events() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.events.size();
+  return n;
+}
+
+std::uint64_t TraceDump::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.dropped;
+  return n;
+}
+
+TraceDump collect_trace_dump() {
+  TraceDump dump;
+  if constexpr (kLevel >= 1) {
+    dump.ticks_per_us = calibrate_ticks_per_us();
+    dump.threads = TraceBuffer::instance().collect();
+  }
+  return dump;
+}
+
+void write_raw_trace(std::ostream& os, const TraceDump& dump) {
+  os << "# nvhalt-trace-v1 level=" << dump.level
+     << " ticks_per_us=" << dump.ticks_per_us << "\n";
+  for (const ThreadTrace& t : dump.threads) {
+    os << "# ring tid=" << t.tid << " pushed=" << t.pushed
+       << " dropped=" << t.dropped << "\n";
+    for (const TraceEvent& e : t.events) {
+      os << e.ticks << ' ' << event_kind_name(e.kind) << ' ' << e.tid << ' '
+         << e.arg << ' ';
+      if (e.kind == EventKind::kHwAbort &&
+          e.cause < static_cast<std::uint8_t>(htm::AbortCause::kNumCauses)) {
+        os << htm::abort_cause_name(static_cast<htm::AbortCause>(e.cause));
+      } else {
+        os << '-';
+      }
+      os << '\n';
+    }
+  }
+}
+
+bool read_raw_trace(std::istream& is, TraceDump& dump, std::string* err) {
+  const auto fail = [&](const std::string& msg) {
+    if (err) *err = msg;
+    return false;
+  };
+  dump = TraceDump{};
+  dump.threads.clear();
+
+  std::string line;
+  if (!std::getline(is, line)) return fail("empty input");
+  {
+    std::istringstream hs(line);
+    std::string hash, magic, level_kv, tpu_kv;
+    hs >> hash >> magic >> level_kv >> tpu_kv;
+    if (hash != "#" || magic != "nvhalt-trace-v1" ||
+        level_kv.rfind("level=", 0) != 0 || tpu_kv.rfind("ticks_per_us=", 0) != 0)
+      return fail("bad header: " + line);
+    dump.level = std::stoi(level_kv.substr(6));
+    dump.ticks_per_us = std::stod(tpu_kv.substr(13));
+  }
+
+  ThreadTrace* cur = nullptr;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line);
+      std::string hash, tag, tid_kv, pushed_kv, dropped_kv;
+      hs >> hash >> tag >> tid_kv >> pushed_kv >> dropped_kv;
+      if (tag != "ring" || tid_kv.rfind("tid=", 0) != 0 ||
+          pushed_kv.rfind("pushed=", 0) != 0 || dropped_kv.rfind("dropped=", 0) != 0)
+        return fail("bad ring header at line " + std::to_string(lineno));
+      ThreadTrace t;
+      t.tid = std::stoi(tid_kv.substr(4));
+      t.pushed = std::stoull(pushed_kv.substr(7));
+      t.dropped = std::stoull(dropped_kv.substr(8));
+      dump.threads.push_back(std::move(t));
+      cur = &dump.threads.back();
+      continue;
+    }
+    if (!cur) return fail("event before any ring header at line " + std::to_string(lineno));
+    std::istringstream es(line);
+    std::string kind_name, cause_name;
+    TraceEvent e;
+    unsigned tid = 0;
+    if (!(es >> e.ticks >> kind_name >> tid >> e.arg >> cause_name))
+      return fail("malformed event at line " + std::to_string(lineno));
+    e.tid = static_cast<std::uint16_t>(tid);
+    if (!kind_from_name(kind_name, e.kind))
+      return fail("unknown event kind '" + kind_name + "' at line " + std::to_string(lineno));
+    if (!cause_from_name(cause_name, e.cause))
+      return fail("unknown abort cause '" + cause_name + "' at line " + std::to_string(lineno));
+    cur->events.push_back(e);
+  }
+  return true;
+}
+
+void write_chrome_trace(std::ostream& os, const TraceDump& dump) {
+  const double tpu = dump.ticks_per_us > 0.0 ? dump.ticks_per_us : 1.0;
+  std::uint64_t min_ticks = ~std::uint64_t{0};
+  for (const ThreadTrace& t : dump.threads)
+    for (const TraceEvent& e : t.events) min_ticks = std::min(min_ticks, e.ticks);
+  if (dump.total_events() == 0) min_ticks = 0;
+
+  const auto ts_us = [&](std::uint64_t ticks) {
+    return static_cast<double>(ticks - min_ticks) / tpu;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const ThreadTrace& t : dump.threads) {
+    // One open transaction per tid at a time: the retry loop is
+    // strictly nested, so a simple begin-ticks latch pairs events.
+    bool open = false;
+    std::uint64_t begin_ticks = 0;
+    for (const TraceEvent& e : t.events) {
+      switch (e.kind) {
+        case EventKind::kTxBegin:
+          open = true;
+          begin_ticks = e.ticks;
+          break;
+        case EventKind::kHwCommit:
+        case EventKind::kSwCommit:
+        case EventKind::kUserAbort: {
+          const char* name = e.kind == EventKind::kHwCommit ? "tx(hw)"
+                             : e.kind == EventKind::kSwCommit ? "tx(sw)"
+                                                              : "tx(user-abort)";
+          if (open) {
+            comma();
+            os << "{\"name\":\"" << name << "\",\"cat\":\"tm\",\"ph\":\"X\",\"ts\":"
+               << ts_us(begin_ticks) << ",\"dur\":" << ts_us(e.ticks) - ts_us(begin_ticks)
+               << ",\"pid\":0,\"tid\":" << t.tid << ",\"args\":{\"arg\":" << e.arg
+               << "}}";
+            open = false;
+          }
+          break;
+        }
+        default: {
+          comma();
+          os << "{\"name\":\"";
+          json_escape(os, event_kind_name(e.kind));
+          os << "\",\"cat\":\"tm\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts_us(e.ticks)
+             << ",\"pid\":0,\"tid\":" << t.tid << ",\"args\":{\"arg\":" << e.arg;
+          if (e.kind == EventKind::kHwAbort &&
+              e.cause < static_cast<std::uint8_t>(htm::AbortCause::kNumCauses)) {
+            os << ",\"cause\":\"";
+            json_escape(os, htm::abort_cause_name(static_cast<htm::AbortCause>(e.cause)));
+            os << "\"";
+          }
+          os << "}}";
+          break;
+        }
+      }
+    }
+  }
+  os << "]}";
+}
+
+bool write_raw_trace_file(const std::string& path, const TraceDump& dump) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_raw_trace(os, dump);
+  return static_cast<bool>(os);
+}
+
+bool write_chrome_trace_file(const std::string& path, const TraceDump& dump) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, dump);
+  return static_cast<bool>(os);
+}
+
+}  // namespace nvhalt::telemetry

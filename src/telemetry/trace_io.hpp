@@ -1,0 +1,59 @@
+// Trace serialization: a line-oriented raw text format written by
+// instrumented binaries (crash_harness, benches) and a converter to the
+// chrome://tracing / Perfetto JSON array format, consumed by the
+// trace_dump CLI.
+//
+// Raw format (nvhalt-trace-v1):
+//   # nvhalt-trace-v1 level=<n> ticks_per_us=<f>
+//   # ring tid=<n> pushed=<n> dropped=<n>
+//   <ticks> <kind> <tid> <arg> <cause|->
+//   ...
+// One `# ring` header per surviving ring, followed by its events oldest
+// first. `cause` is an abort-cause name for kHwAbort lines and `-`
+// elsewhere. The header records pushed/dropped so overflow accounting
+// survives the round-trip even though dropped events themselves do not.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace nvhalt::telemetry {
+
+/// One serializable trace capture: every ring plus the timebase needed to
+/// turn tick deltas into wall time.
+struct TraceDump {
+  int level = kLevel;
+  double ticks_per_us = 1.0;
+  std::vector<ThreadTrace> threads;
+
+  std::uint64_t total_events() const;
+  std::uint64_t total_dropped() const;
+};
+
+/// Snapshot the process-wide TraceBuffer and calibrate the tick rate.
+/// Meaningful only in builds with NVHALT_TELEMETRY >= 1 (returns an empty
+/// dump at level 0).
+TraceDump collect_trace_dump();
+
+void write_raw_trace(std::ostream& os, const TraceDump& dump);
+
+/// Parses the raw format. Returns false (and sets *err when non-null) on a
+/// malformed header or event line; events with unknown kinds are rejected,
+/// not skipped, so a version bump cannot be silently misread.
+bool read_raw_trace(std::istream& is, TraceDump& dump, std::string* err = nullptr);
+
+/// chrome://tracing JSON object format: {"traceEvents": [...]}. Each
+/// kTxBegin..{kHwCommit,kSwCommit,kUserAbort} pair on a tid becomes one "X"
+/// (complete) event named by its outcome; every other event becomes a
+/// thread-scoped "i" (instant) event. Timestamps are microseconds relative
+/// to the earliest event in the dump.
+void write_chrome_trace(std::ostream& os, const TraceDump& dump);
+
+/// Convenience wrappers writing to a path; return false on I/O failure.
+bool write_raw_trace_file(const std::string& path, const TraceDump& dump);
+bool write_chrome_trace_file(const std::string& path, const TraceDump& dump);
+
+}  // namespace nvhalt::telemetry

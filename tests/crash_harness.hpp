@@ -26,6 +26,8 @@
 #include "api/tm_factory.hpp"
 #include "pmem/crash_enum.hpp"
 #include "structures/tm_hashmap.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/trace_io.hpp"
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +43,14 @@ struct CrashHarnessOptions {
   int map_accounts = 8;
   word_t initial_balance = 100;
   std::uint64_t workload_seed = 0xC0FFEE;
+
+  /// When non-empty, the harness dumps observability artifacts after the
+  /// workload quiesces (and before the runner is torn down): `trace_out`
+  /// gets a raw nvhalt-trace-v1 file (meaningful only in NVHALT_TELEMETRY
+  /// >= 1 builds — empty at level 0), `metrics_out` a MetricsRegistry JSON
+  /// snapshot plus its Prometheus rendering at `<metrics_out>.prom`.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 /// One acknowledged commit: any crash prefix >= bound must reflect value.
@@ -88,6 +98,11 @@ inline RunnerConfig crash_config(TmKind kind) {
 inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
   CrashTraceBundle tr;
   tr.opt = opt;
+
+  // The process-wide trace buffer may hold rings from an earlier workload
+  // in the same process; start the requested capture from a clean slate
+  // (no workers are running yet, so the producer-quiescence contract holds).
+  if (!opt.trace_out.empty()) telemetry::TraceBuffer::instance().clear();
 
   PersistJournal journal;
   RunnerConfig cfg = crash_config(opt.kind);
@@ -184,6 +199,24 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
     });
   }
   for (auto& w : workers) w.join();
+
+  if (!opt.trace_out.empty()) {
+    const telemetry::TraceDump dump = telemetry::collect_trace_dump();
+    if (!telemetry::write_raw_trace_file(opt.trace_out, dump))
+      throw TmLogicError("cannot write trace file: " + opt.trace_out);
+  }
+  if (!opt.metrics_out.empty()) {
+    telemetry::MetricsRegistry reg;
+    reg.add_tm(tm);
+    reg.add_pool(runner.pool());
+    const telemetry::MetricsSnapshot snap = reg.snapshot();
+    std::ofstream jf(opt.metrics_out);
+    jf << snap.to_json() << "\n";
+    std::ofstream pf(opt.metrics_out + ".prom");
+    pf << snap.to_prometheus();
+    if (!jf || !pf)
+      throw TmLogicError("cannot write metrics files: " + opt.metrics_out);
+  }
 
   tr.events = journal.events();
   tr.trace_hash = PersistJournal::hash(tr.events);

@@ -41,6 +41,8 @@ struct SweepArgs {
   std::string save_dir = ".";
   std::string replay_bundle;
   std::string replay_triple;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 void usage(const char* argv0) {
@@ -55,7 +57,11 @@ void usage(const char* argv0) {
                "  --workload-seed N deterministic workload seed\n"
                "  --save-dir DIR    where failing trace bundles are written (default .)\n"
                "  --mutate          run NV-HALT with broken recovery; exit 0 iff caught\n"
-               "  --replay FILE TRIPLE   recheck one hash:prefix:seed triple of a saved bundle\n",
+               "  --replay FILE TRIPLE   recheck one hash:prefix:seed triple of a saved bundle\n"
+               "  --trace-out FILE  dump a raw telemetry trace per TM (FILE gets a .<tm> suffix;\n"
+               "                    needs an NVHALT_TELEMETRY>=1 build to be non-empty)\n"
+               "  --metrics-out FILE  dump a metrics JSON snapshot per TM (.<tm> suffix,\n"
+               "                    plus Prometheus text at FILE.<tm>.prom)\n",
                argv0);
 }
 
@@ -112,6 +118,14 @@ bool parse_args(int argc, char** argv, SweepArgs* a) {
       a->save_dir = v;
     } else if (arg == "--mutate") {
       a->mutate = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->metrics_out = v;
     } else if (arg == "--replay") {
       const char* f = next();
       const char* t = next();
@@ -132,6 +146,10 @@ CrashTraceBundle run_workload(const SweepArgs& a, TmKind kind) {
   opt.kind = kind;
   opt.txs_per_thread = a.txs_per_thread;
   opt.workload_seed = a.workload_seed;
+  if (!a.trace_out.empty())
+    opt.trace_out = a.trace_out + "." + tm_kind_name(kind);
+  if (!a.metrics_out.empty())
+    opt.metrics_out = a.metrics_out + "." + tm_kind_name(kind);
   std::printf("[%s] running %d-thread workload (%d txs/thread, seed %llu)...\n",
               tm_kind_name(kind), opt.transfer_threads + opt.counter_threads + opt.map_threads,
               opt.txs_per_thread, static_cast<unsigned long long>(opt.workload_seed));

@@ -189,24 +189,20 @@ TEST(AdaptiveBudget, ResetForgetsAdaptation) {
 struct ScriptedEnv {
   std::vector<AttemptStatus> hw;
   std::vector<AttemptStatus> sw;
-  bool capacity_abort = false;
   int hw_calls = 0;
   int sw_calls = 0;
   int waits = 0;
 
   AttemptStatus attempt_hw() { return hw.at(static_cast<std::size_t>(hw_calls++)); }
   AttemptStatus attempt_sw() { return sw.at(static_cast<std::size_t>(sw_calls++)); }
-  bool hw_abort_was_capacity() const { return capacity_abort; }
   void before_hw_attempt() { ++waits; }
   void crash_point() {}
 };
 
 struct LoopFixture {
-  TmThreadStats stats;
-  Xoshiro256 rng{0xBEEF};
-  AdaptiveBudget adaptive;
+  TxThreadState ts;
   bool run(const PathPolicy& p, ScriptedEnv& env) {
-    return run_retry_loop(p, stats, rng, adaptive, env);
+    return run_retry_loop(p, /*tid=*/0, ts, env);
   }
 };
 
@@ -220,7 +216,7 @@ TEST(RunRetryLoop, HardwareCommitShortCircuits) {
   EXPECT_EQ(env.hw_calls, 2);
   EXPECT_EQ(env.sw_calls, 0);
   EXPECT_EQ(env.waits, 2);  // before_hw_attempt precedes every attempt
-  EXPECT_EQ(f.stats.fallbacks, 0u);
+  EXPECT_EQ(f.ts.stats.fallbacks, 0u);
 }
 
 TEST(RunRetryLoop, ExhaustedBudgetFallsBackAndCountsOnce) {
@@ -233,7 +229,7 @@ TEST(RunRetryLoop, ExhaustedBudgetFallsBackAndCountsOnce) {
   EXPECT_TRUE(f.run(p, env));
   EXPECT_EQ(env.hw_calls, 3);
   EXPECT_EQ(env.sw_calls, 2);
-  EXPECT_EQ(f.stats.fallbacks, 1u);
+  EXPECT_EQ(f.ts.stats.fallbacks, 1u);
 }
 
 TEST(RunRetryLoop, SoftwareOnlyPolicyNeverCountsFallback) {
@@ -244,7 +240,7 @@ TEST(RunRetryLoop, SoftwareOnlyPolicyNeverCountsFallback) {
   EXPECT_TRUE(f.run(p, env));
   EXPECT_EQ(env.hw_calls, 0);
   EXPECT_EQ(env.waits, 0);
-  EXPECT_EQ(f.stats.fallbacks, 0u);
+  EXPECT_EQ(f.ts.stats.fallbacks, 0u);
 }
 
 TEST(RunRetryLoop, CapacityAbortFastFallback) {
@@ -254,12 +250,14 @@ TEST(RunRetryLoop, CapacityAbortFastFallback) {
   p.fallback_on_capacity = true;
   ScriptedEnv env;
   env.hw = {AttemptStatus::kAborted};
-  env.capacity_abort = true;  // footprint won't shrink: skip remaining attempts
+  // Footprint won't shrink: the loop reads the recorded cause and skips the
+  // remaining attempts. Real Envs set this via record_hw_abort.
+  f.ts.last_hw_abort = htm::AbortCause::kCapacity;
   env.sw = {AttemptStatus::kCommitted};
   EXPECT_TRUE(f.run(p, env));
   EXPECT_EQ(env.hw_calls, 1);
   EXPECT_EQ(env.sw_calls, 1);
-  EXPECT_EQ(f.stats.fallbacks, 1u);
+  EXPECT_EQ(f.ts.stats.fallbacks, 1u);
 }
 
 TEST(RunRetryLoop, UserAbortReturnsFalseFromEitherPath) {
@@ -305,7 +303,7 @@ TEST(RunRetryLoop, AdaptiveBudgetShrinksAcrossTransactions) {
     env.sw = {AttemptStatus::kCommitted};
     EXPECT_TRUE(f.run(p, env));
   }
-  EXPECT_EQ(f.adaptive.budget(p), p.adaptive.min_attempts);
+  EXPECT_EQ(f.ts.adaptive.budget(p), p.adaptive.min_attempts);
   ScriptedEnv env;
   env.hw = std::vector<AttemptStatus>(8, AttemptStatus::kAborted);
   env.sw = {AttemptStatus::kCommitted};

@@ -1,0 +1,454 @@
+// Telemetry layer tests: PowHistogram bucketing, TraceRing ordering /
+// wraparound / overflow-drop accounting (including a TSan-targeted
+// concurrent-writer suite), abort-cause decoding into the per-thread
+// taxonomy, the taxonomy-vs-stats agreement invariant across all five TMs,
+// AdaptiveBudget window introspection, MetricsRegistry JSON/Prometheus
+// export, and the raw-trace/chrome-trace serialization round trip (which
+// works at any NVHALT_TELEMETRY level — rings are constructed directly).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_io.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+namespace tel = telemetry;
+using tel::EventKind;
+using tel::PowHistogram;
+using tel::TraceEvent;
+using tel::TraceRing;
+
+// ---------------------------------------------------------------- histogram
+
+TEST(PowHistogram, BucketsArePowersOfTwo) {
+  EXPECT_EQ(PowHistogram::bucket_of(0), 0);
+  EXPECT_EQ(PowHistogram::bucket_of(1), 1);
+  EXPECT_EQ(PowHistogram::bucket_of(2), 2);
+  EXPECT_EQ(PowHistogram::bucket_of(3), 2);
+  EXPECT_EQ(PowHistogram::bucket_of(4), 3);
+  EXPECT_EQ(PowHistogram::bucket_of(~std::uint64_t{0}), 64);
+
+  EXPECT_EQ(PowHistogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(PowHistogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(PowHistogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(PowHistogram::bucket_upper_bound(64), ~std::uint64_t{0});
+}
+
+TEST(PowHistogram, RecordMergeAndQuantiles) {
+  PowHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.used_buckets(), 0);
+  EXPECT_EQ(h.quantile_bound(0.5), 0u);
+
+  for (std::uint64_t v : {1u, 1u, 2u, 3u, 100u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 107u);
+  EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 5.0);
+  EXPECT_EQ(h.bucket_count(1), 2u);  // the two 1s
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket_count(7), 1u);  // 100 in [64, 127]
+  EXPECT_EQ(h.used_buckets(), 8);
+  EXPECT_EQ(h.quantile_bound(0.4), 1u);    // 2 of 5 <= bucket 1's bound
+  EXPECT_EQ(h.quantile_bound(0.5), 3u);    // needs bucket 2 ({2, 3})
+  EXPECT_EQ(h.quantile_bound(0.99), 127u); // needs the 100
+
+  PowHistogram other;
+  other.record(100);
+  h.add(other);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket_count(7), 2u);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.used_buckets(), 0);
+}
+
+// ---------------------------------------------------------------- trace ring
+
+TEST(TraceRing, PreservesOrderBelowCapacity) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ring.push(EventKind::kHwAttempt, /*cause=*/0xFF, /*tid=*/7, i, /*ticks=*/1000 + i);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].kind, EventKind::kHwAttempt);
+    EXPECT_EQ(events[i].tid, 7u);
+    EXPECT_EQ(events[i].arg, i);
+    EXPECT_EQ(events[i].ticks, 1000 + i);
+    EXPECT_EQ(events[i].cause, 0xFF);
+  }
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    ring.push(EventKind::kFence, 0xFF, 0, i, i);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);  // exact: pushed - capacity
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].arg, 6 + i);
+
+  ring.clear();
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, HwAbortCarriesCauseByte) {
+  TraceRing ring(8);
+  ring.push(EventKind::kHwAbort, static_cast<std::uint8_t>(htm::AbortCause::kCapacity),
+            3, /*code=*/0xAB, 1);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kHwAbort);
+  EXPECT_EQ(events[0].cause, static_cast<std::uint8_t>(htm::AbortCause::kCapacity));
+  EXPECT_EQ(events[0].arg, 0xABu);
+}
+
+// Concurrent single producer vs a racing snapshotter. The snapshot contract:
+// never torn — every returned event was genuinely pushed, in order. Runs
+// under the tsan-concurrency preset (suite name is in its filter).
+TEST(TraceRingConcurrency, SnapshotsAreNeverTorn) {
+  TraceRing ring(64);
+  constexpr std::uint64_t kPushes = 20000;
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kPushes; ++i)
+      ring.push(EventKind::kSwAttempt, 0xFF, 1, i, /*ticks=*/i);
+    done.store(true, std::memory_order_release);
+  });
+
+  // do-while: even if the producer outruns us entirely, validate at least
+  // one snapshot.
+  std::uint64_t snapshots = 0;
+  std::string violation;
+  do {
+    const auto events = ring.snapshot();
+    ++snapshots;
+    // Survivors are a contiguous, strictly increasing slice of the pushed
+    // sequence; a torn read would break kind, tid, or the arg progression.
+    for (std::size_t i = 0; i < events.size() && violation.empty(); ++i) {
+      if (events[i].kind != EventKind::kSwAttempt || events[i].tid != 1 ||
+          events[i].arg >= kPushes) {
+        violation = "torn event at snapshot index " + std::to_string(i);
+      } else if (i > 0 && events[i].arg != events[i - 1].arg + 1) {
+        violation = "non-contiguous args " + std::to_string(events[i - 1].arg) +
+                    " -> " + std::to_string(events[i].arg);
+      }
+    }
+  } while (violation.empty() && !done.load(std::memory_order_acquire));
+  producer.join();
+  EXPECT_TRUE(violation.empty()) << violation;
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(ring.pushed(), kPushes);
+  EXPECT_EQ(ring.dropped(), kPushes - ring.capacity());
+  const auto final_events = ring.snapshot();
+  ASSERT_EQ(final_events.size(), ring.capacity());
+  EXPECT_EQ(final_events.back().arg, kPushes - 1);
+}
+
+TEST(TraceRingConcurrency, BufferCollectGathersPerTidRings) {
+  auto& buf = tel::TraceBuffer::instance();
+  buf.clear();
+  buf.ring(0).push(EventKind::kTxBegin, 0xFF, 0, 0, 1);
+  buf.ring(2).push(EventKind::kTxBegin, 0xFF, 2, 0, 2);
+  buf.ring(2).push(EventKind::kSwCommit, 0xFF, 2, 0, 3);
+
+  const auto threads = buf.collect();
+  ASSERT_EQ(threads.size(), 2u);
+  EXPECT_EQ(threads[0].tid, 0);
+  EXPECT_EQ(threads[0].events.size(), 1u);
+  EXPECT_EQ(threads[1].tid, 2);
+  EXPECT_EQ(threads[1].pushed, 2u);
+  EXPECT_EQ(threads[1].dropped, 0u);
+  buf.clear();
+  EXPECT_TRUE(buf.collect().empty());
+}
+
+// -------------------------------------------------------- abort taxonomy
+
+TEST(AbortTaxonomy, RecordHwAbortKeepsAllViewsInLockstep) {
+  runtime::TxThreadState ts;
+  ts.record_hw_abort(0, htm::AbortCause::kConflict);
+  ts.record_hw_abort(0, htm::AbortCause::kCapacity);
+  ts.record_hw_abort(0, htm::AbortCause::kConflict);
+  ts.record_hw_abort(0, htm::AbortCause::kExplicit, /*code=*/0x42);
+
+  EXPECT_EQ(ts.stats.hw_aborts, 4u);
+  EXPECT_EQ(ts.tel.taxonomy.hw_total(), 4u);  // never loses history
+  EXPECT_EQ(ts.tel.taxonomy.hw_by_cause[0], 2u);  // conflict
+  EXPECT_EQ(ts.tel.taxonomy.hw_by_cause[1], 1u);  // capacity
+  EXPECT_EQ(ts.tel.taxonomy.hw_by_cause[2], 1u);  // explicit
+  EXPECT_EQ(ts.last_hw_abort, htm::AbortCause::kExplicit);
+}
+
+TEST(AbortTaxonomy, CapacityAbortsAreDecoded) {
+  RunnerConfig cfg = test::small_config(TmKind::kNvHalt);
+  cfg.htm.l1_ways = 1;
+  cfg.htm.l1_sets = 1;  // any two distinct written lines overflow
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  const gaddr_t b = runner.alloc().raw_alloc_large(kWordsPerLine * 4);
+
+  tm.run(0, [&](Tx& tx) {
+    tx.write(a, 1);
+    tx.write(b + kWordsPerLine * 2, 2);  // different line, different set slot
+  });
+
+  const TmStats stats = tm.stats();
+  const tel::TmTelemetry t = tm.telemetry();
+  EXPECT_GT(stats.hw_aborts, 0u);
+  EXPECT_GT(t.tx.taxonomy.hw_by_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)], 0u);
+  EXPECT_EQ(t.tx.taxonomy.hw_total(), stats.hw_aborts);
+}
+
+TEST(AbortTaxonomy, SpuriousAbortsAreDecoded) {
+  RunnerConfig cfg = test::small_config(TmKind::kNvHalt);
+  cfg.htm.spurious_abort_prob = 1.0;  // every hardware access aborts
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+
+  tm.run(0, [&](Tx& tx) { tx.write(a, 7); });
+
+  const TmStats stats = tm.stats();
+  const tel::TmTelemetry t = tm.telemetry();
+  EXPECT_GT(stats.hw_aborts, 0u);
+  EXPECT_EQ(t.tx.taxonomy.hw_by_cause[static_cast<std::size_t>(htm::AbortCause::kSpurious)],
+            stats.hw_aborts);
+  EXPECT_EQ(t.tx.taxonomy.hw_total(), stats.hw_aborts);
+}
+
+class TaxonomyAgreementTest : public testing::TestWithParam<TmKind> {};
+
+// The acceptance-criteria invariant, per TM under real contention: the
+// taxonomy's per-cause sum equals the aggregated hw_aborts counter exactly,
+// and the mirrored sw/user tallies equal their stats counterparts.
+TEST_P(TaxonomyAgreementTest, TaxonomySumsMatchStatsExactly) {
+  TmRunner runner(test::small_config(GetParam()));
+  auto& tm = runner.tm();
+  std::vector<gaddr_t> accounts;
+  for (int i = 0; i < 4; ++i) accounts.push_back(runner.alloc().raw_alloc(0, 1));
+
+  test::run_threads(4, [&](int t) {
+    Xoshiro256 rng(0x7E1E + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < 200; ++i) {
+      const std::size_t from = rng.next_bounded(accounts.size());
+      std::size_t to = rng.next_bounded(accounts.size() - 1);
+      if (to >= from) ++to;
+      tm.run(t, [&](Tx& tx) {
+        const word_t vf = tx.read(accounts[from]);
+        const word_t vt = tx.read(accounts[to]);
+        tx.write(accounts[from], vf + 1);
+        tx.write(accounts[to], vt + 1);
+      });
+    }
+  });
+
+  const TmStats stats = tm.stats();
+  const tel::TmTelemetry t = tm.telemetry();
+  EXPECT_EQ(t.tx.taxonomy.hw_total(), stats.hw_aborts);
+  EXPECT_EQ(t.tx.taxonomy.sw_aborts, stats.sw_aborts);
+  EXPECT_EQ(t.tx.taxonomy.user_aborts, stats.user_aborts);
+  EXPECT_LE(t.tx.write_set_size.count(), stats.commits);  // at most one per commit
+
+  tm.reset_stats();
+  EXPECT_EQ(tm.telemetry().tx.taxonomy.hw_total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, TaxonomyAgreementTest, testing::ValuesIn(test::all_kinds()),
+                         test::kind_param_name);
+
+// ------------------------------------------------------ adaptive introspection
+
+TEST(AdaptiveBudgetStats, WindowCountersAreReadable) {
+  runtime::PathPolicy p;
+  p.htm_attempts = 8;
+  p.adaptive.enabled = true;
+  p.adaptive.window = 16;
+  runtime::AdaptiveBudget a;
+  EXPECT_EQ(a.window_attempts(), 0u);
+  EXPECT_DOUBLE_EQ(a.window_abort_rate(), 0.0);
+  EXPECT_EQ(a.current_budget(p), 8);
+
+  a.record(p, /*aborted=*/true);
+  a.record(p, /*aborted=*/true);
+  a.record(p, /*aborted=*/false);
+  EXPECT_EQ(a.window_attempts(), 3u);
+  EXPECT_EQ(a.window_aborts(), 2u);
+  EXPECT_DOUBLE_EQ(a.window_abort_rate(), 2.0 / 3.0);
+}
+
+// ------------------------------------------------------------ metrics export
+
+TEST(MetricsRegistry, SnapshotExportsAllFiveTmsAndPool) {
+  std::vector<std::unique_ptr<TmRunner>> runners;
+  tel::MetricsRegistry reg;
+  for (const TmKind kind : test::all_kinds()) {
+    runners.push_back(std::make_unique<TmRunner>(test::small_config(kind)));
+    TmRunner& r = *runners.back();
+    const gaddr_t a = r.alloc().raw_alloc(0, 1);
+    for (int i = 0; i < 10; ++i)
+      r.tm().run(0, [&](Tx& tx) { tx.write(a, static_cast<word_t>(i)); });
+    reg.add_tm(r.tm());
+  }
+  reg.add_pool(runners.front()->pool(), "nvhalt-pool");
+
+  const tel::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.tms.size(), 5u);
+  ASSERT_EQ(snap.pools.size(), 1u);
+  for (const tel::TmMetrics& m : snap.tms) {
+    EXPECT_GE(m.stats.commits, 10u);
+    // The acceptance-criteria agreement check, through the export surface.
+    EXPECT_EQ(m.tel.tx.taxonomy.hw_total(), m.stats.hw_aborts);
+    EXPECT_EQ(m.tel.tx.taxonomy.sw_aborts, m.stats.sw_aborts);
+  }
+  EXPECT_GT(snap.pools[0].flush_count, 0u);
+  EXPECT_GT(snap.pools[0].fence_count, 0u);
+  EXPECT_GT(snap.pools[0].fence_lines.count(), 0u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"schema\":\"nvhalt-metrics-v1\""), std::string::npos);
+  for (const TmKind kind : test::all_kinds())
+    EXPECT_NE(json.find(std::string("\"name\":\"") + tm_kind_name(kind) + "\""),
+              std::string::npos);
+  EXPECT_NE(json.find("\"abort_taxonomy\""), std::string::npos);
+  EXPECT_NE(json.find("\"nvhalt-pool\""), std::string::npos);
+  // Balanced braces (strings in the report contain no escapes).
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE nvhalt_commits_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_commits_total{tm=\"NV-HALT\",path=\"hw\"}"), std::string::npos);
+  EXPECT_NE(prom.find("cause=\"conflict\""), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_write_set_words_count{tm=\"Trinity\"}"), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_pool_fences_total{pool=\"nvhalt-pool\"}"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- trace IO
+
+tel::TraceDump sample_dump() {
+  tel::TraceDump dump;
+  dump.level = 1;
+  dump.ticks_per_us = 2.0;
+  tel::ThreadTrace t;
+  t.tid = 3;
+  t.pushed = 5;
+  t.dropped = 1;
+  t.events.push_back({100, 0, EventKind::kTxBegin, 0xFF, 3});
+  t.events.push_back({110, 0, EventKind::kHwAttempt, 0xFF, 3});
+  t.events.push_back({120, 0x42, EventKind::kHwAbort,
+                      static_cast<std::uint8_t>(htm::AbortCause::kConflict), 3});
+  t.events.push_back({130, 9, EventKind::kSwCommit, 0xFF, 3});
+  dump.threads.push_back(std::move(t));
+  return dump;
+}
+
+TEST(TraceIo, RawFormatRoundTrips) {
+  const tel::TraceDump dump = sample_dump();
+  std::stringstream ss;
+  tel::write_raw_trace(ss, dump);
+
+  tel::TraceDump back;
+  std::string err;
+  ASSERT_TRUE(tel::read_raw_trace(ss, back, &err)) << err;
+  EXPECT_EQ(back.level, 1);
+  EXPECT_DOUBLE_EQ(back.ticks_per_us, 2.0);
+  ASSERT_EQ(back.threads.size(), 1u);
+  EXPECT_EQ(back.threads[0].tid, 3);
+  EXPECT_EQ(back.threads[0].pushed, 5u);
+  EXPECT_EQ(back.threads[0].dropped, 1u);
+  ASSERT_EQ(back.threads[0].events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.threads[0].events[i].kind, dump.threads[0].events[i].kind);
+    EXPECT_EQ(back.threads[0].events[i].ticks, dump.threads[0].events[i].ticks);
+    EXPECT_EQ(back.threads[0].events[i].arg, dump.threads[0].events[i].arg);
+    EXPECT_EQ(back.threads[0].events[i].cause, dump.threads[0].events[i].cause);
+  }
+  EXPECT_EQ(back.total_events(), 4u);
+  EXPECT_EQ(back.total_dropped(), 1u);
+}
+
+TEST(TraceIo, MalformedInputIsRejectedWithReason) {
+  tel::TraceDump dump;
+  std::string err;
+  {
+    std::stringstream ss("bogus\n");
+    EXPECT_FALSE(tel::read_raw_trace(ss, dump, &err));
+    EXPECT_NE(err.find("bad header"), std::string::npos);
+  }
+  {
+    std::stringstream ss("# nvhalt-trace-v1 level=1 ticks_per_us=1\n"
+                         "# ring tid=0 pushed=1 dropped=0\n"
+                         "100 not-a-kind 0 0 -\n");
+    EXPECT_FALSE(tel::read_raw_trace(ss, dump, &err));
+    EXPECT_NE(err.find("unknown event kind"), std::string::npos);
+  }
+  {
+    std::stringstream ss("# nvhalt-trace-v1 level=1 ticks_per_us=1\n"
+                         "100 kTxBegin 0 0 -\n");
+    EXPECT_FALSE(tel::read_raw_trace(ss, dump, &err));
+    EXPECT_NE(err.find("before any ring header"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, ChromeTracePairsBeginWithOutcome) {
+  const tel::TraceDump dump = sample_dump();
+  std::stringstream ss;
+  tel::write_chrome_trace(ss, dump);
+  const std::string json = ss.str();
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // kTxBegin..kSwCommit becomes one complete event spanning 30 ticks =
+  // 15 us at 2 ticks/us, starting at ts 0 (timestamps are min-relative).
+  EXPECT_NE(json.find("\"name\":\"tx(sw)\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":15"), std::string::npos);
+  // The abort is an instant event carrying its decoded cause.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"conflict\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  // No dangling complete event: exactly one "X".
+  std::size_t x_count = 0;
+  for (auto pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1))
+    ++x_count;
+  EXPECT_EQ(x_count, 1u);
+}
+
+TEST(TraceIo, CollectTraceDumpMatchesCompiledLevel) {
+  const tel::TraceDump dump = tel::collect_trace_dump();
+  EXPECT_EQ(dump.level, tel::kLevel);
+  if constexpr (tel::kLevel == 0) {
+    EXPECT_TRUE(dump.threads.empty());
+  } else {
+    EXPECT_GT(dump.ticks_per_us, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nvhalt

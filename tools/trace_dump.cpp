@@ -1,0 +1,105 @@
+// trace_dump: convert a raw nvhalt trace (written by crash_sweep
+// --trace-out or any binary calling telemetry::write_raw_trace_file) into
+// chrome://tracing JSON, or just validate it.
+//
+//   trace_dump <trace.txt> [-o out.json]   convert (default out: stdout)
+//   trace_dump --check <trace.txt>         parse + sanity-check, no output
+//
+// --check verifies the file parses, every ring's event count is consistent
+// with its pushed/dropped header, and prints a one-line summary. Exit
+// status 0 on success, 1 on any parse or consistency failure.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "telemetry/trace_io.hpp"
+
+namespace tel = nvhalt::telemetry;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: trace_dump <trace.txt> [-o out.json]\n"
+               "       trace_dump --check <trace.txt>\n";
+  return 2;
+}
+
+bool check_dump(const tel::TraceDump& dump) {
+  bool ok = true;
+  for (const tel::ThreadTrace& t : dump.threads) {
+    // The snapshot keeps at most `capacity` surviving events and the header
+    // records the monotonic totals; surviving + dropped can exceed pushed
+    // only if the file was corrupted or hand-edited.
+    if (t.events.size() + t.dropped > t.pushed) {
+      std::cerr << "trace_dump: tid " << t.tid << ": " << t.events.size()
+                << " events + " << t.dropped << " dropped > pushed " << t.pushed
+                << "\n";
+      ok = false;
+    }
+    std::uint64_t prev = 0;
+    for (const tel::TraceEvent& e : t.events) {
+      if (e.ticks < prev) {
+        std::cerr << "trace_dump: tid " << t.tid
+                  << ": non-monotonic timestamps within one ring\n";
+        ok = false;
+        break;
+      }
+      prev = e.ticks;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string in_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--check") {
+      check_only = true;
+    } else if (a == "-o") {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else if (in_path.empty()) {
+      in_path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (in_path.empty()) return usage();
+
+  std::ifstream is(in_path);
+  if (!is) {
+    std::cerr << "trace_dump: cannot open " << in_path << "\n";
+    return 1;
+  }
+  tel::TraceDump dump;
+  std::string err;
+  if (!tel::read_raw_trace(is, dump, &err)) {
+    std::cerr << "trace_dump: " << in_path << ": " << err << "\n";
+    return 1;
+  }
+
+  if (check_only) {
+    if (!check_dump(dump)) return 1;
+    std::cerr << "trace_dump: ok: level=" << dump.level << " rings="
+              << dump.threads.size() << " events=" << dump.total_events()
+              << " dropped=" << dump.total_dropped() << "\n";
+    return 0;
+  }
+
+  if (out_path.empty()) {
+    tel::write_chrome_trace(std::cout, dump);
+    std::cout << "\n";
+    return 0;
+  }
+  if (!tel::write_chrome_trace_file(out_path, dump)) {
+    std::cerr << "trace_dump: cannot write " << out_path << "\n";
+    return 1;
+  }
+  return 0;
+}
