@@ -5,7 +5,8 @@
 // behind. Plain binary — no google-benchmark, no external JSON library.
 //
 // Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
-//                      [--taxonomy-out PATH] [--baseline PATH]
+//                      [--taxonomy-out PATH] [--hw-out PATH] [--baseline PATH]
+//                      [--hw-baseline PATH]
 //   --smoke        truncated ~10s mode (small keys, short windows), used by
 //                  the perf-smoke CTest target
 //   --check        after writing the reports, re-read and validate their
@@ -17,8 +18,13 @@
 //                  the decoded abort-cause split (default: BENCH_taxonomy.json);
 //                  --check additionally asserts each cell's cause counts sum
 //                  to its hw_aborts exactly
+//   --hw-out       hardware-fast-path access-cost report (ns per
+//                  transactional read/write, hw commit fraction), mirroring
+//                  the sw read_scaling sweep (default: BENCH_hw_hotpath.json)
 //   --baseline     compare the fresh report's grid cells against a previous
 //                  report (e.g. the committed BENCH_sw_hotpath.json)
+//   --hw-baseline  same for the hw-hotpath report; ns_per_op is a latency,
+//                  so the gate ratio is baseline/current
 //
 // The committed BENCH_sw_hotpath.json / BENCH_thread_scaling.json at the
 // repo root are full-mode runs of this binary. By default there are no
@@ -55,7 +61,9 @@ struct Options {
   std::string out = "BENCH_sw_hotpath.json";
   std::string scaling_out = "BENCH_thread_scaling.json";
   std::string taxonomy_out = "BENCH_taxonomy.json";
+  std::string hw_out = "BENCH_hw_hotpath.json";
   std::string baseline;
+  std::string hw_baseline;
 };
 
 /// Fractional tolerance from the environment (e.g. "0.5"); <= 0 or unset
@@ -110,6 +118,88 @@ std::vector<ScalingPoint> measure_read_scaling(bool every_read, int iters) {
 }
 
 const char* structure_name(Structure s) { return s == Structure::kAbTree ? "abtree" : "hashmap"; }
+
+// ------------------------------------------------------ hw hotpath sweep
+
+struct HwPoint {
+  const char* op;        // "read" or "write"
+  std::size_t n;         // transactional accesses per transaction
+  double ns_per_op;      // ns per access, attempt loop included
+  double hw_commit_frac; // fraction of commits that stayed on the hw path
+};
+
+// Hardware fast-path access cost, mirroring the sw read_scaling sweep:
+// single-threaded and latency-free so the per-access instrumentation
+// (conflict-line registration, lock subscription, memo hits) is what is
+// measured rather than simulated NVM latencies. Reads sweep the read-set
+// size; writes sweep the write-set size, which additionally pays hardware
+// lock acquisition plus undo logging. Write sets stop at 64: beyond that
+// the randomly hashed lock-table lines overflow the simulated L1 write
+// shape and the point would measure the fallback path instead.
+std::vector<HwPoint> measure_hw_hotpath(int iters) {
+  std::vector<HwPoint> out;
+  const auto measure = [&](const char* op, std::size_t n, bool write) {
+    RunnerConfig cfg;
+    cfg.kind = TmKind::kNvHalt;
+    cfg.pmem.capacity_words = std::size_t{1} << 18;
+    TmRunner runner(cfg);
+    auto& tm = runner.tm();
+    const gaddr_t arr = runner.alloc().raw_alloc_large(n);
+    word_t sink = 0;
+    const auto body = [&](Tx& tx) {
+      if (write) {
+        for (std::size_t i = 0; i < n; ++i) tx.write(arr + i, i + 1);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) sink += tx.read(arr + i);
+      }
+    };
+    for (int i = 0; i < 16; ++i) tm.run(0, body);  // warm up
+    tm.reset_stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) tm.run(0, body);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    const TmStats st = tm.stats();
+    const double frac =
+        st.commits > 0 ? static_cast<double>(st.hw_commits) / static_cast<double>(st.commits) : 0;
+    out.push_back({op, n, ns / (static_cast<double>(iters) * static_cast<double>(n)), frac});
+    if (sink == 0xDEADBEEF) std::fprintf(stderr, "?");  // keep reads observable
+  };
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{256}})
+    measure("read", n, false);
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64}}) measure("write", n, true);
+  return out;
+}
+
+int run_hw_report(const Options& opt) {
+  const int iters = opt.smoke ? 300 : 3000;
+  const std::vector<HwPoint> pts = measure_hw_hotpath(iters);
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-hw-hotpath-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  js << "  \"points\": [\n";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    js << "    {\"op\": \"" << pts[i].op << "\", \"n\": " << pts[i].n
+       << ", \"ns_per_op\": " << pts[i].ns_per_op
+       << ", \"hw_commit_frac\": " << pts[i].hw_commit_frac << "}"
+       << (i + 1 == pts.size() ? "\n" : ",\n");
+    std::fprintf(stderr, "hw %s x%zu: %.1f ns/op (hw frac %.2f)\n", pts[i].op, pts[i].n,
+                 pts[i].ns_per_op, pts[i].hw_commit_frac);
+  }
+  js << "  ]\n}\n";
+
+  std::ofstream f(opt.hw_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.hw_out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.hw_out.c_str());
+  return 0;
+}
 
 // ------------------------------------------------------ thread scaling sweep
 
@@ -457,6 +547,39 @@ int check_taxonomy(const std::string& path) {
   return errors.empty() ? 0 : 1;
 }
 
+/// Shape validation for the hw-hotpath report: right schema, both ops
+/// present, 3 read points + 2 write points.
+int check_hw_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string s = buf.str();
+  std::vector<std::string> errors;
+
+  if (s.find("\"schema\": \"nvhalt-bench-hw-hotpath-v1\"") == std::string::npos)
+    errors.push_back("missing/unknown hw-hotpath schema tag");
+
+  const auto count = [&s](const char* needle) {
+    std::size_t n = 0;
+    for (auto pos = s.find(needle); pos != std::string::npos; pos = s.find(needle, pos + 1)) ++n;
+    return n;
+  };
+  if (count("\"ns_per_op\"") != 5)
+    errors.push_back("hw hotpath must have 3 read + 2 write = 5 points");
+  if (count("\"op\": \"read\"") != 3) errors.push_back("hw hotpath missing read points");
+  if (count("\"op\": \"write\"") != 2) errors.push_back("hw hotpath missing write points");
+  if (count("\"hw_commit_frac\"") != 5)
+    errors.push_back("hw hotpath points must carry hw_commit_frac");
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
 // ------------------------------------------------- baseline comparison
 
 /// One parsed grid cell: "structure/read_pct/tm" -> ops_per_sec. The
@@ -555,6 +678,71 @@ int compare_with_baseline(const Options& opt) {
   return violations == 0 ? 0 : 1;
 }
 
+/// hw-hotpath baseline compare. Keys are "op/n", the metric is ns_per_op —
+/// a *latency*, so the ratio is base/cur (higher = faster now) to keep the
+/// same "ratio < 1 - tolerance means regression" gate as the grid compare.
+int compare_hw_with_baseline(const Options& opt) {
+  const auto parse_points = [](const std::string& text) {
+    std::vector<std::pair<std::string, double>> pts;
+    std::istringstream is(text);
+    std::string line;
+    const auto field = [&line](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      auto v = line.substr(pos + needle.size());
+      if (!v.empty() && v[0] == '"') {
+        const auto q = v.find('"', 1);
+        return q == std::string::npos ? std::string{} : v.substr(1, q - 1);
+      }
+      return v.substr(0, v.find_first_of(",}"));
+    };
+    while (std::getline(is, line)) {
+      const std::string op = field("op");
+      const std::string n = field("n");
+      const std::string ns = field("ns_per_op");
+      if (op.empty() || n.empty() || ns.empty()) continue;
+      pts.emplace_back(op + "/" + n, std::strtod(ns.c_str(), nullptr));
+    }
+    return pts;
+  };
+  const std::string base_text = read_file(opt.hw_baseline);
+  if (base_text.empty()) {
+    std::fprintf(stderr, "bench_regress --hw-baseline: cannot read %s\n", opt.hw_baseline.c_str());
+    return 1;
+  }
+  const auto base_pts = parse_points(base_text);
+  const auto cur_pts = parse_points(read_file(opt.hw_out));
+  if (base_pts.empty() || cur_pts.empty()) {
+    std::fprintf(stderr, "bench_regress --hw-baseline: no comparable points\n");
+    return 1;
+  }
+  const double tolerance = bench_tolerance();
+  int violations = 0;
+  std::size_t compared = 0;
+  for (const auto& [key, cur_ns] : cur_pts) {
+    for (const auto& [bkey, base_ns] : base_pts) {
+      if (bkey == key && cur_ns > 0) {
+        ++compared;
+        const double ratio = base_ns / cur_ns;
+        const bool slow = tolerance > 0 && ratio < 1.0 - tolerance;
+        if (slow) ++violations;
+        std::fprintf(stderr, "hw-baseline %-12s %6.2fx%s\n", key.c_str(), ratio,
+                     slow ? "  << REGRESSION" : "");
+        break;
+      }
+    }
+  }
+  if (tolerance <= 0) {
+    std::fprintf(stderr, "bench_regress --hw-baseline: advisory mode (%zu points compared)\n",
+                 compared);
+    return 0;
+  }
+  std::fprintf(stderr, "bench_regress --hw-baseline: %d of %zu points below %.0f%% of baseline\n",
+               violations, compared, (1.0 - tolerance) * 100.0);
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace nvhalt::bench
 
@@ -571,12 +759,17 @@ int main(int argc, char** argv) {
       opt.scaling_out = argv[++i];
     } else if (std::strcmp(argv[i], "--taxonomy-out") == 0 && i + 1 < argc) {
       opt.taxonomy_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--hw-out") == 0 && i + 1 < argc) {
+      opt.hw_out = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       opt.baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--hw-baseline") == 0 && i + 1 < argc) {
+      opt.hw_baseline = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
-                   "[--taxonomy-out PATH] [--baseline PATH]\n");
+                   "[--taxonomy-out PATH] [--hw-out PATH] [--baseline PATH] "
+                   "[--hw-baseline PATH]\n");
       return 2;
     }
   }
@@ -584,14 +777,22 @@ int main(int argc, char** argv) {
   if (rc != 0) return rc;
   rc = nvhalt::bench::run_scaling_report(opt);
   if (rc != 0) return rc;
+  rc = nvhalt::bench::run_hw_report(opt);
+  if (rc != 0) return rc;
   if (opt.check) {
     rc = nvhalt::bench::check_report(opt.out);
     const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
     const int rc3 = nvhalt::bench::check_taxonomy(opt.taxonomy_out);
+    const int rc4 = nvhalt::bench::check_hw_report(opt.hw_out);
     if (rc == 0) rc = rc2;
     if (rc == 0) rc = rc3;
+    if (rc == 0) rc = rc4;
     if (rc != 0) return rc;
   }
-  if (!opt.baseline.empty()) return nvhalt::bench::compare_with_baseline(opt);
+  if (!opt.baseline.empty()) {
+    rc = nvhalt::bench::compare_with_baseline(opt);
+    if (rc != 0) return rc;
+  }
+  if (!opt.hw_baseline.empty()) return nvhalt::bench::compare_hw_with_baseline(opt);
   return rc;
 }

@@ -8,6 +8,8 @@
 // With --taxonomy PATH it instead renders a bench_regress abort-taxonomy
 // sidecar (BENCH_taxonomy.json) into markdown tables — one per structure,
 // abort causes as columns — and exits without running any benchmark.
+// With --hw-hotpath PATH it renders a bench_regress hw-hotpath report
+// (BENCH_hw_hotpath.json) as a markdown table of per-access fast-path cost.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -179,13 +181,70 @@ int render_taxonomy_markdown(const std::string& path) {
   return 0;
 }
 
+// ---- hw-hotpath markdown rendering (--hw-hotpath) ------------------------
+
+/// Renders a bench_regress BENCH_hw_hotpath.json (one point object per
+/// line) as a markdown table: per-access cost on the hardware fast path
+/// plus the fraction of commits that actually stayed hardware — a
+/// hw_commit_frac below ~1.0 flags that the point partially measured the
+/// software fallback instead.
+int render_hw_hotpath_markdown(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_report --hw-hotpath: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  struct Point {
+    std::string op;
+    long long n = 0;
+    double ns_per_op = 0, hw_commit_frac = 0;
+  };
+  std::vector<Point> pts;
+  std::string line, mode = "?";
+  while (std::getline(f, line)) {
+    const auto mpos = line.find("\"mode\": \"");
+    if (mpos != std::string::npos) {
+      const auto start = mpos + 9;
+      mode = line.substr(start, line.find('"', start) - start);
+    }
+    const auto num_field = [&line](const char* key) -> double {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+    };
+    const auto opos = line.find("\"op\": \"");
+    if (opos == std::string::npos) continue;
+    Point p;
+    const auto start = opos + 7;
+    p.op = line.substr(start, line.find('"', start) - start);
+    p.n = static_cast<long long>(num_field("n"));
+    p.ns_per_op = num_field("ns_per_op");
+    p.hw_commit_frac = num_field("hw_commit_frac");
+    pts.push_back(std::move(p));
+  }
+  if (pts.empty()) {
+    std::fprintf(stderr, "bench_report --hw-hotpath: no points in %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("# Hardware fast-path access cost (%s, %s mode)\n\n", path.c_str(), mode.c_str());
+  std::printf("| op | accesses/txn | ns/access | hw commit frac |\n");
+  std::printf("|---|---:|---:|---:|\n");
+  for (const Point& p : pts)
+    std::printf("| %s | %lld | %.1f | %.3f |\n", p.op.c_str(), p.n, p.ns_per_op,
+                p.hw_commit_frac);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--taxonomy") == 0 && i + 1 < argc)
       return render_taxonomy_markdown(argv[i + 1]);
-    std::fprintf(stderr, "usage: bench_report [--taxonomy PATH]\n");
+    if (std::strcmp(argv[i], "--hw-hotpath") == 0 && i + 1 < argc)
+      return render_hw_hotpath_markdown(argv[i + 1]);
+    std::fprintf(stderr, "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH]\n");
     return 2;
   }
   const BenchScale scale = read_scale_from_env();

@@ -18,28 +18,56 @@ namespace nvhalt {
 class NvHaltHwTx final : public Tx {
  public:
   NvHaltHwTx(NvHaltTm& tm, NvHaltTm::ThreadCtx& ctx, int tid)
-      : tm_(tm), ctx_(ctx), tid_(tid) {}
+      : tm_(tm),
+        ctx_(ctx),
+        tid_(tid),
+        // Config is immutable for the TM's lifetime; cache the per-access
+        // policy bits as plain bools so each read/write pays one register
+        // test instead of re-deriving the policy from config fields.
+        check_locks_(tm.cfg_.hw_read_check_locks),
+        acquire_locks_(tm.cfg_.persist_hw_txns && tm.cfg_.hw_acquire_locks),
+        persisting_(tm.cfg_.persist_hw_txns),
+        strong_(tm.cfg_.variant == Variant::kStrong) {}
 
   word_t read(gaddr_t a) override {
     telemetry::trace2(telemetry::EventKind::kRead, tid_, a);
-    if (tm_.cfg_.hw_read_check_locks) {
+    if (check_locks_) {
       LockRef lk = tm_.locks_.ref(a);
-      const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
-      if (lockword::locked_by_other(w, tid_)) tm_.htm_.xabort(tid_, kHwLockedAbortCode);
+      // Lock memo hit: this attempt already subscribed to and checked this
+      // lock word; the cached value is still what a re-load would return
+      // (any foreign change dooms us), and it already passed the
+      // locked-by-other test, so skip both.
+      if (lk.s != ctx_.hw_lock_memo) {
+        const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
+        if (lockword::locked_by_other(w, tid_)) tm_.htm_.xabort(tid_, kHwLockedAbortCode);
+        ctx_.hw_lock_memo = lk.s;
+        ctx_.hw_lock_memo_word = w;
+      }
     }
     return tm_.htm_.load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
   }
 
   void write(gaddr_t a, word_t v) override {
     telemetry::trace2(telemetry::EventKind::kWrite, tid_, a);
-    const bool persisting = tm_.cfg_.persist_hw_txns;
-    if (persisting && tm_.cfg_.hw_acquire_locks) {
+    if (acquire_locks_) {
       LockRef lk = tm_.locks_.ref(a);
-      const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
+      // Memo hit where the cached word shows us as owner: nothing to do.
+      // (A memo hit from the read path may still show the lock free — we
+      // must acquire it below; the memoized word doubles as the pre-image.)
+      std::uint64_t w;
+      if (lk.s == ctx_.hw_lock_memo) {
+        w = ctx_.hw_lock_memo_word;
+      } else {
+        w = tm_.htm_.load(tid_, lk.loc, lk.s);
+        ctx_.hw_lock_memo = lk.s;
+        ctx_.hw_lock_memo_word = w;
+      }
       if (!lockword::is_locked(w)) {
         // htmAcquireLock (Fig. 7): bump sLockVer; SP also bumps hLockVer.
-        tm_.htm_.store(tid_, lk.loc, lk.s, lockword::acquired(w, tid_));
-        if (tm_.cfg_.variant == Variant::kStrong) {
+        const std::uint64_t acq = lockword::acquired(w, tid_);
+        tm_.htm_.store(tid_, lk.loc, lk.s, acq);
+        ctx_.hw_lock_memo_word = acq;
+        if (strong_) {
           const std::uint64_t hv = tm_.htm_.load(tid_, lk.loc, lk.h);
           tm_.htm_.store(tid_, lk.loc, lk.h, hv + 1);
         }
@@ -49,7 +77,7 @@ class NvHaltHwTx final : public Tx {
       }
     }
     const bool first_write = ctx_.hw_written.insert(a);
-    if (persisting && first_write) {
+    if (persisting_ && first_write) {
       // Undo log: record the pre-transaction value on first write.
       const word_t old = tm_.htm_.load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
       ctx_.hw_undo.push_back({a, old});
@@ -65,6 +93,10 @@ class NvHaltHwTx final : public Tx {
   NvHaltTm& tm_;
   NvHaltTm::ThreadCtx& ctx_;
   int tid_;
+  const bool check_locks_;
+  const bool acquire_locks_;
+  const bool persisting_;
+  const bool strong_;
 };
 
 NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
@@ -72,6 +104,7 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
   ctx.hw_undo.clear();
   ctx.hw_written.clear();
   ctx.hw_locks.clear();
+  ctx.hw_lock_memo = nullptr;  // lock words may change between attempts
 
   htm_.begin(tid);
   NvHaltHwTx tx(*this, ctx, tid);

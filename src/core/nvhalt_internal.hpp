@@ -48,6 +48,15 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx : runtime::TxThreadState {
   htm::SmallSet hw_written;        // addresses written this attempt
   std::vector<LockRef> hw_locks;   // locks acquired inside the HW txn
 
+  /// One-entry lock memo for the hw fast path: the last lock s-word this
+  /// attempt checked, plus its transactionally-observed value. Sound to
+  /// reuse because the first check subscribed the lock's line — any foreign
+  /// change dooms the transaction before it can commit, so within an
+  /// attempt the cached word is the word a re-load would return. Cleared
+  /// at each attempt start.
+  std::atomic<std::uint64_t>* hw_lock_memo = nullptr;
+  std::uint64_t hw_lock_memo_word = 0;
+
   // ---- Shared persistence scratch ---------------------------------------
   struct PersistEnt {
     gaddr_t addr;

@@ -1,8 +1,10 @@
 // Striped conflict table: the simulated cache-coherence substrate through
 // which hardware transactions detect conflicts eagerly (as RTM does via
-// invalidations). Each location hashes to a stripe holding a writer tag and
-// per-thread reader bits; stripe collisions model cache-line / set-index
-// false sharing, which real RTM also exhibits.
+// invalidations). Each cache *line* (LocId >> 3; SimHtm::line_of) hashes to
+// a stripe holding a writer tag and per-thread reader bits — tracking at
+// line granularity matches RTM's read/write sets and lets SimHtm's per-line
+// memo skip re-registration on node scans. Stripe collisions model
+// cache-line / set-index false sharing, which real RTM also exhibits.
 #pragma once
 
 #include <atomic>
@@ -55,9 +57,9 @@ class ConflictTable {
 
   std::size_t stripe_count() const { return count_; }
 
-  std::uint32_t stripe_of(LocId loc) const {
-    // splitmix-style mix so adjacent words spread across stripes.
-    std::uint64_t x = loc;
+  std::uint32_t stripe_of(std::uint64_t line) const {
+    // splitmix-style mix so adjacent lines spread across stripes.
+    std::uint64_t x = line;
     x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
     x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
     x ^= x >> 31;
@@ -69,15 +71,22 @@ class ConflictTable {
 
   /// Sets the caller's reader bit. Returns true if the bit was newly set
   /// (the caller must remember the stripe for cleanup).
+  /// MUST stay seq_cst: this fetch_or and the reader's subsequent writer-tag
+  /// load form a store-load (Dekker) pair against a writer's tag CAS and
+  /// its subsequent reader-mask scan — with anything weaker both sides can
+  /// miss each other and neither aborts (see DESIGN.md Sec. 10).
   bool add_reader(std::uint32_t idx, int tid) {
     auto& mask = stripes_[idx].readers[tid / 64];
     const std::uint64_t bit = 1ULL << (tid % 64);
     return (mask.fetch_or(bit, std::memory_order_seq_cst) & bit) == 0;
   }
 
+  /// Release (down from seq_cst): dropping the bit only needs to publish
+  /// the reader's completed accesses; a writer that still sees the stale
+  /// bit merely issues a harmless abort CAS against a finished epoch.
   void remove_reader(std::uint32_t idx, int tid) {
     auto& mask = stripes_[idx].readers[tid / 64];
-    mask.fetch_and(~(1ULL << (tid % 64)), std::memory_order_seq_cst);
+    mask.fetch_and(~(1ULL << (tid % 64)), std::memory_order_release);
   }
 
   /// Clears all state (tests / recovery).

@@ -45,7 +45,11 @@ constexpr LocId make_loc(LocKind kind, std::uint64_t index) {
   return (static_cast<std::uint64_t>(kind) << 60) | index;
 }
 constexpr LocId loc_pool(gaddr_t a) { return make_loc(LocKind::kPoolWord, a); }
-constexpr LocId loc_lock(std::uint64_t i) { return make_loc(LocKind::kLockTable, i); }
+/// Lock-table entries are physically padded to one per cache line
+/// (LockSpace), so their LocIds are spread one per *conflict line* too
+/// (tracking is line-granular, loc >> 3): without the scaling, eight
+/// adjacent table entries would falsely share one tracked line.
+constexpr LocId loc_lock(std::uint64_t i) { return make_loc(LocKind::kLockTable, i * kWordsPerLine); }
 constexpr LocId loc_colock(gaddr_t a) { return make_loc(LocKind::kColoLock, a); }
 constexpr LocId loc_global(std::uint64_t i) { return make_loc(LocKind::kGlobal, i); }
 
@@ -58,6 +62,10 @@ inline constexpr LocId kGClockLoc = make_loc(LocKind::kGlobal, 0x1001);
 /// revalidation while it is unchanged (docs/PROTOCOLS.md, "Snapshot-
 /// extension read validation"). Hardware transactions never subscribe to
 /// it — only non-transactional accesses touch this location.
-inline constexpr LocId kCommitSeqLoc = make_loc(LocKind::kGlobal, 0x1002);
+/// Offset 0x1041, NOT 0x1002: conflict tracking is line-granular
+/// (loc >> 3), so the commit sequence must not share a cache line with
+/// kGClockLoc — NV-HALT-SP bumps gClock under a nontx stripe claim and a
+/// shared line would serialize every commit_seq reader behind it.
+inline constexpr LocId kCommitSeqLoc = make_loc(LocKind::kGlobal, 0x1041);
 
 }  // namespace nvhalt::htm

@@ -16,12 +16,20 @@
 //      location (reads abort writers; writes abort readers and writers).
 //
 // Mechanism: every shared location (pool word, lock word, global scalar)
-// has a LocId hashed onto a striped conflict table (the simulated cache-
-// coherence directory). Transactional writes are buffered in a per-thread
-// write set and published at commit while the writer's stripe
+// has a LocId; its cache *line* (LocId >> 3, matching RTM's line-granular
+// read/write sets) hashes onto a striped conflict table (the simulated
+// cache-coherence directory). Transactional writes are buffered in a
+// per-thread write set and published at commit while the writer's stripe
 // registrations are still held, which is what makes publication atomic for
 // all observers. Aborts transfer control back to "xbegin" by throwing
 // HtmAbort, caught by the attempt wrapper in the TM runtime.
+//
+// Hot-path cost model (DESIGN.md Sec. 10): line-granular tracking plus a
+// per-thread two-entry line memo means only the *first* access to each
+// line pays for hashing, set probes and conflict-table registration;
+// repeated same-line accesses (node scans) are one data access plus one
+// relaxed status check. The memory-order downgrade argument for each
+// non-seq_cst atomic below is spelled out at its site and in Sec. 10.
 #pragma once
 
 #include <array>
@@ -123,6 +131,8 @@ class SimHtm {
   void cleanup(int tid, bool committed);
   void check_self(int tid);
   void maybe_spurious(int tid);
+  void register_read_line(Context& c, int tid, std::uint64_t line, std::size_t mi);
+  void register_write_line(Context& c, int tid, std::uint64_t line, std::size_t mi);
   void abort_reader(int r);
   void neutralize_writer_for_load(std::uint32_t stripe_idx, int self_tid);
   std::uint64_t claim_stripe_nontx(std::uint32_t stripe_idx, int tid);
@@ -138,7 +148,17 @@ class SimHtm {
   }
   static std::uint64_t line_of(LocId loc) { return canonical(loc) >> 3; }
 
+  /// Memo slot for a line: data lines (kPoolWord, kind bits zero after the
+  /// >>3) and metadata lines (lock table / globals) get separate entries so
+  /// the lock-then-data access pattern of the hw path does not thrash a
+  /// single-entry memo.
+  static std::size_t memo_index(std::uint64_t line) { return (line >> 57) != 0 ? 1 : 0; }
+
   HtmConfig cfg_;
+  /// Hoisted from the per-access path: spurious injection is off in every
+  /// production configuration, so the per-access RNG draw is gated on one
+  /// predictable branch instead of a double compare against config state.
+  bool spurious_enabled_;
   ConflictTable table_;
   std::unique_ptr<Context[]> ctx_;
 };

@@ -17,9 +17,18 @@ class SmallIndexMap {
   explicit SmallIndexMap(std::size_t initial_pow2 = 64) { init(initial_pow2); }
 
   void clear() {
-    ++gen_;
+    // On 32-bit wraparound a surviving slot stamped with the old value of
+    // the wrapped generation would alias live and resurrect a dead key, so
+    // pay one O(capacity) sweep per 2^32 clears to restamp everything dead.
+    if (NVHALT_UNLIKELY(++gen_ == 0)) {
+      for (Slot& s : slots_) s.gen = 0;
+      gen_ = 1;
+    }
     size_ = 0;
   }
+
+  /// Test hook: force the generation counter near wraparound.
+  void set_generation_for_test(std::uint32_t gen) { gen_ = gen; }
 
   std::size_t size() const { return size_; }
 
@@ -99,9 +108,16 @@ class SmallSet {
   explicit SmallSet(std::size_t initial_pow2 = 128) { init(initial_pow2); }
 
   void clear() {
-    ++gen_;
+    // Same wraparound hazard as SmallIndexMap::clear.
+    if (NVHALT_UNLIKELY(++gen_ == 0)) {
+      for (Slot& s : slots_) s.gen = 0;
+      gen_ = 1;
+    }
     size_ = 0;
   }
+
+  /// Test hook: force the generation counter near wraparound.
+  void set_generation_for_test(std::uint32_t gen) { gen_ = gen; }
 
   std::size_t size() const { return size_; }
 

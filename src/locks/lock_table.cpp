@@ -9,9 +9,11 @@ LockSpace::LockSpace(LockMode mode, std::size_t table_entries, std::size_t capac
       throw TmLogicError("lock table size must be a power of two");
     mask_ = table_entries - 1;
     table_ = std::make_unique<PaddedLockEntry[]>(table_entries);
+    table_raw_ = table_.get();
   } else {
     colocated_count_ = capacity_words;
     colocated_ = std::make_unique<LockEntry[]>(capacity_words);
+    colocated_raw_ = colocated_.get();
   }
 }
 

@@ -30,14 +30,24 @@ class LockSpace {
 
   LockMode mode() const { return mode_; }
 
-  /// Resolves the lock protecting address `a`.
+  /// Resolves the lock protecting address `a`. Table mode is the likely
+  /// branch: every TM except NV-HALT-CL uses it, and the hw fast path
+  /// resolves a lock per access, so the colocated test must not cost the
+  /// common case a mispredict (raw pointers, not unique_ptr loads, below).
+  ///
+  /// Table mode hashes the *cache line* of `a`, not the word: conflict
+  /// tracking (and real HTM) is line-granular anyway, so per-word locks
+  /// bought no extra concurrency — same-line writers already abort each
+  /// other — while costing a sequential scan one fresh lock stripe per
+  /// word. With line hashing a node scan resolves one lock entry per
+  /// line, which the fast path's lock memo then touches exactly once.
   LockRef ref(gaddr_t a) {
-    if (mode_ == LockMode::kTable) {
-      const std::size_t i = hash(a) & mask_;
-      LockEntry& e = table_[i];
+    if (NVHALT_LIKELY(mode_ == LockMode::kTable)) {
+      const std::size_t i = hash(a / kWordsPerLine) & mask_;
+      LockEntry& e = table_raw_[i];
       return LockRef{&e.s, &e.h, htm::loc_lock(i)};
     }
-    LockEntry& e = colocated_[a];
+    LockEntry& e = colocated_raw_[a];
     return LockRef{&e.s, &e.h, htm::loc_colock(a)};
   }
 
@@ -60,6 +70,10 @@ class LockSpace {
   struct alignas(kCacheLineBytes) PaddedLockEntry : LockEntry {};
   std::unique_ptr<PaddedLockEntry[]> table_;
   std::unique_ptr<LockEntry[]> colocated_;
+  // Cached .get() of whichever array is active, so ref() dereferences one
+  // raw pointer instead of reloading through the unique_ptr each access.
+  PaddedLockEntry* table_raw_ = nullptr;
+  LockEntry* colocated_raw_ = nullptr;
 };
 
 }  // namespace nvhalt

@@ -214,14 +214,30 @@ void PmemPool::record_write(int tid, gaddr_t a, word_t old_val, word_t new_val,
   spin_ns(cfg_.nvm_store_latency_ns);
 }
 
+bool PmemPool::enqueue_flush(int tid, std::size_t line) {
+  FlushQueue& q = flush_queues_[tid];
+  // O(1) enqueue-time dedup: a line already pending for this fence epoch
+  // never enters the queue again, so fence() needs no sort+unique pass.
+  // The request is still journalled and counted (journal ordering and
+  // flush_count semantics predate the dedup change); only the coalesced
+  // physical write-back disappears, which is what flush_dedup_count_
+  // has always measured.
+  const bool fresh = q.pending.insert(line);
+  if (fresh)
+    q.lines.push_back(line);
+  else
+    flush_dedup_count_.fetch_add(1, std::memory_order_relaxed);
+  journal_flush(tid, line);
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, line);
+  return fresh;
+}
+
 void PmemPool::flush_record(int tid, gaddr_t a) {
   if (!flush_active()) return;
   poll_crash(crash_coord_);
   if (htm::in_hw_txn()) htm::abort_on_flush();
-  flush_queues_[tid].lines.push_back(record_line_of(a));
-  journal_flush(tid, record_line_of(a));
-  flush_count_.fetch_add(1, std::memory_order_relaxed);
-  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, record_line_of(a));
+  enqueue_flush(tid, record_line_of(a));
 }
 
 PRecord PmemPool::read_record(gaddr_t a) const {
@@ -268,10 +284,7 @@ void PmemPool::flush_pver(int tid) {
   if (!flush_active()) return;
   if (htm::in_hw_txn()) htm::abort_on_flush();
   const std::size_t idx = pver_raw_base_ + static_cast<std::size_t>(tid) * kWordsPerLine;
-  flush_queues_[tid].lines.push_back(raw_line_of(idx));
-  journal_flush(tid, raw_line_of(idx));
-  flush_count_.fetch_add(1, std::memory_order_relaxed);
-  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, raw_line_of(idx));
+  enqueue_flush(tid, raw_line_of(idx));
 }
 
 std::uint64_t PmemPool::load_root(int slot) const {
@@ -286,10 +299,7 @@ void PmemPool::store_root_persist(int tid, int slot, std::uint64_t v) {
   journal_store(tid, raw_line_of(idx), idx, true, v);
   spin_ns(cfg_.nvm_store_latency_ns);
   if (flush_active()) {
-    flush_queues_[tid].lines.push_back(raw_line_of(idx));
-    journal_flush(tid, raw_line_of(idx));
-    flush_count_.fetch_add(1, std::memory_order_relaxed);
-    telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, raw_line_of(idx));
+    enqueue_flush(tid, raw_line_of(idx));
     fence(tid);
   }
 }
@@ -322,10 +332,7 @@ void PmemPool::raw_store(std::size_t idx, std::uint64_t v) {
 void PmemPool::flush_raw(int tid, std::size_t idx) {
   if (!flush_active()) return;
   if (htm::in_hw_txn()) htm::abort_on_flush();
-  flush_queues_[tid].lines.push_back(raw_line_of(idx));
-  journal_flush(tid, raw_line_of(idx));
-  flush_count_.fetch_add(1, std::memory_order_relaxed);
-  telemetry::trace1(telemetry::EventKind::kFlushEnqueue, tid, raw_line_of(idx));
+  enqueue_flush(tid, raw_line_of(idx));
 }
 
 void PmemPool::persist_line(std::size_t line) {
@@ -348,30 +355,28 @@ void PmemPool::persist_line(std::size_t line) {
 void PmemPool::fence(int tid) {
   if (!flush_active()) return;
   poll_crash(crash_coord_);
-  auto& q = flush_queues_[tid].lines;
+  FlushQueue& fq = flush_queues_[tid];
+  auto& q = fq.lines;
   if (q.empty()) return;
-  // Coalesce duplicate lines before replaying the queue: clflushopt of an
-  // already-queued line buys nothing, and charging flush_latency_ns per
-  // queued entry would bill sequential write sets (two records per line)
-  // nearly twice. Dedupe, persist and charge per *unique* line.
-  std::sort(q.begin(), q.end());
-  const auto unique_end = std::unique(q.begin(), q.end());
-  const std::size_t unique_lines = static_cast<std::size_t>(unique_end - q.begin());
-  if (unique_lines < q.size())
-    flush_dedup_count_.fetch_add(q.size() - unique_lines, std::memory_order_relaxed);
+  // The queue is duplicate-free by construction (enqueue_flush dedups in
+  // O(1)), so write it back in enqueue order — fence cost is O(unique
+  // lines), replacing the PR-1 sort+unique pass. Duplicates were charged
+  // to flush_dedup_count_ at enqueue time; persisting and billing
+  // flush_latency_ns per unique line is unchanged.
   journal_fence(tid);
-  for (auto it = q.begin(); it != unique_end; ++it) {
+  for (const std::size_t line : q) {
     // A power failure can strike between individual line write-backs, so
-    // the random-trip tests must be able to crash mid-coalesce too,
-    // leaving a partially persisted fence behind.
+    // the random-trip tests must be able to crash mid-fence too, leaving
+    // a partially persisted fence behind.
     poll_crash(crash_coord_);
-    persist_line(*it);
+    persist_line(line);
   }
-  spin_ns(cfg_.flush_latency_ns * unique_lines + cfg_.fence_latency_ns);
-  q.clear();
+  spin_ns(cfg_.flush_latency_ns * q.size() + cfg_.fence_latency_ns);
   fence_count_.fetch_add(1, std::memory_order_relaxed);
-  flush_queues_[tid].fence_lines.record(unique_lines);
-  telemetry::trace1(telemetry::EventKind::kFence, tid, unique_lines);
+  fq.fence_lines.record(q.size());
+  telemetry::trace1(telemetry::EventKind::kFence, tid, q.size());
+  q.clear();
+  fq.pending.clear();
 }
 
 telemetry::PowHistogram PmemPool::fence_flush_hist() const {
@@ -421,7 +426,10 @@ void PmemPool::install_crash_image(
     for (std::size_t i = 0; i < total_lines_ * kWordsPerLine; ++i)
       word_stamp_[i].store(0, std::memory_order_relaxed);
   }
-  for (int t = 0; t < kMaxThreads; ++t) flush_queues_[t].lines.clear();
+  for (int t = 0; t < kMaxThreads; ++t) {
+    flush_queues_[t].lines.clear();
+    flush_queues_[t].pending.clear();
+  }
   clear_volatile();
 }
 
@@ -508,7 +516,10 @@ void PmemPool::crash(const CrashPolicy& policy) {
       line_fenced_[line].store(line_clock_[line].load(std::memory_order_relaxed),
                                std::memory_order_relaxed);
   }
-  for (int t = 0; t < kMaxThreads; ++t) flush_queues_[t].lines.clear();
+  for (int t = 0; t < kMaxThreads; ++t) {
+    flush_queues_[t].lines.clear();
+    flush_queues_[t].pending.clear();
+  }
   clear_volatile();
 }
 

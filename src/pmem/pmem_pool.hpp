@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "htm/small_map.hpp"
 #include "telemetry/histogram.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
@@ -209,10 +210,12 @@ class PmemPool {
   /// Number of fences executed (test observability).
   std::uint64_t fence_count() const { return fence_count_.load(std::memory_order_relaxed); }
   std::uint64_t flush_count() const { return flush_count_.load(std::memory_order_relaxed); }
-  /// Queued flushes that fence() coalesced away because an earlier flush in
-  /// the same fence epoch already covered the line (e.g. two Trinity
-  /// records sharing one cache line). Each deduped line saves one
-  /// flush_latency_ns charge and one staged->durable copy.
+  /// Flush requests coalesced away because an earlier flush in the same
+  /// fence epoch already covered the line (e.g. two Trinity records
+  /// sharing one cache line). Counted at enqueue time since fence
+  /// coalescing became O(1) (the duplicate never enters the queue); the
+  /// per-epoch totals match the former at-fence attribution. Each deduped
+  /// line saves one flush_latency_ns charge and one staged->durable copy.
   std::uint64_t flush_dedup_count() const {
     return flush_dedup_count_.load(std::memory_order_relaxed);
   }
@@ -287,12 +290,21 @@ class PmemPool {
   std::unique_ptr<std::atomic<std::uint32_t>[]> word_stamp_;   // per persistent word
   std::unique_ptr<std::atomic<std::uint32_t>[]> line_fenced_;  // stamp at last persist
 
-  // Per-thread flush queues (lines awaiting the next fence).
+  // Per-thread flush queues (lines awaiting the next fence). `lines` is
+  // kept duplicate-free at enqueue time via `pending` (an O(1)
+  // generation-stamped probe per flush), so fence() is O(unique lines) —
+  // no sort+unique pass. Owner-thread only.
   struct alignas(kCacheLineBytes) FlushQueue {
     std::vector<std::size_t> lines;
+    htm::SmallSet pending;  // lines currently queued
     /// Unique lines written back per fence (telemetry; owner-thread only).
     telemetry::PowHistogram fence_lines;
   };
+
+  /// Enqueues `line` on tid's flush queue unless already pending, charging
+  /// flush_count_/journal/trace for the request either way and
+  /// flush_dedup_count_ when it was a duplicate. Returns newly-queued.
+  bool enqueue_flush(int tid, std::size_t line);
   std::unique_ptr<FlushQueue[]> flush_queues_;
 
   std::atomic<std::size_t> raw_bump_;

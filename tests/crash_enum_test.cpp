@@ -225,7 +225,7 @@ TEST(CrashJournalTest, ReplayRejectsTripleFromDifferentTrace) {
 // strike *between* individual line write-backs of one fence, leaving the
 // fence partially persisted. Before the fix, fence() polled the crash
 // coordinator only on entry, so a crash could never interrupt the
-// sort+unique+persist loop and every queued line persisted atomically.
+// line write-back loop and every queued line persisted atomically.
 // CrashCoordinator::trip_after makes the placement exact: fence() polls
 // once on entry and once before each unique line's write-back, so a
 // countdown of 2 + k dies with exactly k lines durable.
@@ -251,8 +251,8 @@ TEST(CrashJournalTest, FenceCrashCanLeavePartiallyPersistedQueue) {
     std::size_t persisted = 0;
     for (std::size_t k = 0; k < kLines; ++k)
       persisted += pool.raw_load_durable(base + k * kWordsPerLine) != 0 ? 1 : 0;
-    // fence() persists the coalesced queue in sorted (= allocation) order,
-    // so the count of durable lines is exactly the crash placement.
+    // fence() persists the duplicate-free queue in enqueue (= allocation)
+    // order, so the count of durable lines is exactly the crash placement.
     EXPECT_EQ(persisted, target);
   }
 }

@@ -1,0 +1,162 @@
+// Concurrency stress for the SimHtm fast path: hammers the relaxed /
+// acquire / release memory orders introduced by the per-line memo audit
+// (DESIGN.md Sec. 10) with racing transactional writers, transactional
+// readers and non-transactional readers/RMWs. Run under the
+// tsan-concurrency preset; the invariants below are exactly what the five
+// RTM properties promise, so any downgrade that broke a happens-before
+// edge shows up either as a TSan race or as a torn/inconsistent pair.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "htm/sim_htm.hpp"
+#include "util/barrier.hpp"
+
+namespace nvhalt::htm {
+namespace {
+
+struct Words {
+  std::vector<std::atomic<std::uint64_t>> w;
+  explicit Words(std::size_t n) : w(n) {
+    for (auto& x : w) x.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t>* at(std::size_t i) { return &w[i]; }
+};
+
+// Writers keep two counters on *different* cache lines equal inside one
+// transaction; transactional readers assert the pair is never observed
+// unequal (publication atomicity + eager conflict detection), and
+// non-transactional readers assert each word is monotone (a stale value
+// after a commit would mean a lost release/acquire edge).
+TEST(HtmFastPathStress, MirroredPairStaysConsistentAcrossPaths) {
+  SimHtm htm;
+  Words mem(64);
+  constexpr std::size_t kA = 0, kB = 8, kC = 16;  // three distinct lines
+  constexpr int kWriters = 3, kTxReaders = 3, kNontxReaders = 2;
+  constexpr int kOpsPerWriter = 3000;
+  std::atomic<int> writers_done{0};
+  std::atomic<bool> failed{false};
+  SpinBarrier start(kWriters + kTxReaders + kNontxReaders + 1);
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      const int tid = w;
+      start.arrive_and_wait();
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        for (;;) {
+          try {
+            htm.begin(tid);
+            const std::uint64_t a = htm.load(tid, loc_pool(kA), mem.at(kA));
+            const std::uint64_t a2 = htm.load(tid, loc_pool(kA), mem.at(kA));  // memo hit
+            const std::uint64_t b = htm.load(tid, loc_pool(kB), mem.at(kB));
+            if (a != a2 || a != b) failed.store(true);
+            htm.store(tid, loc_pool(kA), mem.at(kA), a + 1);
+            htm.store(tid, loc_pool(kA), mem.at(kA), a + 1);  // buffered overwrite
+            htm.store(tid, loc_pool(kB), mem.at(kB), a + 1);
+            htm.commit(tid);
+            break;
+          } catch (const HtmAbort&) {
+            // retry
+          }
+        }
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+
+  for (int r = 0; r < kTxReaders; ++r) {
+    threads.emplace_back([&, r] {
+      const int tid = kWriters + r;
+      start.arrive_and_wait();
+      while (writers_done.load() < kWriters) {
+        try {
+          htm.begin(tid);
+          const std::uint64_t a = htm.load(tid, loc_pool(kA), mem.at(kA));
+          const std::uint64_t a2 = htm.load(tid, loc_pool(kA), mem.at(kA));  // memo hit
+          const std::uint64_t b = htm.load(tid, loc_pool(kB), mem.at(kB));
+          htm.load(tid, loc_pool(kC), mem.at(kC));
+          htm.commit(tid);
+          if (a != a2 || a != b) failed.store(true);
+        } catch (const HtmAbort&) {
+          // doomed snapshot discarded; nothing to check
+        }
+      }
+    });
+  }
+
+  for (int r = 0; r < kNontxReaders; ++r) {
+    threads.emplace_back([&, r] {
+      const int tid = kWriters + kTxReaders + r;
+      const std::size_t word = r == 0 ? kA : kB;
+      start.arrive_and_wait();
+      std::uint64_t last = 0;
+      while (writers_done.load() < kWriters) {
+        const std::uint64_t v = htm.nontx_load(tid, loc_pool(word), mem.at(word));
+        if (v < last) failed.store(true);
+        last = v;
+      }
+    });
+  }
+
+  // One thread exercising the nontx RMW claim/release path against the
+  // transactional readers of the same line.
+  threads.emplace_back([&] {
+    const int tid = kWriters + kTxReaders + kNontxReaders;
+    start.arrive_and_wait();
+    std::uint64_t last = 0;
+    while (writers_done.load() < kWriters) {
+      const std::uint64_t prev =
+          htm.nontx_fetch_add(tid, loc_pool(kC), mem.at(kC), 1);
+      if (prev < last) failed.store(true);
+      last = prev;
+    }
+  });
+
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  const std::uint64_t expected = static_cast<std::uint64_t>(kWriters) * kOpsPerWriter;
+  EXPECT_EQ(mem.at(kA)->load(), expected);
+  EXPECT_EQ(mem.at(kB)->load(), expected);
+}
+
+// Same-line contention: every access hits one line, so the memo fast path,
+// stripe neutralization and reader-abort protocols all collide on a single
+// stripe. Lost increments would indicate a broken Dekker pairing between
+// add_reader / writer-tag CAS.
+TEST(HtmFastPathStress, SingleLineTxIncrementsAreExact) {
+  SimHtm htm;
+  Words mem(8);
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 2000;
+  SpinBarrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        for (;;) {
+          try {
+            htm.begin(t);
+            const std::uint64_t v = htm.load(t, loc_pool(1), mem.at(1));
+            htm.store(t, loc_pool(1), mem.at(1), v + 1);
+            // Same-line second word: write-memo hit, still tracked.
+            htm.store(t, loc_pool(2), mem.at(2), v + 1);
+            htm.commit(t);
+            break;
+          } catch (const HtmAbort&) {
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t expected = static_cast<std::uint64_t>(kThreads) * kOpsPerThread;
+  EXPECT_EQ(mem.at(1)->load(), expected);
+  EXPECT_EQ(mem.at(2)->load(), expected);
+}
+
+}  // namespace
+}  // namespace nvhalt::htm

@@ -404,6 +404,101 @@ TEST(SimHtm, RepeatedReadsOfSameLocationAreCheap) {
   EXPECT_THROW(htm.commit(0), HtmAbort);
 }
 
+// ---- Per-line memo fast path ---------------------------------------------
+// The two-entry line memo skips re-registration on repeated same-line
+// accesses; these tests pin down that the skipped bookkeeping never skips
+// conflict detection (the five RTM properties hold on the memoized path).
+
+TEST(SimHtm, MemoHitReadStillDetectsNontxInterference) {
+  SimHtm htm;
+  Words mem(4);
+  htm.begin(0);
+  // Two same-line loads: the second is a memo hit that skips registration.
+  EXPECT_EQ(htm.load(0, loc_pool(1), mem.at(1)), 0u);
+  EXPECT_EQ(htm.load(0, loc_pool(1), mem.at(1)), 0u);
+  std::thread other([&] { htm.nontx_store(1, loc_pool(1), mem.at(1), 7); });
+  other.join();
+  // A further memo-hit load must still observe the doom: check_self runs
+  // on every access, memoized or not.
+  EXPECT_THROW(htm.load(0, loc_pool(1), mem.at(1)), HtmAbort);
+  EXPECT_EQ(mem.at(1)->load(), 7u);
+}
+
+TEST(SimHtm, MemoHitReadStillDetectsWriterConflict) {
+  SimHtm htm;
+  Words mem(4);
+  std::atomic<bool> r_ready{false}, w_done{false};
+  std::atomic<bool> reader_aborted{false};
+  std::thread reader([&] {
+    htm.begin(1);
+    htm.load(1, loc_pool(1), mem.at(1));
+    htm.load(1, loc_pool(1), mem.at(1));  // warm the memo
+    r_ready.store(true);
+    while (!w_done.load()) std::this_thread::yield();
+    try {
+      htm.load(1, loc_pool(1), mem.at(1));  // memo hit; must still see doom
+      htm.commit(1);
+    } catch (const HtmAbort&) {
+      reader_aborted.store(true);
+    }
+  });
+  while (!r_ready.load()) std::this_thread::yield();
+  htm.begin(0);
+  htm.store(0, loc_pool(1), mem.at(1), 3);  // requester wins: reader doomed
+  htm.commit(0);
+  w_done.store(true);
+  reader.join();
+  EXPECT_TRUE(reader_aborted.load());
+  EXPECT_EQ(mem.at(1)->load(), 3u);
+}
+
+TEST(SimHtm, MemoHitWriteStillDetectsInterference) {
+  SimHtm htm;
+  Words mem(8);
+  htm.begin(0);
+  htm.store(0, loc_pool(1), mem.at(1), 1);
+  std::uint64_t seen = 0xDEAD;
+  std::thread other([&] { seen = htm.nontx_load(1, loc_pool(1), mem.at(1)); });
+  other.join();
+  EXPECT_EQ(seen, 0u);  // buffered value never leaks
+  // Same line, different word: the write memo skips re-registration, but
+  // the post-access check must still observe the doom.
+  EXPECT_THROW(htm.store(0, loc_pool(2), mem.at(2), 2), HtmAbort);
+  EXPECT_EQ(mem.at(1)->load(), 0u);
+}
+
+TEST(SimHtm, MemoHitReadsDoNotCountTowardReadCapacity) {
+  HtmConfig cfg;
+  cfg.max_read_lines = 4;
+  SimHtm htm(cfg);
+  Words mem(64);
+  htm.begin(0);
+  // Hammer one line, then fill the remaining capacity with distinct lines.
+  for (int rep = 0; rep < 100; ++rep) htm.load(0, loc_pool(0), mem.at(0));
+  for (std::uint64_t i = 1; i < 4; ++i) htm.load(0, loc_pool(i * 8), mem.at(i));
+  // Re-reading tracked lines is free regardless of interleaving...
+  for (int rep = 0; rep < 100; ++rep) htm.load(0, loc_pool(0), mem.at(0));
+  // ...but a fifth distinct line still trips the capacity bound.
+  EXPECT_THROW(htm.load(0, loc_pool(4 * 8), mem.at(4)), HtmAbort);
+  EXPECT_EQ(htm.thread_stats(0).aborts[static_cast<int>(AbortCause::kCapacity)], 1u);
+}
+
+TEST(SimHtm, MemoResetAtBeginReregistersLines) {
+  SimHtm htm;
+  Words mem(4);
+  // First transaction warms the memo on word 1's line, then commits.
+  htm.begin(0);
+  htm.load(0, loc_pool(1), mem.at(1));
+  htm.commit(0);
+  // The next transaction must re-register the line: a memo leaking across
+  // begin() would leave this read untracked and the interference unseen.
+  htm.begin(0);
+  EXPECT_EQ(htm.load(0, loc_pool(1), mem.at(1)), 0u);
+  std::thread other([&] { htm.nontx_store(1, loc_pool(1), mem.at(1), 9); });
+  other.join();
+  EXPECT_THROW(htm.load(0, loc_pool(1), mem.at(1)), HtmAbort);
+}
+
 TEST(SimHtm, WriteAfterReadUpgradesCleanly) {
   SimHtm htm;
   Words mem(2);

@@ -77,6 +77,22 @@ TEST(LockSpace, TableModeSharesLocksAcrossAddresses) {
   EXPECT_GT(distinct.size(), 1u);
 }
 
+TEST(LockSpace, TableModeMapsOneLockPerCacheLine) {
+  // Line-granular hashing: all words of one cache line resolve to the same
+  // entry (the hw-path lock memo depends on this to touch each lock stripe
+  // once per scanned line), and different lines generally differ.
+  LockSpace ls(LockMode::kTable, 1 << 8, 0);
+  const LockRef first = ls.ref(64);
+  for (gaddr_t a = 64; a < 64 + kWordsPerLine; ++a) {
+    EXPECT_EQ(ls.ref(a).s, first.s);
+    EXPECT_EQ(ls.ref(a).loc, first.loc);
+  }
+  std::set<const void*> distinct;
+  for (gaddr_t a = 0; a < 256 * kWordsPerLine; a += kWordsPerLine)
+    distinct.insert(ls.ref(a).s);
+  EXPECT_GT(distinct.size(), 100u);  // 256 lines into 256 entries: mostly distinct
+}
+
 TEST(LockSpace, ColocatedModeGivesUniqueLockPerWord) {
   LockSpace ls(LockMode::kColocated, 0, 1024);
   std::set<const void*> distinct;

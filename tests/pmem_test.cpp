@@ -71,15 +71,16 @@ TEST(PmemPool, FenceOnlyCoversOwnThreadsFlushes) {
 
 TEST(PmemPool, FenceCoalescesSameLineFlushes) {
   // Records are 32 bytes, lines 64: addresses 2 and 3 share a record line.
-  // Flushing both queues two entries but the fence persists (and charges)
-  // the line once, counting the duplicate in flush_dedup_count().
+  // Flushing both counts two requests but the duplicate is coalesced into
+  // flush_dedup_count() at enqueue time (O(1) dedup), so the fence
+  // persists (and charges) the line once.
   PmemPool pool(small_cfg());
   pool.record_write(0, 2, 0, 20, 1);
   pool.record_write(0, 3, 0, 30, 1);
   pool.flush_record(0, 2);
   pool.flush_record(0, 3);
   EXPECT_EQ(pool.flush_count(), 2u);
-  EXPECT_EQ(pool.flush_dedup_count(), 0u);  // dedup happens at the fence
+  EXPECT_EQ(pool.flush_dedup_count(), 1u);  // coalesced at enqueue
   pool.fence(0);
   EXPECT_EQ(pool.flush_dedup_count(), 1u);
   EXPECT_EQ(pool.read_durable_record(2).cur, 20u);

@@ -129,6 +129,41 @@ TEST(SmallIndexMap, SurvivesManyGenerations) {
   }
 }
 
+TEST(SmallIndexMap, GenerationWraparoundDoesNotResurrectKeys) {
+  htm::SmallIndexMap m(64);
+  // Stamp slots with the last pre-wrap generation, then clear across the
+  // 32-bit boundary: clear() must restamp every slot dead, or a later
+  // generation aliasing the stale stamp would resurrect the dead keys.
+  m.set_generation_for_test(0xFFFFFFFFu);
+  for (std::uint64_t i = 0; i < 20; ++i) m.insert(i, static_cast<std::uint32_t>(i));
+  EXPECT_EQ(m.find(7), 7u);
+  m.clear();  // ++gen_ wraps to 0 here
+  EXPECT_EQ(m.size(), 0u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(m.find(i), htm::SmallIndexMap::kNotFound);
+  // Force the post-wrap counter back onto the stale slots' old stamp; a
+  // counter-only wrap would make every dead key live again right here.
+  m.set_generation_for_test(0xFFFFFFFFu);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(m.find(i), htm::SmallIndexMap::kNotFound);
+  // The map keeps working after the wrap.
+  m.set_generation_for_test(1);
+  EXPECT_TRUE(m.insert(42, 99));
+  EXPECT_EQ(m.find(42), 99u);
+}
+
+TEST(SmallSet, GenerationWraparoundDoesNotResurrectKeys) {
+  htm::SmallSet s(64);
+  s.set_generation_for_test(0xFFFFFFFFu);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_TRUE(s.insert(i));
+  EXPECT_TRUE(s.contains(7));
+  s.clear();  // wraps
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_FALSE(s.contains(i));
+  s.set_generation_for_test(0xFFFFFFFFu);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_FALSE(s.contains(i));
+  s.set_generation_for_test(1);
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_TRUE(s.contains(42));
+}
+
 TEST(Zipf, ValuesStayInRange) {
   ZipfGenerator z(1000, 0.99, 7);
   for (int i = 0; i < 100000; ++i) EXPECT_LT(z.next(), 1000u);

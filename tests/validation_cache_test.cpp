@@ -116,7 +116,9 @@ TEST(ValidationCache, DisjointWriterForcesRevalidationNotAbort) {
   auto& nv = dynamic_cast<NvHaltTm&>(runner.tm());
   const gaddr_t x = runner.alloc().raw_alloc(0, 1);
   const gaddr_t y = runner.alloc().raw_alloc(0, 1);
-  const gaddr_t z = runner.alloc().raw_alloc(0, 1);
+  // z must be lock-disjoint from x/y, and table-mode locks are hashed per
+  // cache line — put it a full line away so it resolves to its own lock.
+  const gaddr_t z = runner.alloc().raw_alloc(0, 2 * kWordsPerLine) + kWordsPerLine;
   ASSERT_TRUE(nv.attempt_sw_once(0, [&](Tx& tx) {
     tx.write(x, 5);
     tx.write(y, 5);
