@@ -5,8 +5,9 @@
 // behind. Plain binary — no google-benchmark, no external JSON library.
 //
 // Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
-//                      [--taxonomy-out PATH] [--hw-out PATH] [--baseline PATH]
-//                      [--hw-baseline PATH]
+//                      [--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH]
+//                      [--baseline PATH] [--hw-baseline PATH]
+//                      [--ro-baseline PATH]
 //   --smoke        truncated ~10s mode (small keys, short windows), used by
 //                  the perf-smoke CTest target
 //   --check        after writing the reports, re-read and validate their
@@ -21,10 +22,17 @@
 //   --hw-out       hardware-fast-path access-cost report (ns per
 //                  transactional read/write, hw commit fraction), mirroring
 //                  the sw read_scaling sweep (default: BENCH_hw_hotpath.json)
+//   --ro-out       read-only fast-path report: the read-dominated corner of
+//                  the grid (99ro / 95ro, both structures, all TMs) with the
+//                  fraction of commits the RO engines actually took
+//                  (default: BENCH_ro_path.json); --check asserts the RO
+//                  cause counts sum to ro_aborts and that NV-HALT cells
+//                  routed most commits through the RO path
 //   --baseline     compare the fresh report's grid cells against a previous
 //                  report (e.g. the committed BENCH_sw_hotpath.json)
 //   --hw-baseline  same for the hw-hotpath report; ns_per_op is a latency,
 //                  so the gate ratio is baseline/current
+//   --ro-baseline  same cell-wise ops_per_sec gate for the ro-path report
 //
 // The committed BENCH_sw_hotpath.json / BENCH_thread_scaling.json at the
 // repo root are full-mode runs of this binary. By default there are no
@@ -35,6 +43,13 @@
 // baseline * (1 - tolerance) fails the run. CI leaves it unset/0 so shared
 // noisy runners stay advisory-not-flaky; the knob exists for controlled
 // perf rigs.
+//
+// Noise discipline: each grid / ro cell is measured best-of-N rounds
+// ($NVHALT_BENCH_ROUNDS, default 3 in full mode, 1 in smoke). Measurement
+// error on a shared box is one-sided — preemption only subtracts ops — so a
+// single 150ms sample can read 40% low while max-of-rounds converges on the
+// machine's real capability. Committed baselines are best-of-3; compare
+// like with like.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -62,8 +77,10 @@ struct Options {
   std::string scaling_out = "BENCH_thread_scaling.json";
   std::string taxonomy_out = "BENCH_taxonomy.json";
   std::string hw_out = "BENCH_hw_hotpath.json";
+  std::string ro_out = "BENCH_ro_path.json";
   std::string baseline;
   std::string hw_baseline;
+  std::string ro_baseline;
 };
 
 /// Fractional tolerance from the environment (e.g. "0.5"); <= 0 or unset
@@ -98,6 +115,10 @@ std::vector<ScalingPoint> measure_read_scaling(bool every_read, int iters) {
     cfg.pmem.capacity_words = std::size_t{1} << 18;
     cfg.nvhalt.htm_attempts = 0;  // force the software path
     cfg.nvhalt.validate_every_read = every_read;
+    // This sweep measures the *general* software read path. The bodies are
+    // pure reads and the warmup exceeds the dynamic-detection streak, so
+    // without this the RO engines would silently take over mid-sweep.
+    cfg.nvhalt.ro_fast_path = false;
     TmRunner runner(cfg);
     auto& tm = runner.tm();
     const gaddr_t arr = runner.alloc().raw_alloc_large(n);
@@ -142,6 +163,10 @@ std::vector<HwPoint> measure_hw_hotpath(int iters) {
     RunnerConfig cfg;
     cfg.kind = TmKind::kNvHalt;
     cfg.pmem.capacity_words = std::size_t{1} << 18;
+    // The read points are exactly what dynamic RO detection hunts for;
+    // keep them on the general hw path so the memo/subscription cost the
+    // report documents is the cost actually measured.
+    cfg.nvhalt.ro_fast_path = false;
     TmRunner runner(cfg);
     auto& tm = runner.tm();
     const gaddr_t arr = runner.alloc().raw_alloc_large(n);
@@ -198,6 +223,69 @@ int run_hw_report(const Options& opt) {
   f << js.str();
   f.close();
   std::fprintf(stderr, "bench_regress: wrote %s\n", opt.hw_out.c_str());
+  return 0;
+}
+
+// ------------------------------------------------------ read-only path sweep
+
+/// The read-dominated corner of the grid (99ro and 95ro, both structures,
+/// all TMs) with read-only-path accounting attached: how many commits the
+/// RO engines took, and how often RO attempts bounced. This is the cell
+/// family the RO fast path exists for — structure lookups carry
+/// TxMode::kReadOnly, so NV-HALT variants route them through the snapshot /
+/// invisible-reader engines while Trinity and SPHT run their usual paths —
+/// and the committed BENCH_ro_path.json is the PR-over-PR record of the
+/// NV-HALT-vs-Trinity gap there.
+int run_ro_report(const Options& opt) {
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-ro-path-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  js << "  \"cells\": [\n";
+  bool first = true;
+  for (const Structure st : {Structure::kAbTree, Structure::kHashMap}) {
+    for (const int read_pct : {99, 95}) {
+      for (const TmKind kind : fig8_tms()) {
+        BenchParams p;
+        p.kind = kind;
+        p.structure = st;
+        p.read_pct = read_pct;
+        p.threads = 2;
+        p.key_range = opt.smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
+        p.duration_ms = opt.smoke ? 20 : 150;
+        const BenchResult r = run_structure_bench_best(p, bench_rounds_from_env(opt.smoke));
+        const double ro_frac =
+            r.tm.commits > 0
+                ? static_cast<double>(r.tm.ro_commits) / static_cast<double>(r.tm.commits)
+                : 0;
+        js << (first ? "" : ",\n");
+        first = false;
+        js << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+           << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"threads\": " << p.threads
+           << ", \"ops_per_sec\": " << r.ops_per_sec << ", \"commits\": " << r.tm.commits
+           << ", \"ro_commits\": " << r.tm.ro_commits << ", \"ro_commit_frac\": " << ro_frac
+           << ", \"ro_aborts\": " << r.tm.ro_aborts;
+        const auto& t = r.tel.tx.taxonomy;
+        for (std::size_t c = 0; c < telemetry::kNumRoAbortCauses; ++c) {
+          js << ", \"" << telemetry::ro_abort_cause_name(static_cast<telemetry::RoAbortCause>(c))
+             << "\": " << t.ro_by_cause[c];
+        }
+        js << "}";
+        std::fprintf(stderr, "ro %s %dro %s: %.0f ops/s (ro frac %.2f)\n", structure_name(st),
+                     read_pct, tm_kind_name(kind), r.ops_per_sec, ro_frac);
+      }
+    }
+  }
+  js << "\n  ]\n}\n";
+
+  std::ofstream f(opt.ro_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.ro_out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.ro_out.c_str());
   return 0;
 }
 
@@ -362,7 +450,7 @@ int run_report(const Options& opt) {
         p.threads = 2;
         p.key_range = opt.smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
         p.duration_ms = opt.smoke ? 20 : 150;
-        const BenchResult r = run_structure_bench(p);
+        const BenchResult r = run_structure_bench_best(p, bench_rounds_from_env(opt.smoke));
         js << (first ? "" : ",\n");
         tax << (first ? "" : ",\n");
         first = false;
@@ -380,7 +468,12 @@ int run_report(const Options& opt) {
           tax << ", \"" << htm::abort_cause_name(static_cast<htm::AbortCause>(c))
               << "\": " << t.hw_by_cause[c];
         }
-        tax << ", \"sw_aborts\": " << t.sw_aborts << ", \"user_aborts\": " << t.user_aborts
+        tax << ", \"sw_aborts\": " << t.sw_aborts << ", \"ro_aborts\": " << r.tm.ro_aborts;
+        for (std::size_t c = 0; c < telemetry::kNumRoAbortCauses; ++c) {
+          tax << ", \"" << telemetry::ro_abort_cause_name(static_cast<telemetry::RoAbortCause>(c))
+              << "\": " << t.ro_by_cause[c];
+        }
+        tax << ", \"ro_commits\": " << r.tm.ro_commits << ", \"user_aborts\": " << t.user_aborts
             << ", \"fallbacks\": " << r.tm.fallbacks
             << ", \"write_set_p99\": " << r.tel.tx.write_set_size.quantile_bound(0.99) << "}";
         std::fprintf(stderr, "%s %dro %s: %.0f ops/s\n", structure_name(st), read_pct,
@@ -537,6 +630,19 @@ int check_taxonomy(const std::string& path) {
       errors.push_back("cell " + std::to_string(cells) + ": cause sum " +
                        std::to_string(by_cause) + " != hw_aborts " + std::to_string(hw));
     }
+    // Same invariant for the read-only path: record_ro_abort() is the only
+    // writer of both sides, so any drift means a bookkeeping bug.
+    const long long ro = field("ro_aborts");
+    if (ro >= 0) {
+      long long ro_by_cause = 0;
+      for (std::size_t c = 0; c < telemetry::kNumRoAbortCauses; ++c)
+        ro_by_cause += std::max(
+            0LL, field(telemetry::ro_abort_cause_name(static_cast<telemetry::RoAbortCause>(c))));
+      if (ro_by_cause != ro) {
+        errors.push_back("cell " + std::to_string(cells) + ": ro cause sum " +
+                         std::to_string(ro_by_cause) + " != ro_aborts " + std::to_string(ro));
+      }
+    }
   }
   if (!saw_schema) errors.push_back("missing/unknown taxonomy schema tag");
   if (cells != 40)
@@ -574,6 +680,63 @@ int check_hw_report(const std::string& path) {
   if (count("\"op\": \"write\"") != 2) errors.push_back("hw hotpath missing write points");
   if (count("\"hw_commit_frac\"") != 5)
     errors.push_back("hw hotpath points must carry hw_commit_frac");
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
+/// Shape + consistency validation for the ro-path report: 2 structures x
+/// 2 workloads x 5 TMs = 20 cells; per cell the RO cause counts must sum
+/// to ro_aborts; NV-HALT cells must actually route through the RO engines
+/// (majority of commits) while the baselines must report zero RO commits.
+int check_ro_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  std::string line;
+  bool saw_schema = false;
+  std::size_t cells = 0;
+  while (std::getline(f, line)) {
+    if (line.find("\"schema\": \"nvhalt-bench-ro-path-v1\"") != std::string::npos)
+      saw_schema = true;
+    const auto field = [&line](const std::string& key) -> long long {
+      const std::string needle = "\"" + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::atoll(line.c_str() + pos + needle.size());
+    };
+    const long long ro = field("ro_aborts");
+    if (ro < 0 || line.find("\"tm\": \"") == std::string::npos) continue;
+    ++cells;
+    long long by_cause = 0;
+    for (std::size_t c = 0; c < telemetry::kNumRoAbortCauses; ++c)
+      by_cause += std::max(
+          0LL, field(telemetry::ro_abort_cause_name(static_cast<telemetry::RoAbortCause>(c))));
+    if (by_cause != ro) {
+      errors.push_back("ro cell " + std::to_string(cells) + ": cause sum " +
+                       std::to_string(by_cause) + " != ro_aborts " + std::to_string(ro));
+    }
+    const bool nvhalt_cell = line.find("\"tm\": \"NV-HALT") != std::string::npos;
+    const long long commits = field("ro_commits");
+    const long long total = field("commits");
+    if (nvhalt_cell) {
+      if (total > 0 && commits * 2 <= total) {
+        errors.push_back("ro cell " + std::to_string(cells) +
+                         ": NV-HALT routed only " + std::to_string(commits) + "/" +
+                         std::to_string(total) + " commits through the RO path");
+      }
+    } else if (commits != 0) {
+      errors.push_back("ro cell " + std::to_string(cells) + ": baseline TM reports " +
+                       std::to_string(commits) + " ro_commits");
+    }
+  }
+  if (!saw_schema) errors.push_back("missing/unknown ro-path schema tag");
+  if (cells != 20)
+    errors.push_back("ro-path report must have 20 cells, found " + std::to_string(cells));
 
   for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
   if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
@@ -619,29 +782,32 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-/// Compares the fresh report's grid against a baseline report. Advisory by
-/// default (prints every cell's ratio, worst first, returns 0); with a
-/// positive $NVHALT_BENCH_TOLERANCE it fails when any cell drops below
-/// baseline * (1 - tolerance).
-int compare_with_baseline(const Options& opt) {
-  const std::string base_text = read_file(opt.baseline);
+/// Compares a fresh report's grid cells against a baseline report (both
+/// the main grid and the ro-path report share the cell line shape, so one
+/// comparator serves both flags). Advisory by default (prints every cell's
+/// ratio, worst first, returns 0); with a positive $NVHALT_BENCH_TOLERANCE
+/// it fails when any cell drops below baseline * (1 - tolerance).
+int compare_grid_files(const char* flag, const std::string& base_path,
+                       const std::string& cur_path) {
+  const std::string base_text = read_file(base_path);
   if (base_text.empty()) {
-    std::fprintf(stderr, "bench_regress --baseline: cannot read %s\n", opt.baseline.c_str());
+    std::fprintf(stderr, "bench_regress %s: cannot read %s\n", flag, base_path.c_str());
     return 1;
   }
-  const std::string cur_text = read_file(opt.out);
+  const std::string cur_text = read_file(cur_path);
   const auto base_cells = parse_grid_cells(base_text);
   const auto cur_cells = parse_grid_cells(cur_text);
   if (base_cells.empty() || cur_cells.empty()) {
-    std::fprintf(stderr, "bench_regress --baseline: no comparable grid cells\n");
+    std::fprintf(stderr, "bench_regress %s: no comparable grid cells\n", flag);
     return 1;
   }
   const bool mode_mismatch = (base_text.find("\"mode\": \"full\"") != std::string::npos) !=
                              (cur_text.find("\"mode\": \"full\"") != std::string::npos);
   if (mode_mismatch)
     std::fprintf(stderr,
-                 "bench_regress --baseline: WARNING smoke/full mode mismatch — "
-                 "ratios are indicative only\n");
+                 "bench_regress %s: WARNING smoke/full mode mismatch — "
+                 "ratios are indicative only\n",
+                 flag);
 
   const double tolerance = bench_tolerance();
   struct Delta {
@@ -668,12 +834,12 @@ int compare_with_baseline(const Options& opt) {
                  slow ? "  << REGRESSION" : "");
   }
   if (tolerance <= 0) {
-    std::fprintf(stderr, "bench_regress --baseline: advisory mode (%zu cells compared, "
+    std::fprintf(stderr, "bench_regress %s: advisory mode (%zu cells compared, "
                          "set NVHALT_BENCH_TOLERANCE to gate)\n",
-                 deltas.size());
+                 flag, deltas.size());
     return 0;
   }
-  std::fprintf(stderr, "bench_regress --baseline: %d of %zu cells below %.0f%% of baseline\n",
+  std::fprintf(stderr, "bench_regress %s: %d of %zu cells below %.0f%% of baseline\n", flag,
                violations, deltas.size(), (1.0 - tolerance) * 100.0);
   return violations == 0 ? 0 : 1;
 }
@@ -761,15 +927,19 @@ int main(int argc, char** argv) {
       opt.taxonomy_out = argv[++i];
     } else if (std::strcmp(argv[i], "--hw-out") == 0 && i + 1 < argc) {
       opt.hw_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--ro-out") == 0 && i + 1 < argc) {
+      opt.ro_out = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       opt.baseline = argv[++i];
     } else if (std::strcmp(argv[i], "--hw-baseline") == 0 && i + 1 < argc) {
       opt.hw_baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--ro-baseline") == 0 && i + 1 < argc) {
+      opt.ro_baseline = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
-                   "[--taxonomy-out PATH] [--hw-out PATH] [--baseline PATH] "
-                   "[--hw-baseline PATH]\n");
+                   "[--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH] [--baseline PATH] "
+                   "[--hw-baseline PATH] [--ro-baseline PATH]\n");
       return 2;
     }
   }
@@ -779,18 +949,26 @@ int main(int argc, char** argv) {
   if (rc != 0) return rc;
   rc = nvhalt::bench::run_hw_report(opt);
   if (rc != 0) return rc;
+  rc = nvhalt::bench::run_ro_report(opt);
+  if (rc != 0) return rc;
   if (opt.check) {
     rc = nvhalt::bench::check_report(opt.out);
     const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
     const int rc3 = nvhalt::bench::check_taxonomy(opt.taxonomy_out);
     const int rc4 = nvhalt::bench::check_hw_report(opt.hw_out);
+    const int rc5 = nvhalt::bench::check_ro_report(opt.ro_out);
     if (rc == 0) rc = rc2;
     if (rc == 0) rc = rc3;
     if (rc == 0) rc = rc4;
+    if (rc == 0) rc = rc5;
     if (rc != 0) return rc;
   }
   if (!opt.baseline.empty()) {
-    rc = nvhalt::bench::compare_with_baseline(opt);
+    rc = nvhalt::bench::compare_grid_files("--baseline", opt.baseline, opt.out);
+    if (rc != 0) return rc;
+  }
+  if (!opt.ro_baseline.empty()) {
+    rc = nvhalt::bench::compare_grid_files("--ro-baseline", opt.ro_baseline, opt.ro_out);
     if (rc != 0) return rc;
   }
   if (!opt.hw_baseline.empty()) return nvhalt::bench::compare_hw_with_baseline(opt);

@@ -10,6 +10,11 @@
 // abort causes as columns — and exits without running any benchmark.
 // With --hw-hotpath PATH it renders a bench_regress hw-hotpath report
 // (BENCH_hw_hotpath.json) as a markdown table of per-access fast-path cost.
+// With --gap PATH it renders any grid-shaped bench_regress report
+// (BENCH_sw_hotpath.json or BENCH_ro_path.json) as a per-cell ratio table
+// of every TM against Trinity — the paper's competitiveness claim in one
+// markdown table, with a geometric-mean summary row.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -102,8 +107,10 @@ struct TaxonomyCell {
   std::string structure, tm;
   long long read_pct = 0;
   long long commits = 0, hw_aborts = 0, sw_aborts = 0, user_aborts = 0, fallbacks = 0;
+  long long ro_commits = 0, ro_aborts = 0;
   long long write_set_p99 = 0;
   long long by_cause[telemetry::kNumAbortCauses] = {};
+  long long ro_by_cause[telemetry::kNumRoAbortCauses] = {};
 };
 
 /// Line-oriented parse of the sidecar (bench_regress writes one cell
@@ -136,9 +143,14 @@ std::vector<TaxonomyCell> parse_taxonomy(std::ifstream& f) {
     c.sw_aborts = num_field("sw_aborts");
     c.user_aborts = num_field("user_aborts");
     c.fallbacks = num_field("fallbacks");
+    c.ro_commits = num_field("ro_commits");
+    c.ro_aborts = num_field("ro_aborts");
     c.write_set_p99 = num_field("write_set_p99");
     for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
       c.by_cause[i] = num_field(htm::abort_cause_name(static_cast<htm::AbortCause>(i)));
+    for (std::size_t i = 0; i < telemetry::kNumRoAbortCauses; ++i)
+      c.ro_by_cause[i] =
+          num_field(telemetry::ro_abort_cause_name(static_cast<telemetry::RoAbortCause>(i)));
     cells.push_back(std::move(c));
   }
   return cells;
@@ -165,17 +177,25 @@ int render_taxonomy_markdown(const std::string& path) {
     std::printf("| workload | tm | commits | hw aborts");
     for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
       std::printf(" | %s", htm::abort_cause_name(static_cast<htm::AbortCause>(i)));
-    std::printf(" | sw aborts | fallbacks | wrset p99 |\n");
+    std::printf(" | sw aborts | ro commits | ro aborts");
+    for (std::size_t i = 0; i < telemetry::kNumRoAbortCauses; ++i)
+      std::printf(" | %s", telemetry::ro_abort_cause_name(static_cast<telemetry::RoAbortCause>(i)));
+    std::printf(" | fallbacks | wrset p99 |\n");
     std::printf("|---|---|---:|---:");
     for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i) std::printf("|---:");
-    std::printf("|---:|---:|---:|\n");
+    std::printf("|---:|---:|---:");
+    for (std::size_t i = 0; i < telemetry::kNumRoAbortCauses; ++i) std::printf("|---:");
+    std::printf("|---:|---:|\n");
     for (const TaxonomyCell& c : cells) {
       if (c.structure != st) continue;
       std::printf("| %s | %s | %lld | %lld", workload_name(static_cast<int>(c.read_pct)).c_str(),
                   c.tm.c_str(), c.commits, c.hw_aborts);
       for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
         std::printf(" | %lld", c.by_cause[i]);
-      std::printf(" | %lld | %lld | %lld |\n", c.sw_aborts, c.fallbacks, c.write_set_p99);
+      std::printf(" | %lld | %lld | %lld", c.sw_aborts, c.ro_commits, c.ro_aborts);
+      for (std::size_t i = 0; i < telemetry::kNumRoAbortCauses; ++i)
+        std::printf(" | %lld", c.ro_by_cause[i]);
+      std::printf(" | %lld | %lld |\n", c.fallbacks, c.write_set_p99);
     }
   }
   return 0;
@@ -236,6 +256,119 @@ int render_hw_hotpath_markdown(const std::string& path) {
   return 0;
 }
 
+// ---- Trinity-gap markdown rendering (--gap) ------------------------------
+
+struct GapCell {
+  std::string structure, tm;
+  long long read_pct = 0;
+  double ops = 0;
+};
+
+/// Renders any grid-shaped report (one cell object per line carrying
+/// structure / read_pct / tm / ops_per_sec — the main grid and the ro-path
+/// report both qualify) as a per-cell ratio table against Trinity, the
+/// paper's primary competitor. A geomean row summarizes each column; cells
+/// at or above 1.00 are where NV-HALT meets the competitiveness bar.
+int render_gap_markdown(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_report --gap: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<GapCell> cells;
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto str_field = [&line](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": \"";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      const auto start = pos + needle.size();
+      const auto end = line.find('"', start);
+      return end == std::string::npos ? std::string{} : line.substr(start, end - start);
+    };
+    const auto num_field = [&line](const char* key) -> double {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+    };
+    GapCell c;
+    c.structure = str_field("structure");
+    c.tm = str_field("tm");
+    c.ops = num_field("ops_per_sec");
+    if (c.structure.empty() || c.tm.empty() || c.ops < 0) continue;
+    c.read_pct = static_cast<long long>(num_field("read_pct"));
+    cells.push_back(std::move(c));
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "bench_report --gap: no grid cells in %s\n", path.c_str());
+    return 1;
+  }
+
+  // Column order: every TM present in the file except the Trinity divisor,
+  // in first-appearance order.
+  std::vector<std::string> tms;
+  for (const GapCell& c : cells) {
+    if (c.tm == "Trinity") continue;
+    bool known = false;
+    for (const std::string& t : tms) known |= t == c.tm;
+    if (!known) tms.push_back(c.tm);
+  }
+  const auto find_ops = [&cells](const std::string& st, long long pct,
+                                 const std::string& tm) -> double {
+    for (const GapCell& c : cells)
+      if (c.structure == st && c.read_pct == pct && c.tm == tm) return c.ops;
+    return -1;
+  };
+
+  std::printf("# Throughput vs Trinity (%s)\n\n", path.c_str());
+  std::printf("Each cell is ops_per_sec(TM) / ops_per_sec(Trinity) on the same workload.\n\n");
+  std::printf("| structure | workload |");
+  for (const std::string& t : tms) std::printf(" %s |", t.c_str());
+  std::printf("\n|---|---|");
+  for (std::size_t i = 0; i < tms.size(); ++i) std::printf("---:|");
+  std::printf("\n");
+
+  std::vector<double> log_sum(tms.size(), 0.0);
+  std::vector<std::size_t> log_n(tms.size(), 0);
+  for (const char* st : {"abtree", "hashmap"}) {
+    // Row order: unique read_pcts in file order for this structure.
+    std::vector<long long> pcts;
+    for (const GapCell& c : cells) {
+      if (c.structure != st) continue;
+      bool known = false;
+      for (const long long p : pcts) known |= p == c.read_pct;
+      if (!known) pcts.push_back(c.read_pct);
+    }
+    for (const long long pct : pcts) {
+      const double trinity = find_ops(st, pct, "Trinity");
+      if (trinity <= 0) continue;
+      std::printf("| %s | %s |", st, workload_name(static_cast<int>(pct)).c_str());
+      for (std::size_t i = 0; i < tms.size(); ++i) {
+        const double ops = find_ops(st, pct, tms[i]);
+        if (ops < 0) {
+          std::printf(" – |");
+          continue;
+        }
+        const double ratio = ops / trinity;
+        log_sum[i] += std::log(ratio);
+        log_n[i]++;
+        std::printf(" %.2fx |", ratio);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("| **geomean** | |");
+  for (std::size_t i = 0; i < tms.size(); ++i) {
+    if (log_n[i] == 0)
+      std::printf(" – |");
+    else
+      std::printf(" **%.2fx** |", std::exp(log_sum[i] / static_cast<double>(log_n[i])));
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,7 +377,10 @@ int main(int argc, char** argv) {
       return render_taxonomy_markdown(argv[i + 1]);
     if (std::strcmp(argv[i], "--hw-hotpath") == 0 && i + 1 < argc)
       return render_hw_hotpath_markdown(argv[i + 1]);
-    std::fprintf(stderr, "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH]\n");
+    if (std::strcmp(argv[i], "--gap") == 0 && i + 1 < argc)
+      return render_gap_markdown(argv[i + 1]);
+    std::fprintf(stderr,
+                 "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH] [--gap PATH]\n");
     return 2;
   }
   const BenchScale scale = read_scale_from_env();

@@ -31,6 +31,13 @@ namespace nvhalt {
 using runtime::ThreadHandle;
 using runtime::ThreadRegistry;
 
+/// Caller's declaration of a transaction's access pattern. kReadOnly is a
+/// *hint*: a TM may route the transaction to a cheaper read-only protocol
+/// (NV-HALT's lock-free snapshot path); a body that writes anyway is
+/// demoted to the general path and still commits correctly. TMs without a
+/// dedicated read-only path ignore the hint.
+enum class TxMode { kUpdate, kReadOnly };
+
 /// Thrown by user code (or Tx::abort) to voluntarily abort the current
 /// transaction; run() then returns false without retrying.
 struct TxUserAbort {};
@@ -83,8 +90,16 @@ class TransactionalMemory {
   /// the ThreadHandle overload, which reclaim slots on handle destruction.
   virtual bool run(int tid, TxBody body) = 0;
 
+  /// run() with an access-pattern hint (TxMode::kReadOnly routes to a TM's
+  /// read-only fast path where one exists). The default ignores the hint.
+  virtual bool run(int tid, TxMode mode, TxBody body) {
+    (void)mode;
+    return run(tid, body);
+  }
+
   /// Runs `body` on behalf of a dynamically registered thread.
   bool run(ThreadHandle& h, TxBody body) { return run(h.tid(), body); }
+  bool run(ThreadHandle& h, TxMode mode, TxBody body) { return run(h.tid(), mode, body); }
 
   /// This TM's thread registry (slot lifetime, capacity, churn counters).
   virtual ThreadRegistry& registry() = 0;

@@ -367,7 +367,8 @@ SphtTm::AttemptResult SphtTm::attempt_sw(int tid, TxBody body) {
   return result;
 }
 
-bool SphtTm::run_registered(int tid, TxBody body) {
+bool SphtTm::run_registered(int tid, TxMode mode, TxBody body) {
+  (void)mode;  // no read-only fast path in the SPHT baseline
   ThreadCtx& ctx = ctx_[tid];
 
   struct Env {

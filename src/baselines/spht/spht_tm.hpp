@@ -107,7 +107,7 @@ class SphtTm final : public runtime::TmRuntime {
   /// preceded by a wait for the global fallback lock to clear, failed
   /// attempts back off (SPHT's historical behaviour), and the software
   /// fallback runs under the global lock.
-  bool run_registered(int tid, TxBody body) override;
+  bool run_registered(int tid, TxMode mode, TxBody body) override;
 
  private:
   friend class SphtHwTx;

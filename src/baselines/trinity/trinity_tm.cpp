@@ -219,7 +219,8 @@ TrinityTm::AttemptResult TrinityTm::attempt(int tid, TxBody body) {
   return AttemptResult::kCommitted;
 }
 
-bool TrinityTm::run_registered(int tid, TxBody body) {
+bool TrinityTm::run_registered(int tid, TxMode mode, TxBody body) {
+  (void)mode;  // no read-only fast path: Trinity reads are already plain loads
   ThreadCtx& ctx = ctx_[tid];
   ensure_pver(pool_, tid, ctx);
 

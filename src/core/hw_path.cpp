@@ -71,18 +71,21 @@ class NvHaltHwTx final : public Tx {
           const std::uint64_t hv = tm_.htm_.load(tid_, lk.loc, lk.h);
           tm_.htm_.store(tid_, lk.loc, lk.h, hv + 1);
         }
-        ctx_.hw_locks.push_back(lk);
+        ctx_.hw_locks.push_back({lk, acq});
       } else if (lockword::owner(w) != tid_) {
         tm_.htm_.xabort(tid_, kHwLockedAbortCode);
       }
     }
-    const bool first_write = ctx_.hw_written.insert(a);
-    if (persisting_ && first_write) {
-      // Undo log: record the pre-transaction value on first write.
-      const word_t old = tm_.htm_.load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
-      ctx_.hw_undo.push_back({a, old});
+    ctx_.hw_wrote = true;
+    if (persisting_) {
+      // Undo log: record the pre-transaction value on first write, read
+      // out of the fused store (one write-buffer probe for both).
+      word_t old;
+      if (tm_.htm_.store_prev(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a), v, &old))
+        ctx_.hw_undo.push_back({a, old});
+    } else {
+      tm_.htm_.store(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a), v);
     }
-    tm_.htm_.store(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a), v);
   }
 
   gaddr_t alloc(std::size_t nwords) override { return tm_.alloc_.tx_alloc(tid_, nwords); }
@@ -102,8 +105,8 @@ class NvHaltHwTx final : public Tx {
 NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
   ThreadCtx& ctx = ctx_[tid];
   ctx.hw_undo.clear();
-  ctx.hw_written.clear();
   ctx.hw_locks.clear();
+  ctx.hw_wrote = false;
   ctx.hw_lock_memo = nullptr;  // lock words may change between attempts
 
   htm_.begin(tid);
@@ -143,22 +146,24 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
   // This hardware transaction published lock acquisitions at xend: bump
   // the global commit sequence before releasing them so software readers'
   // validation snapshots are invalidated no later than the writes become
-  // sandwich-readable (docs/PROTOCOLS.md). The bump is a plain
-  // non-transactional fetch_add — no hardware transaction subscribes to
-  // kCommitSeqLoc, so this adds no hardware abort pressure.
+  // sandwich-readable (docs/PROTOCOLS.md). Plain seq_cst fetch_add: no
+  // hardware transaction ever tracks the sequence (htm_types.hpp), so
+  // conflict-table traffic for it would model nothing.
   if (!ctx.hw_locks.empty())
-    htm_.nontx_fetch_add(tid, htm::kCommitSeqLoc, &commit_seq_.value, 1);
+    commit_seq_.value.fetch_add(1, std::memory_order_seq_cst);
 
-  // Release the hardware-acquired locks; data is durable now.
-  for (const LockRef& lk : ctx.hw_locks) {
-    const std::uint64_t cur = htm_.nontx_load(tid, lk.loc, lk.s);
-    htm_.nontx_store(tid, lk.loc, lk.s, lockword::released(cur));
-  }
+  // Release the hardware-acquired locks; data is durable now. A held lock
+  // cannot have changed since xend (acquire CASes expect an unlocked
+  // pre-image), so release from the recorded acquisition word.
+  htm::SimHtm::NontxClaim claim;
+  for (const ThreadCtx::HwLockEnt& hl : ctx.hw_locks)
+    htm_.nontx_store_cached(tid, hl.lk.loc, hl.lk.s, lockword::released(hl.acq), claim);
+  htm_.nontx_claim_release(claim);
 
   alloc_.on_commit(tid);
   ctx.stats.commits++;
   ctx.stats.hw_commits++;
-  if (ctx.hw_undo.empty() && ctx.hw_written.size() == 0) ctx.stats.read_only_commits++;
+  if (!ctx.hw_wrote) ctx.stats.read_only_commits++;
   return AttemptResult::kCommitted;
 }
 

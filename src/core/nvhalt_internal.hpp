@@ -45,8 +45,16 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx : runtime::TxThreadState {
     word_t old;
   };
   std::vector<HwUndoEnt> hw_undo;  // thread-local append-only log
-  htm::SmallSet hw_written;        // addresses written this attempt
-  std::vector<LockRef> hw_locks;   // locks acquired inside the HW txn
+  /// Locks acquired inside the HW txn, with the word each acquisition
+  /// stored. Nobody mutates a lock held by a live owner (acquire CASes
+  /// expect an unlocked pre-image), so the release loop can compute the
+  /// released word from this copy instead of re-loading the lock.
+  struct HwLockEnt {
+    LockRef lk;
+    std::uint64_t acq;  // lock word as stored by htmAcquireLock
+  };
+  std::vector<HwLockEnt> hw_locks;
+  bool hw_wrote = false;  // any data store this attempt (RO-commit signal)
 
   /// One-entry lock memo for the hw fast path: the last lock s-word this
   /// attempt checked, plus its transactionally-observed value. Sound to
@@ -56,6 +64,38 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx : runtime::TxThreadState {
   /// at each attempt start.
   std::atomic<std::uint64_t>* hw_lock_memo = nullptr;
   std::uint64_t hw_lock_memo_word = 0;
+
+  // ---- Read-only fast path (docs/PROTOCOLS.md) --------------------------
+  /// One entry per unique lock line touched by the read-only attempt:
+  /// the s-lock word pointer and the word observed when the line was first
+  /// read (the pre-image every later validation compares against).
+  struct RoEnt {
+    std::atomic<std::uint64_t>* lock_s;
+    htm::LocId lock_loc;
+    std::uint64_t seen_s;
+  };
+  std::vector<RoEnt> ro_set;
+  /// Unique-line lookup is hybrid: while ro_set is short a linear pointer
+  /// scan beats hashing (the whole vector is a couple of cache-hot lines),
+  /// so ro_index only takes over — populated in one sweep — once the set
+  /// outgrows kRoLinearScanMax entries. ro_indexed records the handoff.
+  /// ro_filter is a 64-bit membership summary over recorded lock pointers:
+  /// most lookups are first accesses (misses), and a clear filter bit
+  /// answers them in one test instead of a full scan or hash probe.
+  static constexpr std::size_t kRoLinearScanMax = 32;
+  htm::SmallIndexMap ro_index;  // lock pointer -> ro_set index
+  std::uint64_t ro_filter = 0;
+  bool ro_indexed = false;
+  /// One-entry memo: the last lock word this RO attempt resolved, so runs
+  /// of reads within a line skip the index probe entirely (same O(unique
+  /// lines) trick as hw_lock_memo).
+  std::atomic<std::uint64_t>* ro_memo_lock = nullptr;
+  std::uint64_t ro_memo_seen = 0;
+  /// commit_seq covering the last full ro_set validation (TL2 snapshot).
+  std::uint64_t ro_seq = 0;
+  /// Consecutive empty-write-set commits by this thread (dynamic read-only
+  /// detection; see RoPolicy::dynamic_streak).
+  int ro_streak = 0;
 
   // ---- Shared persistence scratch ---------------------------------------
   struct PersistEnt {
@@ -75,10 +115,20 @@ struct alignas(kCacheLineBytes) NvHaltTm::ThreadCtx : runtime::TxThreadState {
     persist_buf.reserve(64);
     hw_undo.reserve(64);
     hw_locks.reserve(64);
+    ro_set.reserve(256);
   }
 };
 
+/// Thrown by the read-only software engine when the body writes (or
+/// allocates/frees): the attempt is abandoned and the transaction rerouted
+/// to the general path. Internal control flow, never escapes the TM.
+struct TxRoDemote {};
+
 /// xabort code used by the hardware path when it encounters a foreign lock.
 inline constexpr std::uint8_t kHwLockedAbortCode = 0x7C;
+
+/// xabort code used by the read-only hardware engine when the body writes:
+/// the transaction must be demoted to the general path, not retried here.
+inline constexpr std::uint8_t kRoDemoteAbortCode = 0x7D;
 
 }  // namespace nvhalt

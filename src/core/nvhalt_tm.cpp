@@ -13,6 +13,14 @@ runtime::PathPolicy make_policy(const NvHaltConfig& cfg) {
   p.fallback_on_capacity = cfg.fallback_on_capacity;
   p.max_sw_retries = cfg.max_sw_retries;
   p.adaptive.enabled = cfg.adaptive_htm_budget;
+  // The read-only fast path's validation protocol leans on the production
+  // locking discipline: hardware writers must acquire (and hold through
+  // persistence) the locks the RO engines validate against, and the
+  // paper-literal validate_every_read mode exists for A/B comparison of the
+  // *general* software path — routing reads away from it would change what
+  // it measures. Ablation configurations therefore disable RO routing.
+  p.ro.enabled = cfg.ro_fast_path && cfg.persist_hw_txns && cfg.hw_acquire_locks &&
+                 !cfg.validate_every_read;
   return p;
 }
 
@@ -58,11 +66,18 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // released (done by the caller), preserving the invariant that an
   // address is non-durable only while locked.
   ctx.tel.write_set_size.record(ctx.persist_buf.size());
+  // Structure updates write runs of words within a node's cache lines, so
+  // consecutive entries usually share a conflict-table stripe: the cached
+  // claim turns the per-word claim/abort-scan/release round into one round
+  // per run (see SimHtm::nontx_store_cached for why holding the tag across
+  // the run is equivalent).
+  htm::SimHtm::NontxClaim claim;
   for (const ThreadCtx::PersistEnt& e : ctx.persist_buf) {
     pool_.record_write(tid, e.addr, e.old, e.val, ctx.pver);
     pool_.flush_record(tid, e.addr);
-    htm_.nontx_store(tid, htm::loc_pool(e.addr), pool_.word_ptr(e.addr), e.val);
+    htm_.nontx_store_cached(tid, htm::loc_pool(e.addr), pool_.word_ptr(e.addr), e.val, claim);
   }
+  htm_.nontx_claim_release(claim);
   pool_.fence(tid);
   ++ctx.pver;
   pool_.store_pver(tid, ctx.pver);
@@ -70,9 +85,30 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   pool_.fence(tid);
 }
 
-bool NvHaltTm::run_registered(int tid, TxBody body) {
+bool NvHaltTm::run_registered(int tid, TxMode mode, TxBody body) {
   ThreadCtx& ctx = ctx_[tid];
   ensure_pver(pool_, tid, ctx);
+
+  // Read-only fast path: declared (TxMode::kReadOnly) or dynamically
+  // detected (a streak of empty-write-set commits) transactions take the
+  // cheap engines first, unless a validation storm has suspended routing
+  // (AdaptiveBudget::admit_ro). Demotion falls through to the general loop.
+  const runtime::RoPolicy& rp = policy_.ro;
+  if (rp.enabled &&
+      (mode == TxMode::kReadOnly ||
+       (rp.dynamic_streak > 0 && ctx.ro_streak >= rp.dynamic_streak)) &&
+      ctx.adaptive.admit_ro(rp)) {
+    switch (run_ro(tid, body)) {
+      case RoAttemptOutcome::kCommitted:
+        ctx.ro_streak++;
+        return true;
+      case RoAttemptOutcome::kUserAborted:
+        return false;
+      case RoAttemptOutcome::kDemoted:
+      case RoAttemptOutcome::kAborted:
+        break;
+    }
+  }
 
   struct Env {
     NvHaltTm& tm;
@@ -87,7 +123,17 @@ bool NvHaltTm::run_registered(int tid, TxBody body) {
     }
   } env{*this, ctx, tid, body};
 
-  return runtime::run_retry_loop(policy_, tid, ctx, env);
+  const std::uint64_t ro_before = ctx.stats.read_only_commits;
+  const bool ok = runtime::run_retry_loop(policy_, tid, ctx, env);
+  // Dynamic detection signal: consecutive commits with an empty write set.
+  // (A commit on any path bumps read_only_commits iff nothing was written.)
+  if (ok) {
+    if (ctx.stats.read_only_commits != ro_before)
+      ctx.ro_streak++;
+    else
+      ctx.ro_streak = 0;
+  }
+  return ok;
 }
 
 bool NvHaltTm::attempt_hw_once(int tid, TxBody body) {

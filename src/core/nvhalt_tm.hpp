@@ -87,6 +87,16 @@ struct NvHaltConfig {
   /// enumeration checker's mutation test uses this to prove a broken
   /// recovery is caught with a replayable (trace, prefix, seed) triple.
   int recovery_skip_nth_revert = -1;
+
+  /// Read-only fast path (docs/PROTOCOLS.md "Read-only fast path"):
+  /// transactions hinted TxMode::kReadOnly — or detected via a streak of
+  /// empty-write-set commits — run a TL2-style snapshot attempt with zero
+  /// lock acquisitions and zero persistence traffic, then an
+  /// invisible-reader hardware attempt, before falling into the general
+  /// loop. Requires the production protocol (persist_hw_txns +
+  /// hw_acquire_locks, and not validate_every_read); silently disabled for
+  /// the ablation/counterexample configurations.
+  bool ro_fast_path = true;
 };
 
 class NvHaltTm final : public runtime::TmRuntime {
@@ -116,20 +126,42 @@ class NvHaltTm final : public runtime::TmRuntime {
   bool attempt_hw_once(int tid, TxBody body);
   bool attempt_sw_once(int tid, TxBody body);
 
+  /// Outcome of one read-only fast-path attempt (the RO engines never
+  /// throw to the caller; demotion/abort is folded into the result).
+  enum class RoAttemptOutcome { kCommitted, kAborted, kDemoted, kUserAborted };
+
+  /// Exposed for scripted counterexample tests: run exactly one read-only
+  /// snapshot (resp. invisible-reader hardware) attempt.
+  RoAttemptOutcome attempt_ro_sw_once(int tid, TxBody body);
+  RoAttemptOutcome attempt_ro_hw_once(int tid, TxBody body);
+
  protected:
   /// The unified retry loop (runtime/retry_policy.hpp) with this TM's
-  /// hardware/software attempts plugged in.
-  bool run_registered(int tid, TxBody body) override;
+  /// hardware/software attempts plugged in, preceded by the read-only
+  /// fast path when the transaction is hinted (or detected) read-only.
+  bool run_registered(int tid, TxMode mode, TxBody body) override;
 
  private:
   friend class NvHaltSwTx;
   friend class NvHaltHwTx;
+  friend class NvHaltRoSwTx;
+  friend class NvHaltRoHwTx;
 
   struct ThreadCtx;
 
   using AttemptResult = runtime::AttemptStatus;
   AttemptResult attempt_hw(int tid, TxBody body);
   AttemptResult attempt_sw(int tid, TxBody body);
+
+  /// Read-only fast-path engines (core/ro_path.cpp). attempt_ro_sw is the
+  /// TL2-style snapshot attempt (zero lock acquisitions, zero journal
+  /// traffic); attempt_ro_hw is the invisible-reader hardware attempt
+  /// (deferred lock-word validation). run_ro sequences
+  /// ro.sw_attempts + ro.hw_attempts of them and reports kDemoted when all
+  /// are exhausted (or the body turned out to write).
+  RoAttemptOutcome attempt_ro_sw(int tid, TxBody body);
+  RoAttemptOutcome attempt_ro_hw(int tid, TxBody body);
+  RoAttemptOutcome run_ro(int tid, TxBody body);
 
   /// Persists a set of (addr, old, new) triples with Trinity undo records
   /// while the corresponding locks are held, then advances and persists the

@@ -3,7 +3,7 @@
 // (buffered) writes and Trinity undo-record persistence performed while
 // the write-set locks are held. Fig. 1 revalidates the full read set on
 // every read; by default we instead revalidate only when the global
-// commit sequence (htm::kCommitSeqLoc) has moved since the transaction's
+// commit sequence has moved since the transaction's
 // last validated snapshot — O(1) per read in the common case, same
 // opacity guarantee (docs/PROTOCOLS.md, "Snapshot-extension read
 // validation"; validate_every_read restores the literal protocol).
@@ -12,9 +12,6 @@
 #include "core/nvhalt_internal.hpp"
 
 namespace nvhalt {
-
-using htm::kCommitSeqLoc;
-using htm::kGClockLoc;
 
 /// Tx handle for one software-path attempt.
 class NvHaltSwTx final : public Tx {
@@ -55,8 +52,9 @@ class NvHaltSwTx final : public Tx {
     // extends to this read for free. Only when the sequence moved do we pay
     // the full revalidation, extending the snapshot to the pre-validation
     // sequence value on success.
-    const std::uint64_t seq =
-        tm_.htm_.nontx_load(tid_, kCommitSeqLoc, &tm_.commit_seq_.value);
+    // Plain acquire load: no hardware transaction tracks the sequence
+    // (htm_types.hpp), and acquire pairs with the writer's seq_cst bump.
+    const std::uint64_t seq = tm_.commit_seq_.value.load(std::memory_order_acquire);
     if (NVHALT_UNLIKELY(seq != ctx_.validated_seq)) {
       if (!validate_rdset()) throw TxConflictAbort{};
       ctx_.validated_seq = seq;
@@ -137,7 +135,10 @@ class NvHaltSwTx final : public Tx {
       // hardware transactions (which never touch gClock) must be checked,
       // via the hVer halves of the read locks.
       std::uint64_t expected = ctx_.rv;
-      if (tm_.htm_.nontx_cas(tid_, kGClockLoc, &tm_.gclock_.value, expected, ctx_.rv + 1)) {
+      // gClock is software-path-only state (htm_types.hpp): plain seq_cst
+      // CAS/fetch_add keep the Fig. 7 ordering without conflict-table cost.
+      if (tm_.gclock_.value.compare_exchange_strong(expected, ctx_.rv + 1,
+                                                    std::memory_order_seq_cst)) {
         if (found_htx_conflict()) {
           release_acquired();
           throw TxConflictAbort{};
@@ -156,7 +157,7 @@ class NvHaltSwTx final : public Tx {
         // that a successful CAS by another transaction genuinely implies
         // "no concurrent software writer" — otherwise the skip-validation
         // branch would be unsound.
-        tm_.htm_.nontx_fetch_add(tid_, kGClockLoc, &tm_.gclock_.value, 1);
+        tm_.gclock_.value.fetch_add(1, std::memory_order_seq_cst);
       }
     }
 
@@ -170,7 +171,7 @@ class NvHaltSwTx final : public Tx {
     // happen before any lock release, so a reader whose sandwich read
     // observes our released lock is guaranteed to also observe the moved
     // commit_seq and revalidate (docs/PROTOCOLS.md).
-    tm_.htm_.nontx_fetch_add(tid_, kCommitSeqLoc, &tm_.commit_seq_.value, 1);
+    tm_.commit_seq_.value.fetch_add(1, std::memory_order_seq_cst);
 
     release_acquired();
   }
@@ -224,11 +225,11 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_sw(int tid, TxBody body) {
   ctx.wrset.clear();
   ctx.wr_index.clear();
   if (cfg_.variant == Variant::kStrong)
-    ctx.rv = htm_.nontx_load(tid, kGClockLoc, &gclock_.value);  // TxStart (Fig. 7)
+    ctx.rv = gclock_.value.load(std::memory_order_seq_cst);  // TxStart (Fig. 7)
   // Initial validation snapshot: the empty read set is trivially valid at
   // the commit_seq value read here.
   if (!cfg_.validate_every_read)
-    ctx.validated_seq = htm_.nontx_load(tid, kCommitSeqLoc, &commit_seq_.value);
+    ctx.validated_seq = commit_seq_.value.load(std::memory_order_acquire);
 
   NvHaltSwTx tx(*this, ctx, tid);
   try {

@@ -8,9 +8,11 @@ void TmStats::add(const TmThreadStats& t) {
   commits += t.commits;
   hw_commits += t.hw_commits;
   sw_commits += t.sw_commits;
+  ro_commits += t.ro_commits;
   read_only_commits += t.read_only_commits;
   hw_aborts += t.hw_aborts;
   sw_aborts += t.sw_aborts;
+  ro_aborts += t.ro_aborts;
   fallbacks += t.fallbacks;
   user_aborts += t.user_aborts;
 }
@@ -18,8 +20,10 @@ void TmStats::add(const TmThreadStats& t) {
 std::string TmStats::to_string() const {
   std::ostringstream os;
   os << "tm{commits=" << commits << " hw=" << hw_commits << " sw=" << sw_commits
-     << " ro=" << read_only_commits << " hw_aborts=" << hw_aborts << " sw_aborts=" << sw_aborts
-     << " fallbacks=" << fallbacks << " user_aborts=" << user_aborts << "}";
+     << " ro=" << ro_commits << " read_only=" << read_only_commits
+     << " hw_aborts=" << hw_aborts << " sw_aborts=" << sw_aborts
+     << " ro_aborts=" << ro_aborts << " fallbacks=" << fallbacks
+     << " user_aborts=" << user_aborts << "}";
   return os.str();
 }
 

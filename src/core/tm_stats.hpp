@@ -8,13 +8,19 @@
 
 namespace nvhalt {
 
+// commits == hw_commits + sw_commits + ro_commits, always: every commit is
+// attributed to exactly one path. read_only_commits counts commits with an
+// empty write set on *any* path (a superset of ro_commits — the general
+// hardware/software paths also commit read-only bodies).
 struct TmThreadStats {
   std::uint64_t commits = 0;            // total committed transactions
   std::uint64_t hw_commits = 0;         // committed on the hardware path
   std::uint64_t sw_commits = 0;         // committed on the software path
+  std::uint64_t ro_commits = 0;         // committed on the read-only fast path
   std::uint64_t read_only_commits = 0;  // committed with an empty write set
   std::uint64_t hw_aborts = 0;          // hardware attempt aborts (all causes)
   std::uint64_t sw_aborts = 0;          // software attempt conflict aborts
+  std::uint64_t ro_aborts = 0;          // read-only fast-path attempt aborts
   std::uint64_t fallbacks = 0;          // transactions that exhausted HW attempts
   std::uint64_t user_aborts = 0;        // voluntary aborts
 
@@ -25,9 +31,11 @@ struct TmStats {
   std::uint64_t commits = 0;
   std::uint64_t hw_commits = 0;
   std::uint64_t sw_commits = 0;
+  std::uint64_t ro_commits = 0;
   std::uint64_t read_only_commits = 0;
   std::uint64_t hw_aborts = 0;
   std::uint64_t sw_aborts = 0;
+  std::uint64_t ro_aborts = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t user_aborts = 0;
 

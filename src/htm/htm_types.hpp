@@ -53,19 +53,11 @@ constexpr LocId loc_lock(std::uint64_t i) { return make_loc(LocKind::kLockTable,
 constexpr LocId loc_colock(gaddr_t a) { return make_loc(LocKind::kColoLock, a); }
 constexpr LocId loc_global(std::uint64_t i) { return make_loc(LocKind::kGlobal, i); }
 
-// Well-known global scalars shared across translation units.
-/// NV-HALT-SP global software clock (Fig. 7).
-inline constexpr LocId kGClockLoc = make_loc(LocKind::kGlobal, 0x1001);
-/// NV-HALT global commit sequence: bumped by every writer commit (software
-/// lock release and hardware-path lock publication) before its locks are
-/// released. Software readers snapshot it to skip full read-set
-/// revalidation while it is unchanged (docs/PROTOCOLS.md, "Snapshot-
-/// extension read validation"). Hardware transactions never subscribe to
-/// it — only non-transactional accesses touch this location.
-/// Offset 0x1041, NOT 0x1002: conflict tracking is line-granular
-/// (loc >> 3), so the commit sequence must not share a cache line with
-/// kGClockLoc — NV-HALT-SP bumps gClock under a nontx stripe claim and a
-/// shared line would serialize every commit_seq reader behind it.
-inline constexpr LocId kCommitSeqLoc = make_loc(LocKind::kGlobal, 0x1041);
+// NV-HALT's global scalars (the SP software clock and the commit sequence)
+// deliberately have no LocId: no hardware transaction ever reads or writes
+// them transactionally (Fig. 7 — gClock and the sequence are software-path
+// state), so routing them through the conflict table would only model
+// coherence traffic on lines no simulated cache tracks. They are accessed
+// with plain atomics; each site documents the ordering it relies on.
 
 }  // namespace nvhalt::htm

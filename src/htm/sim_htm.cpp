@@ -280,6 +280,34 @@ void SimHtm::store(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::
   check_self(tid);
 }
 
+bool SimHtm::store_prev(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                        std::uint64_t val, std::uint64_t* prev) {
+  Context& c = ctx_[tid];
+  if (NVHALT_UNLIKELY(spurious_enabled_)) maybe_spurious(tid);
+
+  const std::uint32_t found = c.write_index.find(reinterpret_cast<std::uintptr_t>(target));
+  if (found != SmallIndexMap::kNotFound) {
+    c.write_entries[found].val = val;
+    return false;
+  }
+
+  const std::uint64_t line = line_of(loc);
+  const std::size_t mi = memo_index(line);
+  if (NVHALT_UNLIKELY(line != c.memo_line[mi] || !c.memo_writer[mi]))
+    register_write_line(c, tid, line, mi);
+
+  // Pre-image read under our own writer registration: nothing can publish
+  // to the line without dooming us first, and check_self below rejects a
+  // value that stems from a writer that doomed us after the registration.
+  if (prev != nullptr) *prev = target->load(std::memory_order_acquire);
+
+  c.write_index.insert(reinterpret_cast<std::uintptr_t>(target),
+                       static_cast<std::uint32_t>(c.write_entries.size()));
+  c.write_entries.push_back({loc, target, val});
+  check_self(tid);
+  return true;
+}
+
 void SimHtm::commit(int tid) {
   Context& c = ctx_[tid];
   std::uint64_t expected = pack_status(c.epoch, kActive);
@@ -444,6 +472,30 @@ void SimHtm::nontx_store(int tid, LocId loc, std::atomic<std::uint64_t>* target,
   // this store's order.
   target->store(val, std::memory_order_release);
   release_stripe_nontx(s, tag);
+}
+
+void SimHtm::nontx_store_cached(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                                std::uint64_t val, NontxClaim& claim) {
+  if (g_tls.in_txn) throw TmLogicError("non-transactional access inside a hardware transaction");
+  const std::uint32_t s = table_.stripe_of(line_of(loc));
+  if (!claim.held || claim.stripe != s) {
+    if (claim.held) release_stripe_nontx(claim.stripe, claim.tag);
+    claim.held = false;  // not held while claim_stripe_nontx spins
+    claim.tag = claim_stripe_nontx(s, tid);
+    claim.stripe = s;
+    claim.htm = this;
+    claim.held = true;
+    abort_readers_on_stripe(s, tid);
+  }
+  // Release (same as nontx_store): observers load with acquire; exclusion
+  // against other writers is carried by the held stripe claim.
+  target->store(val, std::memory_order_release);
+}
+
+void SimHtm::nontx_claim_release(NontxClaim& claim) {
+  if (!claim.held) return;
+  release_stripe_nontx(claim.stripe, claim.tag);
+  claim.held = false;
 }
 
 bool SimHtm::nontx_cas(int tid, LocId loc, std::atomic<std::uint64_t>* target,

@@ -94,6 +94,15 @@ class SimHtm {
   std::uint64_t load(int tid, LocId loc, const std::atomic<std::uint64_t>* target);
   void store(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::uint64_t val);
 
+  /// Transactional store that also reports whether this is the first
+  /// buffered write to `target`, returning the pre-transaction value via
+  /// `prev` (ignored when null) when it is. Equivalent to a load+store
+  /// pair but pays one write-buffer probe instead of two and no separate
+  /// read registration — the writer registration subsumes it. Built for
+  /// undo logging on the persisting hardware path.
+  bool store_prev(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::uint64_t val,
+                  std::uint64_t* prev);
+
   // ---- Non-transactional interface ------------------------------------
   /// A plain load that respects transactional publication atomicity and
   /// aborts transactions holding `loc` in their write set.
@@ -101,6 +110,37 @@ class SimHtm {
 
   /// A plain store; aborts every transaction tracking `loc`.
   void nontx_store(int tid, LocId loc, std::atomic<std::uint64_t>* target, std::uint64_t val);
+
+  /// Cached stripe claim for a run of non-transactional stores (the
+  /// persist/apply loop under held locks): consecutive stores whose lines
+  /// land on the same stripe reuse one claim instead of paying the
+  /// claim/abort-scan/release round per word. Holding the tag across the
+  /// run is equivalent to back-to-back nontx_store calls: transactional
+  /// readers that registered before the claim are aborted by its reader
+  /// scan, readers registering during it observe the tag on their seq_cst
+  /// writer check and self-abort, and non-transactional readers wait the
+  /// tag out in neutralize_writer_for_load exactly as for a single store.
+  /// The caller ends the run with nontx_claim_release; the destructor
+  /// backstops exceptional unwinds. The backstop is load-bearing: the
+  /// persist loops interleave cached stores with pool calls that throw
+  /// when the crash coordinator trips, and a leaked nontx tag has no epoch
+  /// by which claim_stripe_nontx could ever detect it as stale — every
+  /// later claimant of the stripe would spin forever.
+  struct NontxClaim {
+    SimHtm* htm = nullptr;
+    std::uint32_t stripe = 0;
+    std::uint64_t tag = 0;
+    bool held = false;
+    NontxClaim() = default;
+    NontxClaim(const NontxClaim&) = delete;
+    NontxClaim& operator=(const NontxClaim&) = delete;
+    ~NontxClaim() {
+      if (held) htm->release_stripe_nontx(stripe, tag);
+    }
+  };
+  void nontx_store_cached(int tid, LocId loc, std::atomic<std::uint64_t>* target,
+                          std::uint64_t val, NontxClaim& claim);
+  void nontx_claim_release(NontxClaim& claim);
 
   /// A plain CAS; aborts every transaction tracking `loc`. Returns true on
   /// success and updates `expected` otherwise.

@@ -52,6 +52,15 @@ struct TxThreadState {
     telemetry::trace1(telemetry::EventKind::kHwAbort, tid, code,
                       static_cast<std::uint8_t>(c));
   }
+
+  /// The one place a read-only fast-path abort is accounted, mirroring
+  /// record_hw_abort: sum(ro_by_cause) == stats.ro_aborts by construction.
+  void record_ro_abort(int tid, telemetry::RoAbortCause c) {
+    stats.ro_aborts++;
+    tel.taxonomy.ro_by_cause[static_cast<std::size_t>(c)]++;
+    telemetry::trace1(telemetry::EventKind::kRoAbort, tid, 0,
+                      static_cast<std::uint8_t>(c));
+  }
 };
 
 /// Fixed-size array of cache-line-aligned per-slot contexts, indexed by the
@@ -110,6 +119,7 @@ telemetry::TmTelemetry aggregate_thread_telemetry(const PerThread<Ctx>& per_thre
   telemetry::TmTelemetry agg;
   agg.adaptive.enabled = pol.adaptive.enabled;
   agg.adaptive.current_budget = pol.htm_attempts;
+  agg.adaptive.ro_enabled = pol.ro.enabled;
   for (int i = 0; i < per_thread.size(); ++i) {
     const Ctx& c = per_thread[i];
     agg.tx.add(c.tel);
@@ -121,6 +131,18 @@ telemetry::TmTelemetry aggregate_thread_telemetry(const PerThread<Ctx>& per_thre
       agg.adaptive.window_attempts = c.adaptive.window_attempts();
       agg.adaptive.window_aborts = c.adaptive.window_aborts();
       agg.adaptive.window_abort_rate = c.adaptive.window_abort_rate();
+    }
+    // The read-only routing view is worst-case too: report the most
+    // suspended thread's window (ties broken by abort rate) — the thread
+    // explaining why eligible transactions are not taking the cheap path.
+    const bool worse = c.adaptive.ro_suspended() > agg.adaptive.ro_suspended ||
+                       (c.adaptive.ro_suspended() == agg.adaptive.ro_suspended &&
+                        c.adaptive.ro_window_abort_rate() > agg.adaptive.ro_window_abort_rate);
+    if (i == 0 || worse) {
+      agg.adaptive.ro_window_attempts = c.adaptive.ro_window_attempts();
+      agg.adaptive.ro_window_aborts = c.adaptive.ro_window_aborts();
+      agg.adaptive.ro_window_abort_rate = c.adaptive.ro_window_abort_rate();
+      agg.adaptive.ro_suspended = c.adaptive.ro_suspended();
     }
   }
   return agg;

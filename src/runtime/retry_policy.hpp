@@ -59,6 +59,31 @@ struct AdaptivePolicy {
   int min_attempts = 1;
 };
 
+/// Read-only fast-path routing policy (NV-HALT; see docs/PROTOCOLS.md
+/// "Read-only fast path"). A transaction hinted TxMode::kReadOnly — or
+/// dynamically detected as read-only — first runs `sw_attempts` snapshot
+/// attempts (lock-free unlocked reads validated against commit_seq), then
+/// `hw_attempts` invisible-reader hardware attempts (deferred lock-word
+/// validation), then demotes to the general retry loop. The windowed
+/// read-only abort rate suspends routing during validation storms.
+struct RoPolicy {
+  bool enabled = false;
+  /// Snapshot (software) read-only attempts before trying hardware.
+  int sw_attempts = 4;
+  /// Invisible-reader hardware attempts before demoting to the full loop.
+  int hw_attempts = 2;
+  /// Route an *unhinted* transaction to the read-only path once this many
+  /// consecutive transactions by the thread committed with an empty write
+  /// set; 0 disables dynamic detection (hinted routing still applies).
+  int dynamic_streak = 8;
+  /// Read-only attempts per storm-detection window.
+  int window = 64;
+  /// Suspend read-only routing when the window abort rate reaches this.
+  double storm_abort_rate = 0.5;
+  /// Eligible transactions routed to the general path per suspension.
+  int cooloff = 64;
+};
+
 /// The per-TM-instance path/retry policy (the loop's knobs).
 struct PathPolicy {
   /// C in "C-abortable": hardware attempts before falling back; 0 means
@@ -73,6 +98,7 @@ struct PathPolicy {
   int max_sw_retries = -1;
   BackoffPolicy backoff;
   AdaptivePolicy adaptive;
+  RoPolicy ro;
 };
 
 /// Outcome of one hardware or software attempt.
@@ -108,6 +134,36 @@ class AdaptiveBudget {
 
   void reset() { *this = AdaptiveBudget{}; }
 
+  // ---- Read-only routing signal (RoPolicy) -----------------------------
+  // A second, independent window over read-only fast-path attempts: when a
+  // validation storm pushes the windowed RO abort rate past the policy
+  // threshold, routing is suspended for `cooloff` eligible transactions,
+  // which then take the general path (whose commit-time locking makes
+  // progress where optimistic snapshots keep failing).
+
+  /// Records one read-only fast-path attempt outcome.
+  void record_ro(const RoPolicy& rp, bool aborted) {
+    ++ro_window_attempts_;
+    if (aborted) ++ro_window_aborts_;
+    if (ro_window_attempts_ < rp.window) return;
+    const double rate =
+        static_cast<double>(ro_window_aborts_) / static_cast<double>(ro_window_attempts_);
+    if (rate >= rp.storm_abort_rate) ro_suspended_ = rp.cooloff;
+    ro_window_attempts_ = 0;
+    ro_window_aborts_ = 0;
+  }
+
+  /// Consults (and advances) the suspension state for one eligible
+  /// transaction: false while cooling off after a storm.
+  bool admit_ro(const RoPolicy& rp) {
+    if (!rp.enabled) return false;
+    if (ro_suspended_ > 0) {
+      --ro_suspended_;
+      return false;
+    }
+    return true;
+  }
+
   // Readable controller state (benches and the metrics registry; see
   // telemetry::AdaptiveSnapshot). current_budget is budget() under a name
   // that reads as an observation rather than a decision.
@@ -120,11 +176,25 @@ class AdaptiveBudget {
                ? 0.0
                : static_cast<double>(window_aborts_) / static_cast<double>(window_attempts_);
   }
+  std::uint64_t ro_window_attempts() const {
+    return static_cast<std::uint64_t>(ro_window_attempts_);
+  }
+  std::uint64_t ro_window_aborts() const { return static_cast<std::uint64_t>(ro_window_aborts_); }
+  double ro_window_abort_rate() const {
+    return ro_window_attempts_ == 0
+               ? 0.0
+               : static_cast<double>(ro_window_aborts_) / static_cast<double>(ro_window_attempts_);
+  }
+  /// Eligible transactions still to be routed normally after a storm.
+  int ro_suspended() const { return ro_suspended_; }
 
  private:
   int budget_ = -1;  // -1: not yet adapted, use the configured maximum
   int window_attempts_ = 0;
   int window_aborts_ = 0;
+  int ro_window_attempts_ = 0;
+  int ro_window_aborts_ = 0;
+  int ro_suspended_ = 0;
 };
 
 /// The one backoff implementation (see BackoffPolicy).

@@ -36,7 +36,12 @@ class TmRuntime : public TransactionalMemory {
 
   bool run(int tid, TxBody body) final {
     registry_.ensure_registered(tid);
-    return run_registered(tid, body);
+    return run_registered(tid, TxMode::kUpdate, body);
+  }
+
+  bool run(int tid, TxMode mode, TxBody body) final {
+    registry_.ensure_registered(tid);
+    return run_registered(tid, mode, body);
   }
 
  protected:
@@ -44,8 +49,9 @@ class TmRuntime : public TransactionalMemory {
       : registry_(registry_capacity), policy_(policy) {}
 
   /// Runs one transaction on a registered slot (the unified retry loop with
-  /// this TM's attempt primitives plugged in).
-  virtual bool run_registered(int tid, TxBody body) = 0;
+  /// this TM's attempt primitives plugged in). `mode` is the caller's
+  /// access-pattern hint; TMs without a read-only fast path ignore it.
+  virtual bool run_registered(int tid, TxMode mode, TxBody body) = 0;
 
   /// Lazily loads a slot's persistent version number from the pool header
   /// (reset by recovery via TxThreadState::pver_loaded).

@@ -332,7 +332,7 @@ void TmAbTree::range_in(Tx& tx, word_t lo, word_t hi,
 
 std::vector<std::pair<word_t, word_t>> TmAbTree::range(int tid, word_t lo, word_t hi) {
   std::vector<std::pair<word_t, word_t>> out;
-  tm_.run(tid, [&](Tx& tx) {
+  tm_.run(tid, TxMode::kReadOnly, [&](Tx& tx) {
     out.clear();  // the body may be re-executed on abort
     range_in(tx, lo, hi, out);
   });
@@ -353,7 +353,7 @@ bool TmAbTree::remove(int tid, word_t key) {
 
 bool TmAbTree::contains(int tid, word_t key, word_t* out) {
   bool result = false;
-  tm_.run(tid, [&](Tx& tx) { result = contains_in(tx, key, out); });
+  tm_.run(tid, TxMode::kReadOnly, [&](Tx& tx) { result = contains_in(tx, key, out); });
   return result;
 }
 

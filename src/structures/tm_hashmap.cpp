@@ -84,7 +84,7 @@ bool TmHashMap::remove(int tid, word_t key) {
 
 bool TmHashMap::contains(int tid, word_t key, word_t* out) {
   bool result = false;
-  tm_.run(tid, [&](Tx& tx) { result = contains_in(tx, key, out); });
+  tm_.run(tid, TxMode::kReadOnly, [&](Tx& tx) { result = contains_in(tx, key, out); });
   return result;
 }
 

@@ -41,8 +41,13 @@ void json_taxonomy(std::string& out, const AbortTaxonomy& t) {
            htm::abort_cause_name(static_cast<htm::AbortCause>(c)),
            static_cast<unsigned long long>(t.hw_by_cause[c]));
   }
-  append(out, ",\"hw_total\":%llu,\"sw_aborts\":%llu,\"user_aborts\":%llu}",
+  for (std::size_t c = 0; c < kNumRoAbortCauses; ++c) {
+    append(out, ",\"%s\":%llu", ro_abort_cause_name(static_cast<RoAbortCause>(c)),
+           static_cast<unsigned long long>(t.ro_by_cause[c]));
+  }
+  append(out, ",\"hw_total\":%llu,\"ro_total\":%llu,\"sw_aborts\":%llu,\"user_aborts\":%llu}",
          static_cast<unsigned long long>(t.hw_total()),
+         static_cast<unsigned long long>(t.ro_total()),
          static_cast<unsigned long long>(t.sw_aborts),
          static_cast<unsigned long long>(t.user_aborts));
 }
@@ -116,14 +121,17 @@ std::string MetricsSnapshot::to_json() const {
     if (i) out += ",";
     append(out,
            "{\"name\":\"%s\",\"commits\":%llu,\"hw_commits\":%llu,\"sw_commits\":%llu,"
-           "\"read_only_commits\":%llu,\"hw_aborts\":%llu,\"sw_aborts\":%llu,"
+           "\"ro_commits\":%llu,\"read_only_commits\":%llu,\"hw_aborts\":%llu,"
+           "\"sw_aborts\":%llu,\"ro_aborts\":%llu,"
            "\"fallbacks\":%llu,\"user_aborts\":%llu,",
            m.name.c_str(), static_cast<unsigned long long>(m.stats.commits),
            static_cast<unsigned long long>(m.stats.hw_commits),
            static_cast<unsigned long long>(m.stats.sw_commits),
+           static_cast<unsigned long long>(m.stats.ro_commits),
            static_cast<unsigned long long>(m.stats.read_only_commits),
            static_cast<unsigned long long>(m.stats.hw_aborts),
            static_cast<unsigned long long>(m.stats.sw_aborts),
+           static_cast<unsigned long long>(m.stats.ro_aborts),
            static_cast<unsigned long long>(m.stats.fallbacks),
            static_cast<unsigned long long>(m.stats.user_aborts));
     json_taxonomy(out, m.tel.tx.taxonomy);
@@ -137,11 +145,17 @@ std::string MetricsSnapshot::to_json() const {
     json_hist(out, "ack_latency_ticks", m.tel.tx.ack_latency);
     append(out,
            ",\"adaptive\":{\"enabled\":%s,\"current_budget\":%d,"
-           "\"window_attempts\":%llu,\"window_aborts\":%llu,\"window_abort_rate\":%.4f}}",
+           "\"window_attempts\":%llu,\"window_aborts\":%llu,\"window_abort_rate\":%.4f,"
+           "\"ro_enabled\":%s,\"ro_window_attempts\":%llu,\"ro_window_aborts\":%llu,"
+           "\"ro_window_abort_rate\":%.4f,\"ro_suspended\":%d}}",
            m.tel.adaptive.enabled ? "true" : "false", m.tel.adaptive.current_budget,
            static_cast<unsigned long long>(m.tel.adaptive.window_attempts),
            static_cast<unsigned long long>(m.tel.adaptive.window_aborts),
-           m.tel.adaptive.window_abort_rate);
+           m.tel.adaptive.window_abort_rate,
+           m.tel.adaptive.ro_enabled ? "true" : "false",
+           static_cast<unsigned long long>(m.tel.adaptive.ro_window_attempts),
+           static_cast<unsigned long long>(m.tel.adaptive.ro_window_aborts),
+           m.tel.adaptive.ro_window_abort_rate, m.tel.adaptive.ro_suspended);
   }
   out += "],\"pools\":[";
   for (std::size_t i = 0; i < pools.size(); ++i) {
@@ -170,6 +184,7 @@ std::string MetricsSnapshot::to_prometheus() const {
     const std::string tm_label = "tm=\"" + m.name + "\"";
     prom_counter(out, "commits_total", tm_label + ",path=\"hw\"", m.stats.hw_commits);
     prom_counter(out, "commits_total", tm_label + ",path=\"sw\"", m.stats.sw_commits);
+    prom_counter(out, "commits_total", tm_label + ",path=\"ro\"", m.stats.ro_commits);
     prom_counter(out, "read_only_commits_total", tm_label, m.stats.read_only_commits);
     prom_counter(out, "fallbacks_total", tm_label, m.stats.fallbacks);
     prom_counter(out, "sw_aborts_total", tm_label, m.tel.tx.taxonomy.sw_aborts);
@@ -180,6 +195,12 @@ std::string MetricsSnapshot::to_prometheus() const {
                        htm::abort_cause_name(static_cast<htm::AbortCause>(c)) + "\"",
                    m.tel.tx.taxonomy.hw_by_cause[c]);
     }
+    for (std::size_t c = 0; c < kNumRoAbortCauses; ++c) {
+      prom_counter(out, "ro_aborts_total",
+                   tm_label + ",cause=\"" +
+                       ro_abort_cause_name(static_cast<RoAbortCause>(c)) + "\"",
+                   m.tel.tx.taxonomy.ro_by_cause[c]);
+    }
     prom_hist(out, "tx_latency_ticks", tm_label + ",path=\"hw\"", m.tel.tx.tx_latency_hw);
     prom_hist(out, "tx_latency_ticks", tm_label + ",path=\"sw\"", m.tel.tx.tx_latency_sw);
     prom_hist(out, "write_set_words", tm_label, m.tel.tx.write_set_size);
@@ -188,6 +209,10 @@ std::string MetricsSnapshot::to_prometheus() const {
            m.tel.adaptive.current_budget);
     append(out, "nvhalt_adaptive_window_abort_rate{%s} %.4f\n", tm_label.c_str(),
            m.tel.adaptive.window_abort_rate);
+    append(out, "nvhalt_ro_window_abort_rate{%s} %.4f\n", tm_label.c_str(),
+           m.tel.adaptive.ro_window_abort_rate);
+    append(out, "nvhalt_ro_suspended{%s} %d\n", tm_label.c_str(),
+           m.tel.adaptive.ro_suspended);
   }
   for (const PoolMetrics& p : pools) {
     const std::string pool_label = "pool=\"" + p.name + "\"";

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <thread>
 
+#include "telemetry/tx_telemetry.hpp"
+
 namespace nvhalt::telemetry {
+
+const char* ro_abort_cause_name(RoAbortCause c) {
+  switch (c) {
+    case RoAbortCause::kRoValidation: return "ro_validation";
+    case RoAbortCause::kRoDemotion: return "ro_demotion";
+    case RoAbortCause::kNumCauses: break;
+  }
+  return "unknown";
+}
 
 const char* event_kind_name(EventKind k) {
   switch (k) {
@@ -23,6 +34,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kFlushEnqueue: return "flush_enqueue";
     case EventKind::kFence: return "fence";
     case EventKind::kDurabilityAck: return "durability_ack";
+    case EventKind::kRoAttempt: return "ro_attempt";
+    case EventKind::kRoCommit: return "ro_commit";
+    case EventKind::kRoAbort: return "ro_abort";
     case EventKind::kRead: return "read";
     case EventKind::kWrite: return "write";
     case EventKind::kNumKinds: break;

@@ -72,6 +72,9 @@ enum class EventKind : std::uint8_t {
   kFlushEnqueue,    // arg: line index enqueued
   kFence,           // arg: unique lines written back
   kDurabilityAck,   // arg: ticks from commit to durability
+  kRoAttempt,       // arg: attempt index within the read-only fast path
+  kRoCommit,        // arg: unique lock lines validated
+  kRoAbort,         // cause field holds RoAbortCause; arg: 0
   kRead,            // level 2; arg: gaddr
   kWrite,           // level 2; arg: gaddr
   kNumKinds

@@ -18,12 +18,30 @@ namespace nvhalt::telemetry {
 inline constexpr std::size_t kNumAbortCauses =
     static_cast<std::size_t>(htm::AbortCause::kNumCauses);
 
-/// Hardware aborts decoded by htm::AbortCause, plus the software-path and
-/// user abort tallies, in one place. The invariant the metrics exporters
-/// check: sum(hw_by_cause) == TmThreadStats::hw_aborts, exactly — both are
-/// bumped by the single TxThreadState::record_hw_abort call site.
+/// Why a read-only fast-path attempt ended without committing:
+///   kRoValidation — a snapshot/lock-word validation failed (either RO
+///                   engine), including hardware conflict aborts of an RO
+///                   attempt;
+///   kRoDemotion   — the body wrote/allocated/freed, so the attempt was
+///                   abandoned and the transaction rerouted to the general
+///                   path.
+enum class RoAbortCause : std::uint8_t { kRoValidation = 0, kRoDemotion, kNumCauses };
+
+inline constexpr std::size_t kNumRoAbortCauses =
+    static_cast<std::size_t>(RoAbortCause::kNumCauses);
+
+const char* ro_abort_cause_name(RoAbortCause c);
+
+/// Hardware aborts decoded by htm::AbortCause, read-only fast-path aborts
+/// decoded by RoAbortCause, plus the software-path and user abort tallies,
+/// in one place. The invariants the metrics exporters and bench_regress
+/// --check enforce: sum(hw_by_cause) == TmThreadStats::hw_aborts and
+/// sum(ro_by_cause) == TmThreadStats::ro_aborts, exactly — each pair is
+/// bumped by a single TxThreadState call site (record_hw_abort /
+/// record_ro_abort).
 struct AbortTaxonomy {
   std::array<std::uint64_t, kNumAbortCauses> hw_by_cause{};
+  std::array<std::uint64_t, kNumRoAbortCauses> ro_by_cause{};
   std::uint64_t sw_aborts = 0;
   std::uint64_t user_aborts = 0;
 
@@ -33,8 +51,15 @@ struct AbortTaxonomy {
     return t;
   }
 
+  std::uint64_t ro_total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : ro_by_cause) t += c;
+    return t;
+  }
+
   void add(const AbortTaxonomy& o) {
     for (std::size_t i = 0; i < hw_by_cause.size(); ++i) hw_by_cause[i] += o.hw_by_cause[i];
+    for (std::size_t i = 0; i < ro_by_cause.size(); ++i) ro_by_cause[i] += o.ro_by_cause[i];
     sw_aborts += o.sw_aborts;
     user_aborts += o.user_aborts;
   }
@@ -77,6 +102,13 @@ struct AdaptiveSnapshot {
   std::uint64_t window_attempts = 0;
   std::uint64_t window_aborts = 0;
   double window_abort_rate = 0.0;
+  // Read-only routing signal (RoPolicy window; see AdaptiveBudget).
+  bool ro_enabled = false;
+  std::uint64_t ro_window_attempts = 0;
+  std::uint64_t ro_window_aborts = 0;
+  double ro_window_abort_rate = 0.0;
+  /// Eligible transactions still being routed normally after a storm.
+  int ro_suspended = 0;
 };
 
 /// Aggregated (all registered threads) telemetry for one TM instance, as

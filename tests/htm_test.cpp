@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -181,6 +182,43 @@ TEST(SimHtm, NontxStoreAbortsTransactionalReader) {
   other.join();
   EXPECT_THROW(htm.load(0, loc_pool(2), mem.at(2)), HtmAbort);
   EXPECT_EQ(mem.at(1)->load(), 7u);
+}
+
+TEST(SimHtm, NontxCachedClaimRunMatchesPlainStores) {
+  SimHtm htm;
+  Words mem(4);
+  {
+    SimHtm::NontxClaim claim;
+    htm.nontx_store_cached(0, loc_pool(1), mem.at(1), 11, claim);
+    htm.nontx_store_cached(0, loc_pool(2), mem.at(2), 22, claim);
+    htm.nontx_claim_release(claim);
+  }
+  EXPECT_EQ(mem.at(1)->load(), 11u);
+  EXPECT_EQ(mem.at(2)->load(), 22u);
+  // The stripe claim is gone: another thread's plain store must complete.
+  std::thread other([&] { htm.nontx_store(1, loc_pool(1), mem.at(1), 33); });
+  other.join();
+  EXPECT_EQ(mem.at(1)->load(), 33u);
+}
+
+TEST(SimHtm, NontxCachedClaimReleasedOnExceptionalUnwind) {
+  // Regression: the persist loops interleave cached stores with pool calls
+  // that throw when the crash coordinator trips mid-run. The claim's
+  // destructor must drop the stripe tag on that unwind — a leaked nontx
+  // tag has no epoch, so claim_stripe_nontx would otherwise spin on it
+  // forever and the next claimant of the stripe would hang.
+  SimHtm htm;
+  Words mem(4);
+  try {
+    SimHtm::NontxClaim claim;
+    htm.nontx_store_cached(0, loc_pool(1), mem.at(1), 5, claim);
+    throw std::runtime_error("simulated crash trip");
+  } catch (const std::runtime_error&) {
+  }
+  // Hangs here if the claim leaked.
+  std::thread other([&] { htm.nontx_store(1, loc_pool(1), mem.at(1), 6); });
+  other.join();
+  EXPECT_EQ(mem.at(1)->load(), 6u);
 }
 
 TEST(SimHtm, NontxLoadAbortsTransactionalWriter) {

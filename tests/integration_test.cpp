@@ -175,7 +175,7 @@ TEST_P(IntegrationTest, StatsAreInternallyConsistent) {
   });
   const TmStats s = tm.stats();
   EXPECT_EQ(s.commits, 200u);
-  EXPECT_EQ(s.commits, s.hw_commits + s.sw_commits);
+  EXPECT_EQ(s.commits, s.hw_commits + s.sw_commits + s.ro_commits);
 }
 
 TEST(Integration, FileBackedPoolSurvivesRunnerRestart) {

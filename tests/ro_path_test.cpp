@@ -1,0 +1,456 @@
+// Tests for the read-only fast path (core/ro_path.cpp; DESIGN.md Sec. 11,
+// docs/PROTOCOLS.md "Read-only fast path"): structural silence of RO
+// commits (no lock traffic, no commit_seq bump, no journal records),
+// counterexample interleavings where a stale snapshot read must be caught
+// by validation on both engines, demotion of writing bodies, dynamic
+// detection, storm suspension, and RO readers racing committing writers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/nvhalt_tm.hpp"
+#include "pmem/crash_enum.hpp"
+#include "runtime/retry_policy.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::run_threads;
+using test::small_config;
+using Outcome = NvHaltTm::RoAttemptOutcome;
+
+constexpr auto kRoValidation = static_cast<std::size_t>(telemetry::RoAbortCause::kRoValidation);
+constexpr auto kRoDemotion = static_cast<std::size_t>(telemetry::RoAbortCause::kRoDemotion);
+
+NvHaltTm& nv(TmRunner& r) { return dynamic_cast<NvHaltTm&>(r.tm()); }
+
+/// Two addresses a full cache line apart, so table-mode lock hashing (one
+/// lock per line) gives each its own lock word.
+struct TwoLines {
+  gaddr_t x, y;
+  explicit TwoLines(TmRunner& r) {
+    x = r.alloc().raw_alloc(0, 2 * kWordsPerLine);
+    y = x + kWordsPerLine;
+  }
+};
+
+// ------------------------------------------------ structural silence
+
+/// An RO commit must leave no trace: no lock word moves (acquire/release
+/// would bump the version), no commit_seq bump, no flush/fence, and — with
+/// a journal installed — not a single persistence event.
+void expect_silent_commits(bool hw_engine) {
+  PersistJournal journal;
+  RunnerConfig cfg = small_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  auto& tm = nv(runner);
+  TwoLines a(runner);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) {
+    tx.write(a.x, 3);
+    tx.write(a.y, 4);
+  }));
+
+  const std::uint64_t lock_x = tm.locks().ref(a.x).s->load();
+  const std::uint64_t lock_y = tm.locks().ref(a.y).s->load();
+  const std::uint64_t seq = tm.commit_seq();
+  const std::uint64_t fences = runner.pool().fence_count();
+  const std::uint64_t flushes = runner.pool().flush_count();
+  const std::size_t journaled = journal.size();
+  const std::uint64_t ro_before = tm.stats().ro_commits;
+
+  for (int i = 0; i < 10; ++i) {
+    word_t vx = 0, vy = 0;
+    const auto audit = [&](Tx& tx) {
+      vx = tx.read(a.x);
+      vy = tx.read(a.y);
+    };
+    ASSERT_EQ(hw_engine ? tm.attempt_ro_hw_once(0, audit) : tm.attempt_ro_sw_once(0, audit),
+              Outcome::kCommitted);
+    EXPECT_EQ(vx, 3u);
+    EXPECT_EQ(vy, 4u);
+  }
+
+  EXPECT_EQ(tm.locks().ref(a.x).s->load(), lock_x) << "RO commit touched a lock word";
+  EXPECT_EQ(tm.locks().ref(a.y).s->load(), lock_y);
+  EXPECT_EQ(tm.commit_seq(), seq) << "RO commit bumped commit_seq";
+  EXPECT_EQ(runner.pool().fence_count(), fences) << "RO commit fenced";
+  EXPECT_EQ(runner.pool().flush_count(), flushes) << "RO commit flushed";
+  EXPECT_EQ(journal.size(), journaled) << "RO commit emitted journal records";
+  EXPECT_EQ(tm.stats().ro_commits, ro_before + 10);
+}
+
+TEST(RoPathTest, SwCommitIsStructurallySilent) { expect_silent_commits(/*hw_engine=*/false); }
+TEST(RoPathTest, HwCommitIsStructurallySilent) { expect_silent_commits(/*hw_engine=*/true); }
+
+// --------------------------------------------- stale-snapshot counterexamples
+
+/// The adversarial interleaving for the snapshot engine, mirroring
+/// validation_cache_test: a writer commits between the reader's two reads
+/// (distinct lock lines, so the second read cannot piggyback on the first
+/// line's pre-image). The moved commit_seq forces a full revalidation at
+/// the second first-access, which sees x's advanced lock version and
+/// aborts before the body can hold the inconsistent {x, y} pair.
+void ro_sw_writer_between_reads(bool hw_writer) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  TwoLines a(runner);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) {
+    tx.write(a.x, 5);
+    tx.write(a.y, 5);
+  }));
+
+  bool inconsistent_observed = false;
+  int entries = 0;
+  const Outcome r = tm.attempt_ro_sw_once(0, [&](Tx& tx) {
+    const word_t vx = tx.read(a.x);
+    if (entries++ == 0) {
+      const auto move_unit = [&](Tx& wtx) {
+        wtx.write(a.x, wtx.read(a.x) - 1);
+        wtx.write(a.y, wtx.read(a.y) + 1);
+      };
+      EXPECT_TRUE(hw_writer ? tm.attempt_hw_once(1, move_unit) : tm.attempt_sw_once(1, move_unit));
+    }
+    const word_t vy = tx.read(a.y);  // must throw TxConflictAbort
+    if (vx + vy != 10) inconsistent_observed = true;
+  });
+  EXPECT_EQ(r, Outcome::kAborted);
+  EXPECT_FALSE(inconsistent_observed);
+  EXPECT_GE(tm.telemetry().tx.taxonomy.ro_by_cause[kRoValidation], 1u);
+}
+
+TEST(RoPathTest, SwEngineCatchesSwWriterBetweenReads) {
+  ro_sw_writer_between_reads(/*hw_writer=*/false);
+}
+TEST(RoPathTest, SwEngineCatchesHwWriterBetweenReads) {
+  ro_sw_writer_between_reads(/*hw_writer=*/true);
+}
+
+/// Same interleaving against the invisible-reader hardware engine: the
+/// reader's data lines are conflict-tracked even though its lock lines are
+/// not, so the writer's publication dooms the attempt eagerly. The writer
+/// runs on a real second thread — SimHtm (correctly) rejects opening a
+/// second transaction or issuing non-transactional stores from an OS
+/// thread that is already inside a hardware transaction.
+TEST(RoPathTest, HwEngineCatchesWriterBetweenReads) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  TwoLines a(runner);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) {
+    tx.write(a.x, 5);
+    tx.write(a.y, 5);
+  }));
+
+  std::atomic<int> stage{0};
+  std::thread writer([&] {
+    while (stage.load(std::memory_order_acquire) < 1) std::this_thread::yield();
+    EXPECT_TRUE(tm.attempt_sw_once(1, [&](Tx& wtx) {
+      wtx.write(a.x, wtx.read(a.x) - 1);
+      wtx.write(a.y, wtx.read(a.y) + 1);
+    }));
+    stage.store(2, std::memory_order_release);
+  });
+
+  bool inconsistent_observed = false;
+  int entries = 0;
+  const Outcome r = tm.attempt_ro_hw_once(0, [&](Tx& tx) {
+    const word_t vx = tx.read(a.x);
+    if (entries++ == 0) {
+      stage.store(1, std::memory_order_release);
+      while (stage.load(std::memory_order_acquire) < 2) std::this_thread::yield();
+    }
+    const word_t vy = tx.read(a.y);
+    if (vx + vy != 10) inconsistent_observed = true;
+  });
+  stage.store(1, std::memory_order_release);  // unblock on an early abort
+  writer.join();
+  EXPECT_EQ(r, Outcome::kAborted);
+  EXPECT_FALSE(inconsistent_observed);
+  EXPECT_GE(tm.telemetry().tx.taxonomy.ro_by_cause[kRoValidation], 1u);
+}
+
+/// A writer on a disjoint line moves commit_seq — forcing one snapshot
+/// extension — but must not doom the reader (no false aborts from the
+/// extension machinery itself).
+TEST(RoPathTest, DisjointWriterForcesExtensionNotAbort) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  TwoLines a(runner);
+  const gaddr_t z = runner.alloc().raw_alloc(0, 2 * kWordsPerLine) + kWordsPerLine;
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) {
+    tx.write(a.x, 5);
+    tx.write(a.y, 5);
+  }));
+
+  int entries = 0;
+  word_t vx = 0, vy = 0;
+  const Outcome r = tm.attempt_ro_sw_once(0, [&](Tx& tx) {
+    vx = tx.read(a.x);
+    if (entries++ == 0) {
+      EXPECT_TRUE(tm.attempt_sw_once(1, [&](Tx& wtx) { wtx.write(z, 99); }));
+    }
+    vy = tx.read(a.y);
+  });
+  EXPECT_EQ(r, Outcome::kCommitted);
+  EXPECT_EQ(vx + vy, 10u);
+}
+
+// ------------------------------------------------------------- demotion
+
+TEST(RoPathTest, WritingBodyDemotesBothEngines) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+
+  EXPECT_EQ(tm.attempt_ro_sw_once(0, [&](Tx& tx) { tx.write(a, 1); }), Outcome::kDemoted);
+  EXPECT_EQ(tm.attempt_ro_hw_once(0, [&](Tx& tx) { tx.write(a, 1); }), Outcome::kDemoted);
+  EXPECT_EQ(tm.attempt_ro_sw_once(0, [&](Tx& tx) { (void)tx.alloc(4); }), Outcome::kDemoted);
+  EXPECT_EQ(tm.telemetry().tx.taxonomy.ro_by_cause[kRoDemotion], 3u);
+  EXPECT_EQ(tm.stats().ro_aborts, 3u);
+  EXPECT_EQ(tm.stats().ro_commits, 0u);
+}
+
+/// A transaction *hinted* read-only whose body writes anyway must still
+/// commit correctly — it is demoted to the general loop, the write lands,
+/// and the demotion is visible in the taxonomy.
+TEST(RoPathTest, HintedWriterStillCommitsViaGeneralLoop) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+
+  ASSERT_TRUE(tm.run(0, TxMode::kReadOnly, [&](Tx& tx) { tx.write(a, 77); }));
+  word_t v = 0;
+  ASSERT_EQ(tm.attempt_ro_sw_once(0, [&](Tx& tx) { v = tx.read(a); }), Outcome::kCommitted);
+  EXPECT_EQ(v, 77u);
+
+  const TmStats s = tm.stats();
+  EXPECT_EQ(s.ro_commits, 1u);  // only the audit above
+  const auto tax = tm.telemetry().tx.taxonomy;
+  EXPECT_GE(tax.ro_by_cause[kRoDemotion], 1u);
+  EXPECT_EQ(tax.ro_total(), s.ro_aborts) << "sum-equals-total invariant";
+}
+
+// -------------------------------------------------- routing and gating
+
+TEST(RoPathTest, HintedReadOnlyRoutesToFastPath) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(a, 9); }));
+
+  const std::uint64_t before = tm.stats().ro_commits;
+  word_t v = 0;
+  ASSERT_TRUE(tm.run(0, TxMode::kReadOnly, [&](Tx& tx) { v = tx.read(a); }));
+  EXPECT_EQ(v, 9u);
+  EXPECT_EQ(tm.stats().ro_commits, before + 1);
+}
+
+/// Unhinted transactions reach the fast path only after a streak of
+/// empty-write-set commits (RoPolicy::dynamic_streak, default 8).
+TEST(RoPathTest, DynamicStreakRoutesUnhintedReadOnly) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(a, 1); }));
+
+  word_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(tm.run(0, [&](Tx& tx) { v = tx.read(a); }));
+  EXPECT_EQ(tm.stats().ro_commits, 0u) << "routed before the streak threshold";
+
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) { v = tx.read(a); }));
+  EXPECT_EQ(tm.stats().ro_commits, 1u) << "streak of 8 should route the 9th";
+
+  // A writing transaction resets the streak.
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(a, 2); }));
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) { v = tx.read(a); }));
+  EXPECT_EQ(tm.stats().ro_commits, 1u);
+  EXPECT_EQ(v, 2u);
+}
+
+/// The ablation configurations must not route: validate_every_read exists
+/// to measure the general software path, and the RO protocol leans on the
+/// production locking discipline.
+TEST(RoPathTest, AblationConfigsDisableRouting) {
+  for (const bool every_read : {true, false}) {
+    RunnerConfig cfg = small_config(TmKind::kNvHalt);
+    cfg.nvhalt.validate_every_read = every_read;
+    TmRunner runner(cfg);
+    auto& tm = nv(runner);
+    const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+    ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(a, 1); }));
+    word_t v = 0;
+    ASSERT_TRUE(tm.run(0, TxMode::kReadOnly, [&](Tx& tx) { v = tx.read(a); }));
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(tm.stats().ro_commits, every_read ? 0u : 1u);
+  }
+}
+
+TEST(RoPathTest, RoFastPathKnobDisablesRouting) {
+  RunnerConfig cfg = small_config(TmKind::kNvHalt);
+  cfg.nvhalt.ro_fast_path = false;
+  TmRunner runner(cfg);
+  auto& tm = nv(runner);
+  const gaddr_t a = runner.alloc().raw_alloc(0, 1);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(a, 1); }));
+  word_t v = 0;
+  ASSERT_TRUE(tm.run(0, TxMode::kReadOnly, [&](Tx& tx) { v = tx.read(a); }));
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(tm.stats().ro_commits, 0u);
+}
+
+/// Storm suspension on the routing signal itself (AdaptiveBudget): a
+/// window at/above the abort-rate threshold suspends admission for
+/// `cooloff` eligible transactions, then routing resumes.
+TEST(RoPathTest, StormSuspendsRoutingThenRecovers) {
+  runtime::RoPolicy rp;
+  rp.enabled = true;
+  rp.window = 8;
+  rp.storm_abort_rate = 0.5;
+  rp.cooloff = 4;
+  runtime::AdaptiveBudget b;
+
+  for (int i = 0; i < 8; ++i) b.record_ro(rp, /*aborted=*/i % 2 == 0);  // rate 0.5
+  EXPECT_EQ(b.ro_suspended(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(b.admit_ro(rp));
+  EXPECT_TRUE(b.admit_ro(rp)) << "routing resumes after the cooloff";
+
+  // A clean window does not suspend.
+  for (int i = 0; i < 8; ++i) b.record_ro(rp, /*aborted=*/false);
+  EXPECT_TRUE(b.admit_ro(rp));
+  // Disabled policy never admits.
+  rp.enabled = false;
+  EXPECT_FALSE(b.admit_ro(rp));
+}
+
+// -------------------------------------------- footprint / index migration
+
+/// More unique lines than ThreadCtx::kRoLinearScanMax: the unique-line set
+/// must migrate into the hash index mid-transaction with no lost entries
+/// (re-reads of early lines still memo-hit and validate).
+TEST(RoPathTest, LargeFootprintMigratesToIndex) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  constexpr std::size_t kLines = 48;  // > kRoLinearScanMax == 32
+  const gaddr_t base = runner.alloc().raw_alloc_large(kLines * kWordsPerLine);
+  ASSERT_TRUE(tm.run(0, [&](Tx& tx) {
+    for (std::size_t i = 0; i < kLines; ++i)
+      tx.write(base + i * kWordsPerLine, static_cast<word_t>(i + 1));
+  }));
+
+  std::uint64_t sum = 0;
+  ASSERT_EQ(tm.attempt_ro_sw_once(0,
+                                  [&](Tx& tx) {
+                                    sum = 0;
+                                    for (std::size_t i = 0; i < kLines; ++i)
+                                      sum += tx.read(base + i * kWordsPerLine);
+                                    // Second sweep: every line is now a
+                                    // memo/index hit.
+                                    for (std::size_t i = 0; i < kLines; ++i)
+                                      sum += tx.read(base + i * kWordsPerLine);
+                                  }),
+            Outcome::kCommitted);
+  EXPECT_EQ(sum, kLines * (kLines + 1));  // 2 * sum(1..kLines)
+}
+
+// ------------------------------------------------- empty durable prefix
+
+/// The crash-enumeration view of the structural-silence invariant: an
+/// RO-only phase appends nothing to the persistence journal, so every
+/// crash image enumerable from that phase is exactly the pre-phase image.
+TEST(RoPathTest, RoOnlyPhaseLeavesEmptyDurablePrefix) {
+  PersistJournal journal;
+  RunnerConfig cfg = small_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  auto& tm = nv(runner);
+  constexpr std::size_t kSlots = 16;
+  const gaddr_t arr = runner.alloc().raw_alloc_large(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i)
+    ASSERT_TRUE(tm.run(0, [&](Tx& tx) { tx.write(arr + i, i); }));
+
+  journal.clear();
+  std::uint64_t sum = 0;
+  for (int round = 0; round < 32; ++round) {
+    ASSERT_TRUE(tm.run(0, TxMode::kReadOnly, [&](Tx& tx) {
+      sum = 0;
+      for (std::size_t i = 0; i < kSlots; ++i) sum += tx.read(arr + i);
+    }));
+    EXPECT_EQ(sum, kSlots * (kSlots - 1) / 2);
+  }
+  EXPECT_GE(tm.stats().ro_commits, 32u);
+  EXPECT_EQ(journal.size(), 0u) << "RO-only phase journaled persistence events";
+
+  // Enumerating the (empty) phase trace yields a single boundary whose
+  // image contains no durable stores — the crash outcome is the pre-phase
+  // state no matter where in the RO phase the crash lands.
+  CrashEnumerator en(journal.events(), CrashEnumOptions{});
+  const auto failure = en.run([](const CrashImage& image, std::size_t, std::uint64_t,
+                                 std::string* why) {
+    if (!image.words.empty()) {
+      if (why) *why = "RO-only trace materialized durable stores";
+      return false;
+    }
+    return true;
+  });
+  EXPECT_FALSE(failure.has_value());
+}
+
+// ---------------------------------------------------- concurrent stress
+
+/// RO readers race committing writers across both paths. Named to match
+/// the tsan-concurrency preset filter (CMakePresets.json). Writers do
+/// zero-sum transfers; hinted RO audits must never observe a nonzero sum,
+/// whether they commit on the fast path or after demotion.
+class RoPathStress : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(WriterPaths, RoPathStress, ::testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "SwPinnedWriters" : "HybridWriters";
+                         });
+
+TEST_P(RoPathStress, RoReadersNeverObserveTornSums) {
+  RunnerConfig cfg = small_config(TmKind::kNvHalt);
+  if (GetParam()) cfg.nvhalt.htm_attempts = 0;  // all writers on the sw path
+  TmRunner runner(cfg);
+  auto& tm = nv(runner);
+  constexpr std::size_t kSlots = 24;
+  constexpr int kThreads = 4;
+  const gaddr_t arr = runner.alloc().raw_alloc_large(kSlots);
+
+  std::atomic<std::uint64_t> violations{0};
+  run_threads(kThreads, [&](int tid) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(tid) * 131 + 17);
+    for (int i = 0; i < 300; ++i) {
+      if (rng.next_bool(0.4)) {
+        const gaddr_t a = arr + rng.next_bounded(kSlots);
+        const gaddr_t b = arr + rng.next_bounded(kSlots);
+        tm.run(tid, [&](Tx& tx) {
+          tx.write(a, tx.read(a) - 1);
+          tx.write(b, tx.read(b) + 1);
+        });
+      } else {
+        tm.run(tid, TxMode::kReadOnly, [&](Tx& tx) {
+          std::int64_t sum = 0;
+          for (std::size_t s = 0; s < kSlots; ++s)
+            sum += static_cast<std::int64_t>(tx.read(arr + s));
+          if (sum != 0) violations.fetch_add(1);
+        });
+      }
+    }
+  });
+  EXPECT_EQ(violations.load(), 0u);
+
+  const TmStats s = tm.stats();
+  EXPECT_GT(s.ro_commits, 0u) << "stress never exercised the fast path";
+  EXPECT_EQ(s.commits, s.hw_commits + s.sw_commits + s.ro_commits)
+      << "every commit attributed to exactly one path";
+  EXPECT_EQ(tm.telemetry().tx.taxonomy.ro_total(), s.ro_aborts);
+}
+
+}  // namespace
+}  // namespace nvhalt
