@@ -33,7 +33,7 @@ RunnerConfig make_runner_config(const BenchParams& p) {
   cfg.pmem.raw_words =
       static_cast<std::size_t>(cfg.spht.max_threads) *
           (cfg.spht.log_words_per_thread + 2 * kWordsPerLine) +
-      (std::size_t{1} << 16);
+      TxAllocator::metadata_words(words) + (std::size_t{1} << 16);
   cfg.pmem.flushes_enabled = p.flushes_enabled;
   cfg.pmem.eadr = p.eadr;
   cfg.pmem.flush_latency_ns = p.flush_latency_ns;

@@ -6,8 +6,8 @@
 //
 // Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
 //                      [--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH]
-//                      [--baseline PATH] [--hw-baseline PATH]
-//                      [--ro-baseline PATH]
+//                      [--alloc-out PATH] [--baseline PATH] [--hw-baseline PATH]
+//                      [--ro-baseline PATH] [--alloc-baseline PATH]
 //   --smoke        truncated ~10s mode (small keys, short windows), used by
 //                  the perf-smoke CTest target
 //   --check        after writing the reports, re-read and validate their
@@ -33,6 +33,12 @@
 //   --hw-baseline  same for the hw-hotpath report; ns_per_op is a latency,
 //                  so the gate ratio is baseline/current
 //   --ro-baseline  same cell-wise ops_per_sec gate for the ro-path report
+//   --alloc-out    delete-heavy allocator-churn report: 0% reads, Zipfian
+//                  keys, skiplist + abtree across the four freeing TMs,
+//                  with the epoch retire/reclaim ledger per cell (default:
+//                  BENCH_alloc_churn.json); --check asserts the ledger
+//                  balances (retired == reclaimed + limbo)
+//   --alloc-baseline  same cell-wise ops_per_sec gate for the churn report
 //
 // The committed BENCH_sw_hotpath.json / BENCH_thread_scaling.json at the
 // repo root are full-mode runs of this binary. By default there are no
@@ -63,9 +69,12 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "structures/tm_abtree.hpp"
 #include "structures/tm_hashmap.hpp"
+#include "structures/tm_skiplist.hpp"
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
+#include "workload/workload.hpp"
 
 namespace nvhalt::bench {
 namespace {
@@ -78,9 +87,11 @@ struct Options {
   std::string taxonomy_out = "BENCH_taxonomy.json";
   std::string hw_out = "BENCH_hw_hotpath.json";
   std::string ro_out = "BENCH_ro_path.json";
+  std::string alloc_out = "BENCH_alloc_churn.json";
   std::string baseline;
   std::string hw_baseline;
   std::string ro_baseline;
+  std::string alloc_baseline;
 };
 
 /// Fractional tolerance from the environment (e.g. "0.5"); <= 0 or unset
@@ -289,6 +300,100 @@ int run_ro_report(const Options& opt) {
   return 0;
 }
 
+// ------------------------------------------------------ allocator churn sweep
+
+/// One delete-heavy churn cell (workload::run_churn): 0% reads, inserts and
+/// removes 50/50 over Zipfian keys — every committed remove retires a node
+/// through the epoch limbo and every insert wants one back.
+workload::ChurnResult measure_alloc_cell(bool skiplist, TmKind kind, bool smoke) {
+  const std::size_t key_range = smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
+
+  RunnerConfig cfg;
+  cfg.kind = kind;
+  std::size_t words = std::size_t{1} << 16;
+  while (words < key_range * 10 + (std::size_t{1} << 16)) words <<= 1;
+  cfg.pmem.capacity_words = words;
+  cfg.pmem.raw_words = TxAllocator::metadata_words(words) + (std::size_t{1} << 16);
+  cfg.pmem.track_store_order = false;
+  cfg.nvhalt.lock_table_entries = std::size_t{1} << 16;
+  cfg.trinity.lock_table_entries = std::size_t{1} << 16;
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+
+  std::unique_ptr<TmSkipList> sl;
+  std::unique_ptr<TmAbTree> tree;
+  std::unique_ptr<workload::KeyedOps> ops;
+  if (skiplist) {
+    sl = std::make_unique<TmSkipList>(tm);
+    ops = std::make_unique<workload::KeyedOpsAdapter<TmSkipList>>(*sl);
+  } else {
+    tree = std::make_unique<TmAbTree>(tm);
+    ops = std::make_unique<workload::KeyedOpsAdapter<TmAbTree>>(*tree);
+  }
+  workload::prefill_half(*ops, key_range, 1);
+  tm.reset_stats();
+
+  workload::ChurnSpec spec;
+  spec.threads = 2;
+  spec.key_range = key_range;
+  spec.duration_ms = smoke ? 20 : 150;
+  return workload::run_churn(*ops, runner.alloc(), spec);
+}
+
+/// The allocator-churn report: the delete-heavy corner that the main grid's
+/// 0ro cells only graze (uniform keys spread frees thin; Zipf concentrates
+/// retire/reclaim traffic on hot segments). Skiplist and abtree cover the
+/// two free shapes that actually hit the limbo — per-remove tower nodes vs
+/// multi-word leaf/internal blocks freed on merges. The hashmap is out (its
+/// removes mark-empty and never free, paper Sec. 5) and so is SPHT (bump
+/// chunks, never frees). Cells carry the retire/reclaim ledger next to
+/// ops_per_sec, and --alloc-baseline gates ops_per_sec through
+/// NVHALT_BENCH_TOLERANCE like every other grid.
+int run_alloc_report(const Options& opt) {
+  const int rounds = bench_rounds_from_env(opt.smoke);
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-alloc-churn-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  js << "  \"cells\": [\n";
+  bool first = true;
+  for (const bool skiplist : {true, false}) {
+    for (const TmKind kind :
+         {TmKind::kNvHalt, TmKind::kNvHaltCl, TmKind::kNvHaltSp, TmKind::kTrinity}) {
+      workload::ChurnResult best{};
+      for (int i = 0; i < rounds; ++i) {
+        workload::ChurnResult r = measure_alloc_cell(skiplist, kind, opt.smoke);
+        if (i == 0 || r.mixed.ops_per_sec > best.mixed.ops_per_sec) best = r;
+      }
+      const char* st = skiplist ? "skiplist" : "abtree";
+      js << (first ? "" : ",\n");
+      first = false;
+      js << "    {\"structure\": \"" << st << "\", \"read_pct\": " << 0 << ", \"tm\": \""
+         << tm_kind_name(kind) << "\", \"threads\": " << 2
+         << ", \"ops_per_sec\": " << best.mixed.ops_per_sec
+         << ", \"allocs\": " << best.alloc.allocs << ", \"frees\": " << best.alloc.frees
+         << ", \"retired\": " << best.alloc.retired
+         << ", \"reclaimed\": " << best.alloc.reclaimed
+         << ", \"limbo\": " << best.alloc.limbo << "}";
+      std::fprintf(stderr, "alloc %s churn %s: %.0f ops/s (retired %llu reclaimed %llu)\n", st,
+                   tm_kind_name(kind), best.mixed.ops_per_sec,
+                   static_cast<unsigned long long>(best.alloc.retired),
+                   static_cast<unsigned long long>(best.alloc.reclaimed));
+    }
+  }
+  js << "\n  ]\n}\n";
+
+  std::ofstream f(opt.alloc_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.alloc_out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.alloc_out.c_str());
+  return 0;
+}
+
 // ------------------------------------------------------ thread scaling sweep
 
 struct ScalingCell {
@@ -315,7 +420,7 @@ ScalingCell measure_scaling_point(TmKind kind, int threads, bool smoke) {
   cfg.spht.log_words_per_thread = std::size_t{1} << 18;
   cfg.pmem.raw_words = static_cast<std::size_t>(cfg.spht.max_threads) *
                            (cfg.spht.log_words_per_thread + 2 * kWordsPerLine) +
-                       (std::size_t{1} << 16);
+                       TxAllocator::metadata_words(words) + (std::size_t{1} << 16);
   cfg.pmem.track_store_order = false;
   cfg.nvhalt.lock_table_entries = std::size_t{1} << 16;
   cfg.trinity.lock_table_entries = std::size_t{1} << 16;
@@ -743,6 +848,51 @@ int check_ro_report(const std::string& path) {
   return errors.empty() ? 0 : 1;
 }
 
+/// Shape + consistency validation for the alloc-churn report: 2 structures
+/// x 4 freeing TMs = 8 cells, and per cell the epoch ledger must balance —
+/// everything retired during the phase was either reclaimed or is still in
+/// limbo (retire() and reclaim() are the only writers of either side).
+int check_alloc_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  std::string line;
+  bool saw_schema = false;
+  std::size_t cells = 0;
+  while (std::getline(f, line)) {
+    if (line.find("\"schema\": \"nvhalt-bench-alloc-churn-v1\"") != std::string::npos)
+      saw_schema = true;
+    const auto field = [&line](const std::string& key) -> long long {
+      const std::string needle = "\"" + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::atoll(line.c_str() + pos + needle.size());
+    };
+    const long long retired = field("retired");
+    if (retired < 0) continue;
+    ++cells;
+    const long long reclaimed = field("reclaimed");
+    const long long limbo = field("limbo");
+    if (retired != reclaimed + limbo) {
+      errors.push_back("alloc cell " + std::to_string(cells) + ": retired " +
+                       std::to_string(retired) + " != reclaimed " + std::to_string(reclaimed) +
+                       " + limbo " + std::to_string(limbo));
+    }
+    if (line.find("\"tm\": \"SPHT\"") != std::string::npos)
+      errors.push_back("alloc churn must not include SPHT (bump allocator, never frees)");
+  }
+  if (!saw_schema) errors.push_back("missing/unknown alloc-churn schema tag");
+  if (cells != 8)
+    errors.push_back("alloc-churn report must have 8 cells, found " + std::to_string(cells));
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
 // ------------------------------------------------- baseline comparison
 
 /// One parsed grid cell: "structure/read_pct/tm" -> ops_per_sec. The
@@ -929,6 +1079,10 @@ int main(int argc, char** argv) {
       opt.hw_out = argv[++i];
     } else if (std::strcmp(argv[i], "--ro-out") == 0 && i + 1 < argc) {
       opt.ro_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--alloc-out") == 0 && i + 1 < argc) {
+      opt.alloc_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--alloc-baseline") == 0 && i + 1 < argc) {
+      opt.alloc_baseline = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       opt.baseline = argv[++i];
     } else if (std::strcmp(argv[i], "--hw-baseline") == 0 && i + 1 < argc) {
@@ -938,8 +1092,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
-                   "[--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH] [--baseline PATH] "
-                   "[--hw-baseline PATH] [--ro-baseline PATH]\n");
+                   "[--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH] [--alloc-out PATH] "
+                   "[--baseline PATH] [--hw-baseline PATH] [--ro-baseline PATH] "
+                   "[--alloc-baseline PATH]\n");
       return 2;
     }
   }
@@ -951,16 +1106,20 @@ int main(int argc, char** argv) {
   if (rc != 0) return rc;
   rc = nvhalt::bench::run_ro_report(opt);
   if (rc != 0) return rc;
+  rc = nvhalt::bench::run_alloc_report(opt);
+  if (rc != 0) return rc;
   if (opt.check) {
     rc = nvhalt::bench::check_report(opt.out);
     const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
     const int rc3 = nvhalt::bench::check_taxonomy(opt.taxonomy_out);
     const int rc4 = nvhalt::bench::check_hw_report(opt.hw_out);
     const int rc5 = nvhalt::bench::check_ro_report(opt.ro_out);
+    const int rc6 = nvhalt::bench::check_alloc_report(opt.alloc_out);
     if (rc == 0) rc = rc2;
     if (rc == 0) rc = rc3;
     if (rc == 0) rc = rc4;
     if (rc == 0) rc = rc5;
+    if (rc == 0) rc = rc6;
     if (rc != 0) return rc;
   }
   if (!opt.baseline.empty()) {
@@ -969,6 +1128,10 @@ int main(int argc, char** argv) {
   }
   if (!opt.ro_baseline.empty()) {
     rc = nvhalt::bench::compare_grid_files("--ro-baseline", opt.ro_baseline, opt.ro_out);
+    if (rc != 0) return rc;
+  }
+  if (!opt.alloc_baseline.empty()) {
+    rc = nvhalt::bench::compare_grid_files("--alloc-baseline", opt.alloc_baseline, opt.alloc_out);
     if (rc != 0) return rc;
   }
   if (!opt.hw_baseline.empty()) return nvhalt::bench::compare_hw_with_baseline(opt);

@@ -107,18 +107,25 @@ class TransactionalMemory {
   /// Claims a slot for the calling thread; released when the handle dies.
   ThreadHandle register_thread() { return ThreadHandle(registry()); }
 
-  /// Post-crash recovery, phase 1: restores the volatile image from the
-  /// durable state (reverting in-flight transactions / replaying logs) and
-  /// resets volatile TM metadata. Must be called quiescently, before any
-  /// new transactions.
+  /// Post-crash recovery: restores the volatile image from the durable
+  /// state (reverting in-flight transactions / replaying logs), resets
+  /// volatile TM metadata, and reconstructs the allocator from the pool's
+  /// own persistent metadata (DESIGN.md Sec. 12) — no live-block iterator
+  /// required, unlike the paper's volatile-allocator assumption (Sec. 4).
+  /// Must be called quiescently, before any new transactions.
   virtual void recover_data() = 0;
 
-  /// Post-crash recovery, phase 2: rebuilds the volatile allocator state
-  /// from the live blocks the user's iterator discovered by walking the
-  /// recovered data (paper Sec. 4).
+  /// Complete recovery from the pool alone.
+  void recover() { recover_data(); }
+
+  /// Optional recovery cross-check: validates the recovered allocator
+  /// metadata against the live blocks a structure walk discovered, and
+  /// sweeps marked-used blocks no structure owns. (For a standalone —
+  /// never TM-attached — allocator this is the authoritative rebuild, the
+  /// paper's Sec. 4 protocol.)
   virtual void rebuild_allocator(std::span<const LiveBlock> live) = 0;
 
-  /// Convenience for callers that know the live set up front.
+  /// Recovery plus the live-set cross-check / leak sweep.
   void recover(std::span<const LiveBlock> live) {
     recover_data();
     rebuild_allocator(live);

@@ -180,13 +180,36 @@ void SphtTm::recover_data() {
                          std::memory_order_relaxed);
   for (int t = 0; t < cfg_.max_threads; ++t)
     ts_pub_[t].value.store(1 /*pub_pack(0, true)*/, std::memory_order_relaxed);
+
+  // Rebuild the carver from the pool's persistent metadata (durable
+  // segment watermark + large-extent headers). SPHT commits never arm
+  // allocator intents — chunks are carved eagerly-durable and nothing is
+  // ever freed — so the committed-ness predicate is vacuous.
+  alloc_iface_.recover_metadata(0, [](int, std::uint64_t) { return false; });
+  for (int t = 0; t < cfg_.max_threads; ++t) bump_[t] = BumpState{};
 }
 
 void SphtTm::rebuild_allocator(std::span<const LiveBlock> live) {
-  // SPHT's bump blocks are not size-class aligned, so the shared carver is
-  // rebuilt with one large in-use block covering everything up to the live
-  // high-water mark; fresh chunks continue beyond it. (SPHT never recycles
-  // memory — the artificially cheap allocator the paper calls out.)
+  if (alloc_iface_.tm_managed()) {
+    // recover_data() already rebuilt the carver; the live set is a
+    // cross-check only. SPHT bump blocks are sub-chunk carvings inside
+    // durably-recorded large extents (not size-class slots), so the check
+    // here is containment: every live block must lie below the durable
+    // segment watermark. Blocks leaked by aborted transactions stay
+    // unreachable — the artificially cheap allocator the paper calls out
+    // has no free path to sweep them into.
+    const gaddr_t wm_end = alloc_iface_.heap_begin() +
+                           static_cast<gaddr_t>(alloc_iface_.durable_watermark()) * kSegmentWords;
+    for (const LiveBlock& b : live) {
+      if (b.addr < alloc_iface_.heap_begin() || b.addr + b.nwords > wm_end)
+        throw TmLogicError("SPHT live block outside the durably carved heap");
+    }
+    for (int t = 0; t < cfg_.max_threads; ++t) bump_[t] = BumpState{};
+    return;
+  }
+  // Standalone fallback (volatile carver): rebuild with one large in-use
+  // block covering everything up to the live high-water mark; fresh chunks
+  // continue beyond it.
   const gaddr_t heap_begin = alloc_iface_.heap_begin();
   gaddr_t max_end = heap_begin;
   for (const LiveBlock& b : live) max_end = std::max<gaddr_t>(max_end, b.addr + b.nwords);

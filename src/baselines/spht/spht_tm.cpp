@@ -76,6 +76,11 @@ SphtTm::SphtTm(const SphtConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAlloca
     // reallocate on the hot path.
     ctx_[t].redo.reserve(128);
   }
+  // TM-managed carver: bump chunks are carved as durably-recorded large
+  // extents, so recovery can rebuild the watermark from the pool alone.
+  // SPHT never frees, so the epoch machinery stays idle (no pins needed)
+  // and no per-transaction allocator intents are ever armed.
+  alloc_iface_.attach_registry(&registry_);
 }
 
 SphtTm::~SphtTm() = default;
@@ -85,7 +90,7 @@ void SphtTm::refill_bump_chunk(int tid) {
   // raw_alloc_large rounds to whole segments; the leftover belongs to us.
   const std::size_t words =
       (cfg_.alloc_chunk_words + kSegmentWords - 1) / kSegmentWords * kSegmentWords;
-  b.cur = alloc_iface_.raw_alloc_large(words);
+  b.cur = alloc_iface_.raw_alloc_large(tid, words);
   b.left = words;
 }
 

@@ -56,6 +56,9 @@ TrinityTm::TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& allo
     ctx_[t].wrset.reserve(64);
     ctx_[t].held.reserve(64);
   }
+  // TM-managed allocator: persistent metadata, epoch-based reclamation
+  // bounded by this registry, and crash recovery from the pool alone.
+  alloc_.attach_registry(&registry_);
 }
 
 TrinityTm::~TrinityTm() = default;
@@ -102,6 +105,20 @@ class TrinityTx final : public Tx {
 
   void commit() {
     if (ctx_.wrset.empty()) {
+      if (tm_.alloc_.has_pending(tid_)) {
+        // No data words written, but the transaction allocated or freed:
+        // the allocator effects still need the arm → marker → apply
+        // durability sequence (no locks needed — reads were validated at
+        // read time, and the effects are per-thread allocator state).
+        tm_.alloc_.persist_arm(tid_, ctx_.pver);
+        tm_.pool_.fence(tid_);
+        ++ctx_.pver;
+        tm_.pool_.store_pver(tid_, ctx_.pver);
+        tm_.pool_.flush_pver(tid_);
+        tm_.alloc_.persist_apply(tid_);
+        tm_.pool_.fence(tid_);
+        return;
+      }
       ctx_.stats.read_only_commits++;
       return;  // per-read validation suffices for read-only transactions
     }
@@ -150,6 +167,10 @@ class TrinityTx final : public Tx {
     // Persist with Trinity records while the locks are held, then apply.
     ctx_.tel.write_set_size.record(ctx_.wrset.size());
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid_, ctx_.held.size());
+    // Allocator intent record: armed under this transaction's pre-bump
+    // pVerNum and flushed with the write set, so it is durable before the
+    // marker can be. Recovery replays it iff pver crossed the arm id.
+    tm_.alloc_.persist_arm(tid_, ctx_.pver);
     for (const auto& w : ctx_.wrset) {
       const word_t old = tm_.pool_.load(w.addr);
       tm_.pool_.record_write(tid_, w.addr, old, w.val, ctx_.pver);
@@ -160,6 +181,10 @@ class TrinityTx final : public Tx {
     ++ctx_.pver;
     tm_.pool_.store_pver(tid_, ctx_.pver);
     tm_.pool_.flush_pver(tid_);
+    // Allocation-bitmap apply rides the marker's fence: apply-durable
+    // implies marker-durable (enqueue order), and recovery re-normalizes
+    // the still-armed record idempotently either way.
+    tm_.alloc_.persist_apply(tid_);
     tm_.pool_.fence(tid_);
 
     // Release with version wv: readers that started before us see
@@ -191,6 +216,10 @@ class TrinityTx final : public Tx {
 };
 
 TrinityTm::AttemptResult TrinityTm::attempt(int tid, TxBody body) {
+  // Reclamation epoch: the quiescent refresh keeps this thread's
+  // persistent reservation current, so no node this transaction may read
+  // can be recycled under it (alloc/ebr.hpp).
+  alloc::quiesce_attempt(alloc_.epochs(), tid);
   ThreadCtx& ctx = ctx_[tid];
   ctx.rdset.clear();
   ctx.wrset.clear();
@@ -260,9 +289,22 @@ void TrinityTm::recover_data() {
   locks_.reset();
   gv_.value.store(0, std::memory_order_relaxed);
   ctx_.for_each([](ThreadCtx& c) { c.pver_loaded = false; });
+
+  // Reconstruct allocator state from the pool's persistent metadata: the
+  // committed-ness predicate mirrors the data pass (record stamped with a
+  // pre-bump pVerNum is committed iff the durable marker crossed it).
+  alloc_.recover_metadata(rtid, [&](int t, std::uint64_t seq) {
+    return seq < durable_pver[t];
+  });
 }
 
-void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebuild(live); }
+void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) {
+  if (alloc_.tm_managed()) {
+    alloc_.verify_rebuild(live);
+    return;
+  }
+  alloc_.rebuild(live);
+}
 
 TmStats TrinityTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 

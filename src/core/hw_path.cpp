@@ -103,6 +103,10 @@ class NvHaltHwTx final : public Tx {
 };
 
 NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
+  // Reclamation epoch: the quiescent refresh keeps this thread's
+  // persistent reservation current, so no node this transaction may read
+  // can be recycled under it (alloc/ebr.hpp).
+  alloc::quiesce_attempt(alloc_.epochs(), tid);
   ThreadCtx& ctx = ctx_[tid];
   ctx.hw_undo.clear();
   ctx.hw_locks.clear();
@@ -136,7 +140,7 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
   // happen outside the transaction — they would have aborted it).
   if (!ctx.hw_locks.empty())
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid, ctx.hw_locks.size());
-  if (cfg_.persist_hw_txns && !ctx.hw_undo.empty()) {
+  if (cfg_.persist_hw_txns && (!ctx.hw_undo.empty() || alloc_.has_pending(tid))) {
     ctx.persist_buf.clear();
     for (const auto& u : ctx.hw_undo)
       ctx.persist_buf.push_back({u.addr, u.old, pool_.load(u.addr)});

@@ -40,6 +40,9 @@ NvHaltTm::NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, Tx
     ctx_[t].rng.reseed(0xC0FFEE + static_cast<std::uint64_t>(t));
     ctx_[t].reserve_scratch();
   }
+  // TM-managed allocator: persistent metadata, epoch-based reclamation
+  // bounded by this registry, and crash recovery from the pool alone.
+  alloc_.attach_registry(&registry_);
 }
 
 NvHaltTm::~NvHaltTm() = default;
@@ -66,6 +69,10 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // released (done by the caller), preserving the invariant that an
   // address is non-durable only while locked.
   ctx.tel.write_set_size.record(ctx.persist_buf.size());
+  // Allocator intent record: armed under this transaction's pre-bump
+  // pVerNum and flushed with the write set, so it is durable before the
+  // marker can be. Recovery replays it iff pver crossed the arm id.
+  alloc_.persist_arm(tid, ctx.pver);
   // Structure updates write runs of words within a node's cache lines, so
   // consecutive entries usually share a conflict-table stripe: the cached
   // claim turns the per-word claim/abort-scan/release round into one round
@@ -82,6 +89,10 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   ++ctx.pver;
   pool_.store_pver(tid, ctx.pver);
   pool_.flush_pver(tid);
+  // Allocation-bitmap apply rides the marker's fence: apply-durable
+  // implies marker-durable (enqueue order), and recovery re-normalizes
+  // the still-armed record idempotently either way.
+  alloc_.persist_apply(tid);
   pool_.fence(tid);
 }
 

@@ -56,8 +56,28 @@ void NvHaltTm::recover_data() {
     c.hw_locks.clear();
     c.acquired.clear();
   });
+
+  // Allocator state is reconstructed from the pool's own persistent
+  // metadata: armed intent records are normalized (applied iff the owning
+  // transaction's pre-bump pVerNum crossed the durable marker — the same
+  // committed-ness predicate the data pass used above), then the bitmaps
+  // and segment headers rebuild the volatile free lists. Crash-orphaned
+  // blocks (allocated, never committed) are swept here. No structure
+  // traversal is required; rebuild_allocator() below is an optional
+  // cross-check.
+  alloc_.recover_metadata(rtid, [&](int t, std::uint64_t seq) {
+    return seq < durable_pver[t];
+  });
 }
 
-void NvHaltTm::rebuild_allocator(std::span<const LiveBlock> live) { alloc_.rebuild(live); }
+void NvHaltTm::rebuild_allocator(std::span<const LiveBlock> live) {
+  if (alloc_.tm_managed()) {
+    // Metadata already rebuilt the allocator in recover_data(); the live
+    // set now serves as a reachability cross-check and leak sweep.
+    alloc_.verify_rebuild(live);
+    return;
+  }
+  alloc_.rebuild(live);
+}
 
 }  // namespace nvhalt

@@ -194,6 +194,10 @@ class NvHaltRoHwTx final : public Tx {
 };
 
 NvHaltTm::RoAttemptOutcome NvHaltTm::attempt_ro_sw(int tid, TxBody body) {
+  // The snapshot engine reads lock-free: the epoch reservation is the
+  // only thing standing between this reader and a concurrent free+recycle
+  // of a node it is about to read (alloc/ebr.hpp).
+  alloc::quiesce_attempt(alloc_.epochs(), tid);
   ThreadCtx& ctx = ctx_[tid];
   ctx.ro_set.clear();
   ctx.ro_filter = 0;
@@ -226,6 +230,10 @@ NvHaltTm::RoAttemptOutcome NvHaltTm::attempt_ro_sw(int tid, TxBody body) {
 }
 
 NvHaltTm::RoAttemptOutcome NvHaltTm::attempt_ro_hw(int tid, TxBody body) {
+  // Invisible readers subscribe nothing until the pre-commit batch check:
+  // the epoch reservation keeps freed nodes from being recycled
+  // mid-snapshot.
+  alloc::quiesce_attempt(alloc_.epochs(), tid);
   ThreadCtx& ctx = ctx_[tid];
   ctx.ro_set.clear();
   ctx.ro_filter = 0;

@@ -112,6 +112,15 @@ class NvHaltSwTx final : public Tx {
   /// releasing anything acquired.
   void commit() {
     if (ctx_.wrset.empty()) {
+      if (tm_.alloc_.has_pending(tid_)) {
+        // No data words written, but the transaction allocated or freed:
+        // the allocator effects still need the arm → marker → apply
+        // durability sequence (no locks to hold — reads were validated at
+        // read time, and the effects are per-thread allocator state).
+        ctx_.persist_buf.clear();
+        tm_.persist_and_bump_pver(tid_, ctx_);
+        return;
+      }
       ctx_.stats.read_only_commits++;
       return;  // read-only: validated on every read, nothing to persist
     }
@@ -220,6 +229,10 @@ class NvHaltSwTx final : public Tx {
 };
 
 NvHaltTm::AttemptResult NvHaltTm::attempt_sw(int tid, TxBody body) {
+  // Reclamation epoch: the quiescent refresh keeps this thread's
+  // persistent reservation current, so no node this transaction may read
+  // can be recycled under it (alloc/ebr.hpp).
+  alloc::quiesce_attempt(alloc_.epochs(), tid);
   ThreadCtx& ctx = ctx_[tid];
   ctx.rdset.clear();
   ctx.wrset.clear();

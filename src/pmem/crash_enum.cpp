@@ -89,6 +89,8 @@ CrashImage materialize_crash_image(std::span<const PersistEvent> trace, std::siz
         it->second.clear();
         break;
       }
+      case PersistEventKind::kAllocMark:
+        break;  // annotation only: no durable effect
     }
   }
 

@@ -43,6 +43,11 @@ enum class PersistEventKind : std::uint8_t {
   kStore = 0,  // staged-image store: (word, value), line derived for cuts
   kFlush = 1,  // clflushopt/clwb: line queued on tid's flush queue
   kFence = 2,  // sfence: tid's queued lines become durable
+  /// Allocator intent annotation (arm/apply of a per-thread alloc/free
+  /// record). Carries no durable effect of its own — the underlying raw
+  /// stores are journaled as kStore — but lets checkers locate allocator
+  /// commit points in the trace. `value` packs the arm id and entry count.
+  kAllocMark = 3,
 };
 
 /// One entry in the linearized persistence trace. `word` is a global
@@ -74,6 +79,9 @@ class PersistJournal {
     append({PersistEventKind::kFlush, tid, line, 0, 0});
   }
   void on_fence(int tid) { append({PersistEventKind::kFence, tid, 0, 0, 0}); }
+  void on_alloc_mark(int tid, std::uint64_t value) {
+    append({PersistEventKind::kAllocMark, tid, 0, 0, value});
+  }
 
   /// Number of events recorded so far. Lock-free: worker threads read this
   /// right after an acknowledged commit to record the durability bound the

@@ -42,4 +42,13 @@ std::string PmemReport::to_string() const {
   return os.str();
 }
 
+std::string PmemInspector::alloc_to_string(const AllocDurableSummary& s) {
+  std::ostringstream os;
+  if (!s.metadata_present) return "alloc{no-metadata}";
+  os << "alloc{watermark=" << s.watermark << "/" << s.segment_count
+     << " free_segs=" << s.free_segments << " large_segs=" << s.large_segments
+     << " used_slots=" << s.used_slots << " armed_intents=" << s.armed_intents << "}";
+  return os.str();
+}
+
 }  // namespace nvhalt

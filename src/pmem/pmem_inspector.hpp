@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/tx_allocator.hpp"
 #include "pmem/pmem_pool.hpp"
 
 namespace nvhalt {
@@ -35,6 +36,12 @@ class PmemInspector {
 
   /// Scans the whole record space. Must run quiescently.
   PmemReport scan() const;
+
+  /// Summarizes `alloc`'s persistent metadata (segment watermark, free
+  /// segments, used slots, armed intent records). Must run quiescently;
+  /// `alloc` must be backed by the inspected pool.
+  AllocDurableSummary scan_alloc(const TxAllocator& alloc) const { return alloc.durable_summary(); }
+  static std::string alloc_to_string(const AllocDurableSummary& s);
 
  private:
   const PmemPool& pool_;

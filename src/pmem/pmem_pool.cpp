@@ -186,6 +186,11 @@ void PmemPool::journal_fence(int tid) {
   cfg_.journal->on_fence(tid);
 }
 
+void PmemPool::journal_alloc_mark(int tid, std::uint64_t value) {
+  if (NVHALT_LIKELY(cfg_.journal == nullptr)) return;
+  cfg_.journal->on_alloc_mark(tid, value);
+}
+
 void PmemPool::mark_store(std::size_t line, std::size_t word_in_space, bool is_raw) {
   if (!cfg_.track_store_order) return;
   const std::uint32_t stamp = line_clock_[line].fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -323,9 +328,13 @@ std::uint64_t PmemPool::raw_load_durable(std::size_t idx) const {
 }
 
 void PmemPool::raw_store(std::size_t idx, std::uint64_t v) {
+  raw_store(0, idx, v);
+}
+
+void PmemPool::raw_store(int tid, std::size_t idx, std::uint64_t v) {
   raw_staged_[idx].store(v, std::memory_order_release);
   mark_store(raw_line_of(idx), idx, true);
-  journal_store(0, raw_line_of(idx), idx, true, v);
+  journal_store(tid, raw_line_of(idx), idx, true, v);
   spin_ns(cfg_.nvm_store_latency_ns);
 }
 

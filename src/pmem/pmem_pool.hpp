@@ -169,7 +169,15 @@ class PmemPool {
   std::uint64_t raw_load(std::size_t idx) const;
   std::uint64_t raw_load_durable(std::size_t idx) const;
   void raw_store(std::size_t idx, std::uint64_t v);
+  /// As above, but journals the store under the writing thread's tid so
+  /// concurrent raw writers (e.g. allocator metadata) attribute correctly.
+  void raw_store(int tid, std::size_t idx, std::uint64_t v);
   void flush_raw(int tid, std::size_t idx);
+
+  /// Annotates the persistence trace with an allocator intent mark
+  /// (PersistEventKind::kAllocMark). No durable effect; no-op without a
+  /// journal.
+  void journal_alloc_mark(int tid, std::uint64_t value);
 
   // ---- Ordering --------------------------------------------------------
   /// sfence: blocks until all lines the calling thread flushed since its

@@ -92,6 +92,10 @@ void MetricsRegistry::add_pool(PmemPool& pool, std::string label) {
   pools_.push_back({&pool, std::move(label)});
 }
 
+void MetricsRegistry::add_alloc(const TxAllocator& alloc, std::string label) {
+  allocs_.push_back({&alloc, std::move(label)});
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   for (const TmEntry& e : tms_) {
@@ -109,6 +113,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     m.flush_dedup_count = e.pool->flush_dedup_count();
     m.fence_lines = e.pool->fence_flush_hist();
     snap.pools.push_back(std::move(m));
+  }
+  for (const AllocEntry& e : allocs_) {
+    AllocMetrics m;
+    m.name = e.label;
+    m.stats = e.alloc->stats();
+    m.recovery = e.alloc->last_recovery();
+    m.global_epoch = e.alloc->epochs().global_epoch();
+    m.reclaim_latency_ns = e.alloc->epochs().reclaim_latency_ns();
+    snap.allocs.push_back(std::move(m));
   }
   return snap;
 }
@@ -170,6 +183,38 @@ std::string MetricsSnapshot::to_json() const {
     json_hist(out, "fence_lines", p.fence_lines);
     out += "}";
   }
+  out += "],\"allocs\":[";
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    const AllocMetrics& a = allocs[i];
+    if (i) out += ",";
+    append(out,
+           "{\"name\":\"%s\",\"allocs\":%llu,\"frees\":%llu,\"segments_acquired\":%llu,"
+           "\"retired\":%llu,\"reclaimed\":%llu,\"limbo\":%llu,\"orphans_swept\":%llu,"
+           "\"leaked_reclaimed\":%llu,\"global_epoch\":%llu,",
+           a.name.c_str(), static_cast<unsigned long long>(a.stats.allocs),
+           static_cast<unsigned long long>(a.stats.frees),
+           static_cast<unsigned long long>(a.stats.segments_acquired),
+           static_cast<unsigned long long>(a.stats.retired),
+           static_cast<unsigned long long>(a.stats.reclaimed),
+           static_cast<unsigned long long>(a.stats.limbo),
+           static_cast<unsigned long long>(a.stats.orphans_swept),
+           static_cast<unsigned long long>(a.stats.leaked_reclaimed),
+           static_cast<unsigned long long>(a.global_epoch));
+    append(out,
+           "\"recovery\":{\"ran\":%s,\"found_metadata\":%s,\"intents_applied\":%llu,"
+           "\"intents_reverted\":%llu,\"intents_skipped\":%llu,\"orphans_swept\":%llu,"
+           "\"watermark\":%llu,\"free_slots\":%llu,\"free_segments\":%llu},",
+           a.recovery.ran ? "true" : "false", a.recovery.found_metadata ? "true" : "false",
+           static_cast<unsigned long long>(a.recovery.intents_applied),
+           static_cast<unsigned long long>(a.recovery.intents_reverted),
+           static_cast<unsigned long long>(a.recovery.intents_skipped),
+           static_cast<unsigned long long>(a.recovery.orphans_swept),
+           static_cast<unsigned long long>(a.recovery.watermark),
+           static_cast<unsigned long long>(a.recovery.free_slots),
+           static_cast<unsigned long long>(a.recovery.free_segments));
+    json_hist(out, "reclaim_latency_ns", a.reclaim_latency_ns);
+    out += "}";
+  }
   out += "]}";
   return out;
 }
@@ -220,6 +265,21 @@ std::string MetricsSnapshot::to_prometheus() const {
     prom_counter(out, "pool_fences_total", pool_label, p.fence_count);
     prom_counter(out, "pool_flush_dedup_total", pool_label, p.flush_dedup_count);
     prom_hist(out, "pool_fence_lines", pool_label, p.fence_lines);
+  }
+  for (const AllocMetrics& a : allocs) {
+    const std::string alloc_label = "alloc=\"" + a.name + "\"";
+    prom_counter(out, "alloc_allocs_total", alloc_label, a.stats.allocs);
+    prom_counter(out, "alloc_frees_total", alloc_label, a.stats.frees);
+    prom_counter(out, "alloc_segments_acquired_total", alloc_label, a.stats.segments_acquired);
+    prom_counter(out, "alloc_retired_total", alloc_label, a.stats.retired);
+    prom_counter(out, "alloc_reclaimed_total", alloc_label, a.stats.reclaimed);
+    prom_counter(out, "alloc_orphans_swept_total", alloc_label, a.stats.orphans_swept);
+    prom_counter(out, "alloc_leaked_reclaimed_total", alloc_label, a.stats.leaked_reclaimed);
+    append(out, "nvhalt_alloc_limbo_depth{%s} %llu\n", alloc_label.c_str(),
+           static_cast<unsigned long long>(a.stats.limbo));
+    append(out, "nvhalt_alloc_global_epoch{%s} %llu\n", alloc_label.c_str(),
+           static_cast<unsigned long long>(a.global_epoch));
+    prom_hist(out, "alloc_reclaim_latency_ns", alloc_label, a.reclaim_latency_ns);
   }
   return out;
 }

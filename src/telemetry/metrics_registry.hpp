@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/tx_allocator.hpp"
 #include "api/tm.hpp"
 #include "core/tm_stats.hpp"
 #include "pmem/pmem_pool.hpp"
@@ -34,9 +35,21 @@ struct PoolMetrics {
   PowHistogram fence_lines;
 };
 
+/// Allocator ledger: alloc/free counters, the epoch-reclamation gauge set
+/// (retired / reclaimed / limbo depth, reclaim latency) and what the last
+/// metadata recovery found.
+struct AllocMetrics {
+  std::string name;
+  AllocStats stats;
+  AllocRecoveryReport recovery;
+  std::uint64_t global_epoch = 0;
+  PowHistogram reclaim_latency_ns;
+};
+
 struct MetricsSnapshot {
   std::vector<TmMetrics> tms;
   std::vector<PoolMetrics> pools;
+  std::vector<AllocMetrics> allocs;
 
   /// One JSON object: {"tms": [...], "pools": [...]}.
   std::string to_json() const;
@@ -54,6 +67,7 @@ class MetricsRegistry {
   /// snapshotting two instances of the same TM kind).
   void add_tm(TransactionalMemory& tm, std::string label = {});
   void add_pool(PmemPool& pool, std::string label = "pool");
+  void add_alloc(const TxAllocator& alloc, std::string label = "alloc");
 
   MetricsSnapshot snapshot() const;
 
@@ -66,8 +80,13 @@ class MetricsRegistry {
     PmemPool* pool;
     std::string label;
   };
+  struct AllocEntry {
+    const TxAllocator* alloc;
+    std::string label;
+  };
   std::vector<TmEntry> tms_;
   std::vector<PoolEntry> pools_;
+  std::vector<AllocEntry> allocs_;
 };
 
 }  // namespace nvhalt::telemetry

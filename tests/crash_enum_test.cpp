@@ -6,6 +6,7 @@
 // deliberately broken recovery is caught with a replayable triple.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -117,11 +118,14 @@ TEST(CrashJournalTest, PrefixAtFenceBoundaryReflectsOnlyEarlierCommits) {
             en.boundaries().end());
 
   TmRunner verifier(crash_config(TmKind::kNvHalt));
-  const std::vector<LiveBlock> live{{x, 1}};
   const auto recovered_value = [&](std::size_t prefix) {
     const CrashImage img = materialize_crash_image(events, prefix, 0);
     verifier.pool().install_crash_image(img.words);
     verifier.tm().recover_data();
+    // The raw_alloc of x is eagerly durable, so the recovered bitmap says
+    // whether x exists at this boundary (prefix 0 predates it).
+    std::vector<LiveBlock> live;
+    if (verifier.alloc().slot_bit(x, 1)) live.push_back({x, 1});
     verifier.tm().rebuild_allocator(live);
     word_t v = 0;
     verifier.tm().run(0, [&](Tx& tx) { v = tx.read(x); });
@@ -255,6 +259,147 @@ TEST(CrashJournalTest, FenceCrashCanLeavePartiallyPersistedQueue) {
     // order, so the count of durable lines is exactly the crash placement.
     EXPECT_EQ(persisted, target);
   }
+}
+
+// ---- Allocator crash coverage ---------------------------------------------
+
+// A transaction allocates a node, publishes its address into a raw flag and
+// crashes at every fence boundary. The durable allocation bit must agree
+// with the durability marker everywhere: committed -> bit applied,
+// uncommitted -> the armed intent is reverted and the block swept as an
+// orphan. At least one boundary falls between the intent's fence and the
+// marker, so the sweep itself is exercised, and that image re-derives
+// identically for replay.
+TEST(CrashEnumAllocTest, AllocThenCrashBeforeCommitIsSweptAsOrphan) {
+  PersistJournal journal;
+  RunnerConfig cfg = crash_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  const gaddr_t flag = runner.alloc().raw_alloc(0, 1);
+  constexpr std::size_t kNode = 4;
+  gaddr_t node = 0;
+  ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) {
+    node = tx.alloc(kNode);
+    tx.write(node, 0xFEED);
+    tx.write(flag, node);  // durably nonzero iff the alloc committed
+  }));
+  const auto events = journal.events();
+
+  TmRunner verifier(crash_config(TmKind::kNvHalt));
+  CrashEnumerator en(events, CrashEnumOptions{});
+  std::uint64_t swept_total = 0;
+  std::size_t swept_prefix = events.size() + 1;
+  for (const std::size_t prefix : en.boundaries()) {
+    const CrashImage img = materialize_crash_image(events, prefix, 0);
+    verifier.pool().install_crash_image(img.words);
+    verifier.tm().recover_data();
+    word_t f = 0;
+    verifier.tm().run(0, [&](Tx& tx) { f = tx.read(flag); });
+    const bool committed = f != 0;
+    EXPECT_EQ(verifier.alloc().slot_bit(node, kNode), committed) << "prefix " << prefix;
+    if (committed) {
+      EXPECT_EQ(f, node);
+    }
+    const AllocRecoveryReport& rep = verifier.alloc().last_recovery();
+    if (rep.orphans_swept > 0 && swept_prefix > events.size()) swept_prefix = prefix;
+    swept_total += rep.orphans_swept;
+  }
+  ASSERT_GT(swept_total, 0u) << "no boundary ever exercised the orphan sweep";
+
+  const CrashImage again = materialize_crash_image(events, swept_prefix, 0);
+  verifier.pool().install_crash_image(again.words);
+  verifier.tm().recover_data();
+  EXPECT_GT(verifier.alloc().last_recovery().orphans_swept, 0u);
+  EXPECT_FALSE(verifier.alloc().slot_bit(node, kNode));
+}
+
+// A committed node is freed by a second transaction that crashes at every
+// boundary from the free's first event on — including mid-fence subset
+// images, where the adversary may persist the bitmap line without the
+// marker (or vice versa). Recovery must converge to exactly one owner:
+// free committed -> bit clear and the slot reusable once; free uncommitted
+// -> the block survives and is never handed out again.
+TEST(CrashEnumAllocTest, FreeThenCrashMidFenceNeitherDoubleFreesNorLosesBlock) {
+  PersistJournal journal;
+  RunnerConfig cfg = crash_config(TmKind::kNvHalt);
+  cfg.pmem.journal = &journal;
+  TmRunner runner(cfg);
+  const gaddr_t flag = runner.alloc().raw_alloc(0, 1);
+  constexpr std::size_t kNode = 4;
+  gaddr_t node = 0;
+  ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) {
+    node = tx.alloc(kNode);
+    tx.write(node, 0xBEEF);
+    tx.write(flag, node);
+  }));
+  const std::size_t free_begin = journal.size();
+  ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) {
+    tx.free(node, kNode);
+    tx.write(flag, 0);  // durably zero iff the free committed
+  }));
+  const auto events = journal.events();
+
+  TmRunner verifier(crash_config(TmKind::kNvHalt));
+  CrashEnumerator en(events, CrashEnumOptions{});
+  const auto check_image = [&](std::size_t prefix, std::uint64_t seed) {
+    const CrashImage img = materialize_crash_image(events, prefix, seed);
+    verifier.pool().install_crash_image(img.words);
+    verifier.tm().recover_data();
+    word_t f = 0;
+    verifier.tm().run(0, [&](Tx& tx) { f = tx.read(flag); });
+    const bool freed = f == 0;
+    EXPECT_EQ(verifier.alloc().slot_bit(node, kNode), !freed)
+        << "prefix " << prefix << " seed " << seed;
+    std::vector<LiveBlock> live;
+    if (verifier.alloc().slot_bit(flag, 1)) live.push_back({flag, 1});
+    if (!freed) live.push_back({node, kNode});
+    EXPECT_EQ(verifier.alloc().verify_rebuild(live), 0u)
+        << "unexpected leak at prefix " << prefix << " seed " << seed;
+    // A double-freed slot would be handed out twice; a lost one never.
+    std::vector<gaddr_t> got;
+    ASSERT_TRUE(verifier.tm().run(0, [&](Tx& tx) {
+      got.clear();  // the body may be re-executed
+      for (int i = 0; i < 6; ++i) got.push_back(tx.alloc(kNode));
+    }));
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end())
+        << "duplicate allocation at prefix " << prefix << " seed " << seed;
+    if (!freed) {
+      EXPECT_EQ(std::find(got.begin(), got.end(), node), got.end())
+          << "live block recycled at prefix " << prefix << " seed " << seed;
+    }
+  };
+  for (const std::size_t prefix : en.boundaries()) {
+    if (prefix < free_begin) continue;
+    check_image(prefix, 0);
+    check_image(prefix, en.subset_seed_for(prefix, 0));
+    check_image(prefix, en.subset_seed_for(prefix, 1));
+  }
+}
+
+// Acceptance for the delete-heavy extension: four list-churn threads drive
+// tx.free through the intent + limbo machinery while a transfer thread
+// keeps the zero-sum invariant in play; every fence boundary (plus two
+// mid-fence adversary images each) must recover consistently.
+TEST(CrashEnumAllocTest, DeleteHeavyListChurnRecoversAtEveryBoundary) {
+  CrashHarnessOptions opt;
+  opt.transfer_threads = 1;
+  opt.counter_threads = 0;
+  opt.map_threads = 0;
+  opt.list_threads = 4;
+  opt.txs_per_thread = 8;
+  const CrashTraceBundle tr = run_crash_workload(opt);
+
+  CrashEnumOptions eopt;
+  eopt.subset_seeds_per_prefix = 2;
+  CrashEnumerator en(tr.events, eopt);
+  ASSERT_GT(en.boundaries().size(), 20u) << "churn produced suspiciously few fences";
+
+  CrashImageVerifier verifier(tr);
+  const auto failure = en.run(verifier.checker());
+  ASSERT_FALSE(failure.has_value())
+      << "allocator crash-consistency violation at " << failure->triple.to_string() << ": "
+      << failure->why;
 }
 
 // ---- Acceptance: exhaustive enumeration over all five TMs -----------------

@@ -26,6 +26,7 @@
 #include "api/tm_factory.hpp"
 #include "pmem/crash_enum.hpp"
 #include "structures/tm_hashmap.hpp"
+#include "structures/tm_list.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/trace_io.hpp"
 #include "util/barrier.hpp"
@@ -38,9 +39,16 @@ struct CrashHarnessOptions {
   int transfer_threads = 3;  // zero-sum transfers over raw account slots
   int counter_threads = 3;   // monotonic (a, b) pair bumps with ack bounds
   int map_threads = 2;       // zero-sum transfers over hashmap values
+  /// Delete-heavy churn over a sorted list (insert/remove 50/50). The
+  /// hashmap's removes only mark nodes empty, so this is the worker that
+  /// actually drives tx.free — allocator free intents and epoch
+  /// reclamation get crash coverage only when it is enabled.
+  int list_threads = 0;
   int txs_per_thread = 12;
   int accounts = 16;
   int map_accounts = 8;
+  int list_keys = 12;
+  word_t list_key_base = 9000;
   word_t initial_balance = 100;
   std::uint64_t workload_seed = 0xC0FFEE;
 
@@ -80,7 +88,7 @@ inline RunnerConfig crash_config(TmKind kind) {
   RunnerConfig cfg;
   cfg.kind = kind;
   cfg.pmem.capacity_words = std::size_t{1} << 17;  // 8 allocator segments
-  cfg.pmem.raw_words = std::size_t{1} << 15;
+  cfg.pmem.raw_words = std::size_t{1} << 16;  // SPHT logs + allocator metadata
   cfg.pmem.track_store_order = false;  // the journal records store order itself
   cfg.htm.stripe_count = std::size_t{1} << 10;
   cfg.nvhalt.lock_table_entries = std::size_t{1} << 10;
@@ -131,9 +139,18 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
     for (int i = 0; i < opt.map_accounts; ++i)
       map->insert(0, tr.map_key_base + static_cast<word_t>(i), opt.initial_balance);
   }
+  std::optional<TmList> list;
+  if (opt.list_threads > 0 && opt.list_keys > 0) {
+    list.emplace(tm);
+    for (int i = 0; i < opt.list_keys; i += 2) {
+      const word_t k = opt.list_key_base + static_cast<word_t>(i);
+      list->insert(0, k, k);
+    }
+  }
   tr.prefill_bound = journal.size();
 
-  const int nthreads = opt.transfer_threads + opt.counter_threads + opt.map_threads;
+  const int nthreads =
+      opt.transfer_threads + opt.counter_threads + opt.map_threads + opt.list_threads;
   SpinBarrier barrier(nthreads);
   std::vector<std::thread> workers;
   int tid = 0;
@@ -198,6 +215,27 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
       }
     });
   }
+  for (int l = 0; l < opt.list_threads; ++l, ++tid) {
+    workers.emplace_back([&, tid] {
+      Xoshiro256 rng(opt.workload_seed * 977 + static_cast<std::uint64_t>(tid));
+      barrier.arrive_and_wait();
+      if (!list) return;
+      for (int i = 0; i < opt.txs_per_thread; ++i) {
+        // Delete-heavy churn: every committed remove frees its node through
+        // the transactional allocator (free intent armed at commit, retire
+        // into epoch limbo), every insert allocates one back. Values always
+        // equal keys so a torn node write is directly observable.
+        const word_t key =
+            opt.list_key_base + static_cast<word_t>(rng.next_bounded(
+                                    static_cast<std::uint64_t>(opt.list_keys)));
+        if (rng.next_bounded(2) == 0) {
+          list->insert(tid, key, key);
+        } else {
+          list->remove(tid, key);
+        }
+      }
+    });
+  }
   for (auto& w : workers) w.join();
 
   if (!opt.trace_out.empty()) {
@@ -209,6 +247,7 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
     telemetry::MetricsRegistry reg;
     reg.add_tm(tm);
     reg.add_pool(runner.pool());
+    reg.add_alloc(runner.alloc());
     const telemetry::MetricsSnapshot snap = reg.snapshot();
     std::ofstream jf(opt.metrics_out);
     jf << snap.to_json() << "\n";
@@ -247,9 +286,16 @@ class CrashImageVerifier {
     tm.recover_data();
 
     std::vector<LiveBlock> live;
-    for (const gaddr_t a : tr_.accounts) live.push_back({a, 1});
-    for (const gaddr_t a : tr_.counter_a) live.push_back({a, 1});
-    for (const gaddr_t a : tr_.counter_b) live.push_back({a, 1});
+    // Setup-phase raw allocations are eagerly durable (allocation bit +
+    // fence before the address is handed out), so the durable bitmap says
+    // exactly which of these blocks existed at this crash boundary —
+    // earlier prefixes legitimately predate some of them.
+    const auto add_if_allocated = [&](gaddr_t a) {
+      if (runner_.alloc().slot_bit(a, 1)) live.push_back({a, 1});
+    };
+    for (const gaddr_t a : tr_.accounts) add_if_allocated(a);
+    for (const gaddr_t a : tr_.counter_a) add_if_allocated(a);
+    for (const gaddr_t a : tr_.counter_b) add_if_allocated(a);
     const bool map_used = tr_.opt.map_threads > 0 && tr_.opt.map_accounts > 0;
     const bool have_map = map_used && pool.load_root(0) != 0 && pool.load_root(1) != 0;
     std::optional<TmHashMap> map;
@@ -257,6 +303,14 @@ class CrashImageVerifier {
       map.emplace(TmHashMap::attach(tm));
       const auto mb = map->collect_live_blocks();
       live.insert(live.end(), mb.begin(), mb.end());
+    }
+    const bool list_used = tr_.opt.list_threads > 0 && tr_.opt.list_keys > 0;
+    const bool have_list = list_used && pool.load_root(4) != 0;
+    std::optional<TmList> list;
+    if (have_list) {
+      list.emplace(TmList::attach(tm));
+      const auto lb = list->collect_live_blocks();
+      live.insert(live.end(), lb.begin(), lb.end());
     }
     tm.rebuild_allocator(live);
 
@@ -326,6 +380,21 @@ class CrashImageVerifier {
           return fail(why, prefix, "hashmap account ", key, " torn during prefill: ", v);
       }
     }
+
+    // ---- 4. List nodes: untorn across delete-heavy churn --------------
+    // Every node carries value == key from birth, and removes free whole
+    // nodes, so any present key with a mismatched value means a torn node
+    // write or a recycled-too-early block surviving recovery.
+    if (have_list) {
+      for (int i = 0; i < tr_.opt.list_keys; ++i) {
+        const word_t key = tr_.opt.list_key_base + static_cast<word_t>(i);
+        word_t v = 0;
+        if (list->contains(0, key, &v) && v != key)
+          return fail(why, prefix, "list node ", key, " torn: value=", v);
+      }
+    } else if (list_used && prefix >= tr_.prefill_bound) {
+      return fail(why, prefix, "durably published list root lost");
+    }
     return true;
   }
 
@@ -356,7 +425,7 @@ class CrashImageVerifier {
 // ---- Bundle persistence (cross-process failure replay) -------------------
 
 namespace detail {
-inline constexpr std::uint64_t kBundleMagic = 0x4E56484243524231ULL;  // "NVHBCRB1"
+inline constexpr std::uint64_t kBundleMagic = 0x4E56484243524232ULL;  // "NVHBCRB2"
 
 inline void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -377,9 +446,12 @@ inline void save_bundle(const std::string& path, const CrashTraceBundle& tr) {
   put_u64(f, static_cast<std::uint64_t>(tr.opt.transfer_threads));
   put_u64(f, static_cast<std::uint64_t>(tr.opt.counter_threads));
   put_u64(f, static_cast<std::uint64_t>(tr.opt.map_threads));
+  put_u64(f, static_cast<std::uint64_t>(tr.opt.list_threads));
   put_u64(f, static_cast<std::uint64_t>(tr.opt.txs_per_thread));
   put_u64(f, static_cast<std::uint64_t>(tr.opt.accounts));
   put_u64(f, static_cast<std::uint64_t>(tr.opt.map_accounts));
+  put_u64(f, static_cast<std::uint64_t>(tr.opt.list_keys));
+  put_u64(f, tr.opt.list_key_base);
   put_u64(f, tr.opt.initial_balance);
   put_u64(f, tr.opt.workload_seed);
   put_u64(f, tr.prefill_bound);
@@ -424,9 +496,12 @@ inline CrashTraceBundle load_bundle(const std::string& path) {
   tr.opt.transfer_threads = static_cast<int>(get_u64(f));
   tr.opt.counter_threads = static_cast<int>(get_u64(f));
   tr.opt.map_threads = static_cast<int>(get_u64(f));
+  tr.opt.list_threads = static_cast<int>(get_u64(f));
   tr.opt.txs_per_thread = static_cast<int>(get_u64(f));
   tr.opt.accounts = static_cast<int>(get_u64(f));
   tr.opt.map_accounts = static_cast<int>(get_u64(f));
+  tr.opt.list_keys = static_cast<int>(get_u64(f));
+  tr.opt.list_key_base = get_u64(f);
   tr.opt.initial_balance = get_u64(f);
   tr.opt.workload_seed = get_u64(f);
   tr.prefill_bound = get_u64(f);

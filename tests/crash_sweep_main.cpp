@@ -33,6 +33,9 @@ using test::CrashTraceBundle;
 struct SweepArgs {
   std::vector<TmKind> kinds;
   int txs_per_thread = 12;
+  // Delete-heavy list churn on by default: CI sweeps should always cover
+  // the allocator's free-intent + epoch-reclamation machinery.
+  int list_threads = 2;
   std::uint64_t subset_seeds = 2;
   std::uint64_t budget_ms = env_u64("NVHALT_CRASH_BUDGET", 20000);
   std::uint64_t workload_seed = 0xC0FFEE;
@@ -50,6 +53,8 @@ void usage(const char* argv0) {
                "usage: %s [options]\n"
                "  --tm all|nvhalt|nvhalt-cl|nvhalt-sp|trinity|spht   (repeatable)\n"
                "  --txs N           transactions per worker thread (default 12)\n"
+               "  --list-threads N  delete-heavy list-churn workers driving tx.free\n"
+               "                    through intents + epoch limbo (default 2; 0 disables)\n"
                "  --seeds N         adversarial subset images per fence boundary (default 2)\n"
                "  --budget-ms N     per-TM time budget; 0 = unlimited\n"
                "                    (default $NVHALT_CRASH_BUDGET or 20000)\n"
@@ -96,6 +101,10 @@ bool parse_args(int argc, char** argv, SweepArgs* a) {
       const char* v = next();
       if (v == nullptr) return false;
       a->txs_per_thread = std::atoi(v);
+    } else if (arg == "--list-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->list_threads = std::atoi(v);
     } else if (arg == "--seeds") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -145,13 +154,15 @@ CrashTraceBundle run_workload(const SweepArgs& a, TmKind kind) {
   CrashHarnessOptions opt;
   opt.kind = kind;
   opt.txs_per_thread = a.txs_per_thread;
+  opt.list_threads = a.list_threads;
   opt.workload_seed = a.workload_seed;
   if (!a.trace_out.empty())
     opt.trace_out = a.trace_out + "." + tm_kind_name(kind);
   if (!a.metrics_out.empty())
     opt.metrics_out = a.metrics_out + "." + tm_kind_name(kind);
   std::printf("[%s] running %d-thread workload (%d txs/thread, seed %llu)...\n",
-              tm_kind_name(kind), opt.transfer_threads + opt.counter_threads + opt.map_threads,
+              tm_kind_name(kind),
+              opt.transfer_threads + opt.counter_threads + opt.map_threads + opt.list_threads,
               opt.txs_per_thread, static_cast<unsigned long long>(opt.workload_seed));
   return test::run_crash_workload(opt);
 }

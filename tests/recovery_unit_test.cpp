@@ -121,6 +121,35 @@ TEST_F(RecoveryUnitTest, InspectorShowsNoInFlightRecordsAfterRecovery) {
   EXPECT_GE(before.in_flight_records, after.in_flight_records);
 }
 
+TEST_F(RecoveryUnitTest, InspectorSummarizesAllocatorMetadata) {
+  PmemInspector inspector(*pool_);
+  // TM-managed allocator: the metadata header is durable from construction.
+  AllocDurableSummary s = inspector.scan_alloc(runner_->alloc());
+  ASSERT_TRUE(s.metadata_present);
+  EXPECT_EQ(s.segment_count, runner_->alloc().segment_count());
+
+  gaddr_t a = kNullAddr, b = kNullAddr;
+  ASSERT_TRUE(runner_->tm().run(0, [&](Tx& tx) {
+    a = tx.alloc(4);
+    b = tx.alloc(4);
+    tx.write(a, 1);
+    tx.write(b, 2);
+  }));
+  s = inspector.scan_alloc(runner_->alloc());
+  EXPECT_GE(s.watermark, 1u);
+  EXPECT_GE(s.used_slots, 2u);
+  EXPECT_NE(PmemInspector::alloc_to_string(s).find("watermark="), std::string::npos);
+
+  ASSERT_TRUE(runner_->tm().run(0, [&](Tx& tx) { tx.free(b, 4); }));
+  const AllocDurableSummary after = inspector.scan_alloc(runner_->alloc());
+  EXPECT_EQ(after.used_slots + 1, s.used_slots);
+
+  // Standalone allocators keep no persistent metadata to summarize.
+  PmemPool spool(PmemConfig{});
+  TxAllocator salloc(spool);
+  EXPECT_FALSE(PmemInspector(spool).scan_alloc(salloc).metadata_present);
+}
+
 TEST_F(RecoveryUnitTest, UntouchedWordsRemainZero) {
   persist_txn(1, {{100, 11}}, 0, true);
   pool_->crash(CrashPolicy{0.0, 6});

@@ -400,6 +400,69 @@ TEST(RoPathTest, RoOnlyPhaseLeavesEmptyDurablePrefix) {
   EXPECT_FALSE(failure.has_value());
 }
 
+// ------------------------------------------ epoch-based node reclamation
+
+/// Regression for epoch-based reclamation (DESIGN.md Sec. 12): a live RO
+/// snapshot pins the reclamation epoch, so a node freed under it must not
+/// be physically recycled until the snapshot ends. Pre-EBR the committed
+/// free went straight back to the writer's free list and the very next
+/// same-class allocation handed the still-readable block out again — a
+/// use-after-free against the lock-free snapshot. With the limbo list the
+/// re-allocation comes from fresh space while the reader is pinned, and
+/// the block returns to circulation only after the reader passes a
+/// quiescent point (its next transaction, or deregistration).
+TEST(RoPathTest, PinnedRoSnapshotBlocksNodeRecycling) {
+  TmRunner runner(small_config(TmKind::kNvHalt));
+  auto& tm = nv(runner);
+  constexpr std::size_t kNode = 4;
+
+  gaddr_t victim = 0;
+  ASSERT_TRUE(tm.run(1, [&](Tx& tx) {
+    victim = tx.alloc(kNode);
+    tx.write(victim, 0xA11Eu);
+  }));
+
+  gaddr_t replacement = 0;
+  int entries = 0;
+  const Outcome r = tm.attempt_ro_sw_once(0, [&](Tx& tx) {
+    const word_t v = tx.read(victim);
+    if (entries++ == 0) {
+      EXPECT_EQ(v, 0xA11Eu);
+      // A writer frees the node while the snapshot is live. The free and
+      // the follow-up allocation carry no data writes, so neither moves a
+      // lock word and the snapshot stays valid throughout.
+      ASSERT_TRUE(tm.attempt_sw_once(1, [&](Tx& wtx) { wtx.free(victim, kNode); }));
+      ASSERT_TRUE(tm.attempt_sw_once(1, [&](Tx& wtx) { replacement = wtx.alloc(kNode); }));
+      EXPECT_NE(replacement, victim) << "freed node recycled under a pinned RO snapshot";
+      EXPECT_GE(runner.alloc().stats().limbo, 1u);
+      // The snapshot began before the free committed: the node's contents
+      // must still be readable.
+      EXPECT_EQ(tx.read(victim), 0xA11Eu);
+    }
+  });
+  EXPECT_EQ(r, Outcome::kCommitted);
+  const AllocStats mid = runner.alloc().stats();
+  EXPECT_GE(mid.retired, 1u);
+  EXPECT_GE(mid.limbo, 1u);
+
+  // QSBR liveness: the reader's reservation persists past the snapshot
+  // and catches up at its next attempt boundary (alloc/ebr.hpp). One
+  // empty transaction on the reader thread is that quiescent point.
+  ASSERT_TRUE(tm.attempt_sw_once(0, [&](Tx&) {}));
+
+  // Reader quiesced: the next committed mutator reclaims the limbo prefix...
+  ASSERT_TRUE(tm.attempt_sw_once(1, [&](Tx& wtx) {
+    const gaddr_t scratch = wtx.alloc(kNode);
+    wtx.free(scratch, kNode);
+  }));
+  EXPECT_GT(runner.alloc().stats().reclaimed, mid.reclaimed);
+
+  // ...and the victim is back in circulation.
+  gaddr_t reused = 0;
+  ASSERT_TRUE(tm.attempt_sw_once(1, [&](Tx& wtx) { reused = wtx.alloc(kNode); }));
+  EXPECT_EQ(reused, victim) << "reclaimed node never returned to the free lists";
+}
+
 // ---------------------------------------------------- concurrent stress
 
 /// RO readers race committing writers across both paths. Named to match

@@ -349,6 +349,60 @@ TEST(MetricsRegistry, SnapshotExportsAllFiveTmsAndPool) {
   EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, AllocLedgerExportsAndBalances) {
+  TmRunner runner(test::small_config(TmKind::kNvHalt));
+  tel::MetricsRegistry reg;
+  reg.add_alloc(runner.alloc(), "nvhalt-alloc");
+
+  // Churn: allocate a batch, free it, allocate again — enough traffic to
+  // retire blocks into limbo and reclaim some of them.
+  std::vector<gaddr_t> blocks;
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) {
+      blocks.clear();
+      for (int i = 0; i < 6; ++i) blocks.push_back(tx.alloc(4));
+    }));
+    ASSERT_TRUE(runner.tm().run(0, [&](Tx& tx) {
+      for (const gaddr_t b : blocks) tx.free(b, 4);
+    }));
+  }
+
+  const tel::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.allocs.size(), 1u);
+  const tel::AllocMetrics& a = snap.allocs[0];
+  EXPECT_GE(a.stats.allocs, 24u);
+  EXPECT_GE(a.stats.frees, 24u);
+  EXPECT_GT(a.stats.retired, 0u);
+  // The reclamation ledger must balance: every retired block is either
+  // already reclaimed or still in limbo.
+  EXPECT_EQ(a.stats.retired, a.stats.reclaimed + a.stats.limbo);
+  if (a.stats.reclaimed > 0) {
+    EXPECT_EQ(a.reclaim_latency_ns.count(), a.stats.reclaimed);
+  }
+  EXPECT_GE(a.global_epoch, 1u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"name\":\"nvhalt-alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"limbo\":"), std::string::npos);
+  EXPECT_NE(json.find("\"orphans_swept\":"), std::string::npos);
+  EXPECT_NE(json.find("\"reclaim_latency_ns\""), std::string::npos);
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("nvhalt_alloc_retired_total{alloc=\"nvhalt-alloc\"}"), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_alloc_limbo_depth{alloc=\"nvhalt-alloc\"}"), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_alloc_orphans_swept_total{alloc=\"nvhalt-alloc\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_alloc_reclaim_latency_ns_count{alloc=\"nvhalt-alloc\"}"),
+            std::string::npos);
+}
+
 // ------------------------------------------------------------- trace IO
 
 tel::TraceDump sample_dump() {
