@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "pmem/checkpoint.hpp"
 #include "structures/tm_abtree.hpp"
 #include "structures/tm_hashmap.hpp"
 #include "structures/tm_skiplist.hpp"
@@ -92,6 +93,12 @@ struct Options {
   std::string hw_baseline;
   std::string ro_baseline;
   std::string alloc_baseline;
+  /// Recovery-time sweep (checkpoint/compaction + parallel replay). Empty
+  /// by default: the sweep builds dozens of full pools and crash-recovers
+  /// them, so only runs when explicitly requested (the CI bench job and
+  /// the committed-baseline refresh pass --recovery-out).
+  std::string recovery_out;
+  std::string recovery_baseline;
 };
 
 /// Fractional tolerance from the environment (e.g. "0.5"); <= 0 or unset
@@ -392,6 +399,290 @@ int run_alloc_report(const Options& opt) {
   f.close();
   std::fprintf(stderr, "bench_regress: wrote %s\n", opt.alloc_out.c_str());
   return 0;
+}
+
+// ------------------------------------------------------ recovery-time sweep
+
+struct RecoveryCell {
+  TmKind kind;
+  std::size_t pool_words;
+  int history_txs;
+  int workers;
+  bool checkpoint;
+  int checkpoint_every;
+  double recover_ms;
+};
+
+/// TMs with distinct recovery engines: NV-HALT (record revert scan,
+/// bitmap-bounded when checkpointing), Trinity (same engine behind a
+/// different commit path) and SPHT (redo-log replay — the one whose
+/// recovery work genuinely grows with history until compaction truncates
+/// the logs). The NV-HALT lock-granularity variants share NV-HALT's
+/// recovery code exactly, so sweeping them would triple the cells for no
+/// new signal.
+std::vector<TmKind> recovery_tms() {
+  return {TmKind::kNvHalt, TmKind::kTrinity, TmKind::kSpht};
+}
+
+struct RecoveryScale {
+  std::vector<std::size_t> pools;  // [small, mid (history sweep), large]
+  int base_history;
+};
+
+/// Unlike the throughput grids, the cell coordinates here are
+/// mode-independent: a cell's identity is (pool, history, workers, ckpt),
+/// so shrinking those in smoke mode would leave the CI smoke run with zero
+/// keys in common with the committed full-mode baseline. Smoke instead
+/// cuts only the round count (NVHALT_BENCH_ROUNDS), which is safe because
+/// this sweep never runs unless --recovery-out is passed explicitly.
+RecoveryScale recovery_scale(bool /*smoke*/) {
+  return {{std::size_t{1} << 16, std::size_t{1} << 18, std::size_t{1} << 20}, 384};
+}
+
+/// One recovery measurement: build a pool, run `history_txs` single-thread
+/// transactions of 8 random writes (checkpointing every `checkpoint_every`
+/// commits when enabled), crash with write-back disabled, and time
+/// recover_data() — the full pipeline (record revert / log replay, volatile
+/// rebuild, allocator metadata recovery, checkpoint adoption).
+double measure_recovery_ms(TmKind kind, std::size_t pool_words, int history_txs, int workers,
+                           bool checkpoint, int checkpoint_every) {
+  RunnerConfig cfg;
+  cfg.kind = kind;
+  cfg.pmem.capacity_words = pool_words;
+  cfg.pmem.track_store_order = false;
+  cfg.nvhalt.lock_table_entries = std::size_t{1} << 12;
+  cfg.trinity.lock_table_entries = std::size_t{1} << 12;
+  cfg.nvhalt.recovery_threads = workers;
+  cfg.trinity.recovery_threads = workers;
+  // Single-threaded writer; the SPHT log must hold the whole checkpoint-off
+  // history without tripping the full-log replay mid-workload (which would
+  // be an implicit compaction and flatten the very growth being measured).
+  cfg.spht.max_threads = 2;
+  cfg.spht.replay_threads = workers;
+  std::size_t log_words = std::size_t{1} << 10;
+  const std::size_t history_words = static_cast<std::size_t>(history_txs) * 8 * 6;
+  while (log_words < history_words) log_words <<= 1;
+  cfg.spht.log_words_per_thread = log_words;
+  cfg.pmem.raw_words =
+      static_cast<std::size_t>(cfg.spht.max_threads) * (log_words + 2 * kWordsPerLine) +
+      TxAllocator::metadata_words(pool_words) + (std::size_t{1} << 14);
+  if (checkpoint) {
+    cfg.nvhalt.checkpoint = true;
+    cfg.trinity.checkpoint = true;
+    cfg.spht.checkpoint = true;
+    cfg.pmem.raw_words += CheckpointManager::metadata_words(pool_words) + 2 * kWordsPerLine;
+  }
+  TmRunner runner(cfg);
+  auto& tm = runner.tm();
+  const std::size_t array_words = std::min(pool_words / 4, std::size_t{1} << 16);
+  const gaddr_t arr = runner.alloc().raw_alloc_large(array_words);
+  Xoshiro256 rng(0x12EC0F + static_cast<std::uint64_t>(history_txs));
+  for (int i = 0; i < history_txs; ++i) {
+    tm.run(0, [&](Tx& tx) {
+      for (int w = 0; w < 8; ++w) {
+        const gaddr_t a = arr + static_cast<gaddr_t>(rng.next_bounded(array_words));
+        tx.write(a, rng.next_bounded(std::uint64_t{1} << 32) + 1);
+      }
+    });
+    if (checkpoint && checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) tm.checkpoint(0);
+  }
+  runner.pool().crash(CrashPolicy{});
+  const auto t0 = std::chrono::steady_clock::now();
+  tm.recover_data();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         1e6;
+}
+
+/// The recovery report, two slices of the pool x history x workers cube:
+///  * history sweep — mid pool, serial recovery, checkpointing off vs on,
+///    history growing 1x/4x/16x past the (fixed) checkpoint cadence. The
+///    claim on record: with checkpoints the recovery time stays roughly
+///    flat (bounded by delta-since-checkpoint / truncated logs) while
+///    SPHT's checkpoint-off replay grows with the log.
+///  * worker sweep — checkpointing off (recovery work at its largest),
+///    fixed history, all pool sizes x 1/2/8 workers. On multi-core rigs
+///    the largest pool shows the 8-vs-1 speedup; the committed baseline
+///    records whatever the baseline machine provides.
+/// Latency semantics: lower is better, so the baseline gate ratio is
+/// base/cur, mirroring --hw-baseline.
+int run_recovery_report(const Options& opt) {
+  const RecoveryScale sc = recovery_scale(opt.smoke);
+  const int rounds = bench_rounds_from_env(opt.smoke);
+  const int cadence = std::max(1, sc.base_history / 4);
+  std::vector<RecoveryCell> cells;
+
+  for (const TmKind kind : recovery_tms())
+    for (const bool ckpt : {false, true})
+      for (const int mult : {1, 4, 16})
+        cells.push_back(
+            {kind, sc.pools[1], sc.base_history * mult, 1, ckpt, ckpt ? cadence : 0, 0});
+  for (const TmKind kind : recovery_tms())
+    for (const std::size_t pool : sc.pools)
+      for (const int workers : {1, 2, 8})
+        cells.push_back({kind, pool, sc.base_history * 4, workers, false, 0, 0});
+
+  for (RecoveryCell& c : cells) {
+    for (int r = 0; r < rounds; ++r) {
+      const double ms = measure_recovery_ms(c.kind, c.pool_words, c.history_txs, c.workers,
+                                            c.checkpoint, c.checkpoint_every);
+      // Recovery time is a latency; noise is one-sided, so best-of is min.
+      if (r == 0 || ms < c.recover_ms) c.recover_ms = ms;
+    }
+    std::fprintf(stderr, "recovery %s pool=%zu hist=%d w=%d ckpt=%d: %.3f ms\n",
+                 tm_kind_name(c.kind), c.pool_words, c.history_txs, c.workers,
+                 c.checkpoint ? 1 : 0, c.recover_ms);
+  }
+
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-recovery-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  js << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const RecoveryCell& c = cells[i];
+    js << "    {\"tm\": \"" << tm_kind_name(c.kind) << "\", \"pool_words\": " << c.pool_words
+       << ", \"history_txs\": " << c.history_txs << ", \"workers\": " << c.workers
+       << ", \"checkpoint\": " << (c.checkpoint ? 1 : 0)
+       << ", \"checkpoint_every\": " << c.checkpoint_every << ", \"ms\": " << c.recover_ms << "}"
+       << (i + 1 == cells.size() ? "\n" : ",\n");
+  }
+  js << "  ]\n}\n";
+
+  std::ofstream f(opt.recovery_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.recovery_out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.recovery_out.c_str());
+  return 0;
+}
+
+/// Shape validation for the recovery report: right schema, 18 history-sweep
+/// + 27 worker-sweep cells, all three recovery engines present, both
+/// checkpoint modes present. Deliberately no timing assertions (single-core
+/// CI runners cannot pin speedups); the committed baseline plus the
+/// latency-ratio gate carry the regression signal.
+int check_recovery_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string s = buf.str();
+  std::vector<std::string> errors;
+
+  if (s.find("\"schema\": \"nvhalt-bench-recovery-v1\"") == std::string::npos)
+    errors.push_back("missing/unknown recovery schema tag");
+  const auto count = [&s](const char* needle) {
+    std::size_t n = 0;
+    for (auto pos = s.find(needle); pos != std::string::npos; pos = s.find(needle, pos + 1)) ++n;
+    return n;
+  };
+  if (count("\"ms\"") != 45)
+    errors.push_back("recovery report must have 18 history + 27 worker cells = 45, found " +
+                     std::to_string(count("\"ms\"")));
+  for (const char* tm : {"NV-HALT", "Trinity", "SPHT"}) {
+    if (s.find(std::string("\"tm\": \"") + tm + "\"") == std::string::npos)
+      errors.push_back(std::string("recovery report missing TM ") + tm);
+  }
+  if (count("\"checkpoint\": 1") == 0) errors.push_back("no checkpoint-enabled recovery cells");
+  if (count("\"checkpoint\": 0") == 0) errors.push_back("no checkpoint-off recovery cells");
+  for (const char* w : {"\"workers\": 1", "\"workers\": 2", "\"workers\": 8"}) {
+    if (s.find(w) == std::string::npos)
+      errors.push_back(std::string("recovery report missing sweep point ") + w);
+  }
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
+std::string read_file(const std::string& path);  // defined with the baseline compares below
+
+/// Recovery baseline compare. Keys identify the full cell coordinate; the
+/// metric is a latency, so the ratio is base/cur (higher = faster now),
+/// gated through NVHALT_BENCH_TOLERANCE like every other baseline flag.
+int compare_recovery_with_baseline(const Options& opt) {
+  const auto parse_cells = [](const std::string& text) {
+    std::vector<std::pair<std::string, double>> cells;
+    std::istringstream is(text);
+    std::string line;
+    const auto field = [&line](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      auto v = line.substr(pos + needle.size());
+      if (!v.empty() && v[0] == '"') {
+        const auto q = v.find('"', 1);
+        return q == std::string::npos ? std::string{} : v.substr(1, q - 1);
+      }
+      return v.substr(0, v.find_first_of(",}"));
+    };
+    while (std::getline(is, line)) {
+      const std::string tm = field("tm");
+      const std::string pool = field("pool_words");
+      const std::string hist = field("history_txs");
+      const std::string workers = field("workers");
+      const std::string ckpt = field("checkpoint");
+      const std::string ms = field("ms");
+      if (tm.empty() || pool.empty() || hist.empty() || workers.empty() || ms.empty()) continue;
+      cells.emplace_back(tm + "/p" + pool + "/h" + hist + "/w" + workers + "/c" + ckpt,
+                         std::strtod(ms.c_str(), nullptr));
+    }
+    return cells;
+  };
+  const std::string base_text = read_file(opt.recovery_baseline);
+  if (base_text.empty()) {
+    std::fprintf(stderr, "bench_regress --recovery-baseline: cannot read %s\n",
+                 opt.recovery_baseline.c_str());
+    return 1;
+  }
+  const auto base_cells = parse_cells(base_text);
+  const auto cur_cells = parse_cells(read_file(opt.recovery_out));
+  if (base_cells.empty() || cur_cells.empty()) {
+    std::fprintf(stderr, "bench_regress --recovery-baseline: no comparable cells\n");
+    return 1;
+  }
+  const bool mode_mismatch = (base_text.find("\"mode\": \"full\"") != std::string::npos) !=
+                             (read_file(opt.recovery_out).find("\"mode\": \"full\"") !=
+                              std::string::npos);
+  if (mode_mismatch)
+    std::fprintf(stderr,
+                 "bench_regress --recovery-baseline: WARNING smoke/full mode mismatch — "
+                 "ratios are indicative only\n");
+  const double tolerance = bench_tolerance();
+  int violations = 0;
+  std::size_t compared = 0;
+  for (const auto& [key, cur_ms] : cur_cells) {
+    for (const auto& [bkey, base_ms] : base_cells) {
+      if (bkey == key && cur_ms > 0) {
+        ++compared;
+        const double ratio = base_ms / cur_ms;
+        const bool slow = tolerance > 0 && ratio < 1.0 - tolerance;
+        if (slow) ++violations;
+        std::fprintf(stderr, "recovery-baseline %-36s %6.2fx%s\n", key.c_str(), ratio,
+                     slow ? "  << REGRESSION" : "");
+        break;
+      }
+    }
+  }
+  if (tolerance <= 0) {
+    std::fprintf(stderr,
+                 "bench_regress --recovery-baseline: advisory mode (%zu cells compared, "
+                 "set NVHALT_BENCH_TOLERANCE to gate)\n",
+                 compared);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "bench_regress --recovery-baseline: %d of %zu cells below %.0f%% of baseline\n",
+               violations, compared, (1.0 - tolerance) * 100.0);
+  return violations == 0 ? 0 : 1;
 }
 
 // ------------------------------------------------------ thread scaling sweep
@@ -1089,12 +1380,16 @@ int main(int argc, char** argv) {
       opt.hw_baseline = argv[++i];
     } else if (std::strcmp(argv[i], "--ro-baseline") == 0 && i + 1 < argc) {
       opt.ro_baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--recovery-out") == 0 && i + 1 < argc) {
+      opt.recovery_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--recovery-baseline") == 0 && i + 1 < argc) {
+      opt.recovery_baseline = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
                    "[--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH] [--alloc-out PATH] "
                    "[--baseline PATH] [--hw-baseline PATH] [--ro-baseline PATH] "
-                   "[--alloc-baseline PATH]\n");
+                   "[--alloc-baseline PATH] [--recovery-out PATH] [--recovery-baseline PATH]\n");
       return 2;
     }
   }
@@ -1108,6 +1403,10 @@ int main(int argc, char** argv) {
   if (rc != 0) return rc;
   rc = nvhalt::bench::run_alloc_report(opt);
   if (rc != 0) return rc;
+  if (!opt.recovery_out.empty()) {
+    rc = nvhalt::bench::run_recovery_report(opt);
+    if (rc != 0) return rc;
+  }
   if (opt.check) {
     rc = nvhalt::bench::check_report(opt.out);
     const int rc2 = nvhalt::bench::check_scaling_report(opt.scaling_out, opt.smoke);
@@ -1115,11 +1414,15 @@ int main(int argc, char** argv) {
     const int rc4 = nvhalt::bench::check_hw_report(opt.hw_out);
     const int rc5 = nvhalt::bench::check_ro_report(opt.ro_out);
     const int rc6 = nvhalt::bench::check_alloc_report(opt.alloc_out);
+    const int rc7 = opt.recovery_out.empty()
+                        ? 0
+                        : nvhalt::bench::check_recovery_report(opt.recovery_out);
     if (rc == 0) rc = rc2;
     if (rc == 0) rc = rc3;
     if (rc == 0) rc = rc4;
     if (rc == 0) rc = rc5;
     if (rc == 0) rc = rc6;
+    if (rc == 0) rc = rc7;
     if (rc != 0) return rc;
   }
   if (!opt.baseline.empty()) {
@@ -1132,6 +1435,10 @@ int main(int argc, char** argv) {
   }
   if (!opt.alloc_baseline.empty()) {
     rc = nvhalt::bench::compare_grid_files("--alloc-baseline", opt.alloc_baseline, opt.alloc_out);
+    if (rc != 0) return rc;
+  }
+  if (!opt.recovery_baseline.empty() && !opt.recovery_out.empty()) {
+    rc = nvhalt::bench::compare_recovery_with_baseline(opt);
     if (rc != 0) return rc;
   }
   if (!opt.hw_baseline.empty()) return nvhalt::bench::compare_hw_with_baseline(opt);

@@ -14,6 +14,9 @@
 // (BENCH_sw_hotpath.json or BENCH_ro_path.json) as a per-cell ratio table
 // of every TM against Trinity — the paper's competitiveness claim in one
 // markdown table, with a geometric-mean summary row.
+// With --recovery PATH it renders a bench_regress recovery-time report
+// (BENCH_recovery.json): recovery vs history length (checkpoint off/on)
+// and vs parallel replay worker count.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -256,6 +259,172 @@ int render_hw_hotpath_markdown(const std::string& path) {
   return 0;
 }
 
+// ---- recovery markdown rendering (--recovery) ----------------------------
+
+struct RecoveryCell {
+  std::string tm;
+  long long pool_words = 0, history_txs = 0, workers = 0, checkpoint = 0;
+  double ms = 0;
+};
+
+/// Renders a bench_regress BENCH_recovery.json (one cell object per line)
+/// as two markdown tables: recovery time against history length with
+/// checkpointing off vs on (the bounded-recovery claim — the "on" row goes
+/// flat once history outgrows the checkpoint interval), and recovery time
+/// against replay worker count with the parallel speedup over serial.
+int render_recovery_markdown(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_report --recovery: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<RecoveryCell> cells;
+  std::string line, mode = "?";
+  while (std::getline(f, line)) {
+    const auto mpos = line.find("\"mode\": \"");
+    if (mpos != std::string::npos) {
+      const auto start = mpos + 9;
+      mode = line.substr(start, line.find('"', start) - start);
+    }
+    const auto str_field = [&line](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": \"";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      const auto start = pos + needle.size();
+      const auto end = line.find('"', start);
+      return end == std::string::npos ? std::string{} : line.substr(start, end - start);
+    };
+    const auto num_field = [&line](const char* key) -> double {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+    };
+    RecoveryCell c;
+    c.tm = str_field("tm");
+    c.ms = num_field("ms");
+    if (c.tm.empty() || c.ms < 0) continue;
+    c.pool_words = static_cast<long long>(num_field("pool_words"));
+    c.history_txs = static_cast<long long>(num_field("history_txs"));
+    c.workers = static_cast<long long>(num_field("workers"));
+    c.checkpoint = static_cast<long long>(num_field("checkpoint"));
+    cells.push_back(std::move(c));
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "bench_report --recovery: no cells in %s\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> tms;
+  for (const RecoveryCell& c : cells) {
+    bool known = false;
+    for (const std::string& t : tms) known |= t == c.tm;
+    if (!known) tms.push_back(c.tm);
+  }
+  const auto sorted_values = [&cells](const auto& pick) {
+    std::vector<long long> vals;
+    for (const RecoveryCell& c : cells) {
+      const long long v = pick(c);
+      if (v < 0) continue;
+      bool known = false;
+      for (const long long k : vals) known |= k == v;
+      if (!known) vals.push_back(v);
+    }
+    for (std::size_t i = 0; i + 1 < vals.size(); ++i)
+      for (std::size_t j = i + 1; j < vals.size(); ++j)
+        if (vals[j] < vals[i]) std::swap(vals[i], vals[j]);
+    return vals;
+  };
+
+  std::printf("# Recovery time (%s, %s mode)\n", path.c_str(), mode.c_str());
+
+  // Table 1: history sweep at one worker. Checkpointing bounds recovery by
+  // the delta since the last checkpoint, so its row stays flat as history
+  // grows; the no-checkpoint row tracks total history.
+  const auto hists = sorted_values([](const RecoveryCell& c) {
+    return c.workers == 1 ? c.history_txs : -1;
+  });
+  std::printf("\n## vs history length (1 worker)\n\n| tm | checkpoint |");
+  for (const long long h : hists) std::printf(" %lld txs |", h);
+  std::printf("\n|---|---|");
+  for (std::size_t i = 0; i < hists.size(); ++i) std::printf("---:|");
+  std::printf("\n");
+  for (const std::string& tm : tms) {
+    for (const long long ck : {0, 1}) {
+      bool any = false;
+      std::string row = "| " + tm + " | " + (ck != 0 ? "on" : "off") + " |";
+      for (const long long h : hists) {
+        double ms = -1;
+        for (const RecoveryCell& c : cells)
+          if (c.tm == tm && c.checkpoint == ck && c.workers == 1 && c.history_txs == h) {
+            ms = c.ms;
+            break;
+          }
+        char buf[48];
+        if (ms < 0) {
+          std::snprintf(buf, sizeof buf, " – |");
+        } else {
+          std::snprintf(buf, sizeof buf, " %.2f ms |", ms);
+          any = true;
+        }
+        row += buf;
+      }
+      if (any) std::printf("%s\n", row.c_str());
+    }
+  }
+
+  // Table 2: worker sweep on the no-checkpoint (largest-recovery) cells,
+  // with the parallel speedup of the widest worker count over serial.
+  const auto workers = sorted_values([](const RecoveryCell& c) {
+    return c.checkpoint == 0 ? c.workers : -1;
+  });
+  const auto pools = sorted_values([](const RecoveryCell& c) {
+    return c.checkpoint == 0 && c.workers > 1 ? c.pool_words : -1;
+  });
+  if (workers.size() > 1 && !pools.empty()) {
+    std::printf("\n## vs replay workers (checkpoint off)\n\n| tm | pool words |");
+    for (const long long w : workers) std::printf(" w=%lld |", w);
+    std::printf(" speedup |\n|---|---:|");
+    for (std::size_t i = 0; i < workers.size(); ++i) std::printf("---:|");
+    std::printf("---:|\n");
+    for (const std::string& tm : tms) {
+      for (const long long pool : pools) {
+        double serial = -1, widest = -1;
+        std::string row = "| " + tm + " | ";
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%lld |", pool);
+        row += buf;
+        bool any = false;
+        for (const long long w : workers) {
+          double ms = -1;
+          for (const RecoveryCell& c : cells)
+            if (c.tm == tm && c.checkpoint == 0 && c.pool_words == pool && c.workers == w &&
+                c.ms > 0) {
+              ms = c.ms;
+              break;
+            }
+          if (ms < 0) {
+            std::snprintf(buf, sizeof buf, " – |");
+          } else {
+            std::snprintf(buf, sizeof buf, " %.2f ms |", ms);
+            any = true;
+            if (w == 1) serial = ms;
+            widest = ms;
+          }
+          row += buf;
+        }
+        if (!any) continue;
+        if (serial > 0 && widest > 0)
+          std::snprintf(buf, sizeof buf, " %.2fx |", serial / widest);
+        else
+          std::snprintf(buf, sizeof buf, " – |");
+        std::printf("%s%s\n", row.c_str(), buf);
+      }
+    }
+  }
+  return 0;
+}
+
 // ---- Trinity-gap markdown rendering (--gap) ------------------------------
 
 struct GapCell {
@@ -379,8 +548,11 @@ int main(int argc, char** argv) {
       return render_hw_hotpath_markdown(argv[i + 1]);
     if (std::strcmp(argv[i], "--gap") == 0 && i + 1 < argc)
       return render_gap_markdown(argv[i + 1]);
+    if (std::strcmp(argv[i], "--recovery") == 0 && i + 1 < argc)
+      return render_recovery_markdown(argv[i + 1]);
     std::fprintf(stderr,
-                 "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH] [--gap PATH]\n");
+                 "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH] [--gap PATH] "
+                 "[--recovery PATH]\n");
     return 2;
   }
   const BenchScale scale = read_scale_from_env();

@@ -4,6 +4,7 @@
 
 #include "htm/htm_tls.hpp"
 #include "htm/htm_types.hpp"
+#include "runtime/recovery_pool.hpp"
 
 namespace nvhalt {
 
@@ -337,6 +338,22 @@ bool TxAllocator::slot_bit(gaddr_t a, std::uint32_t nwords) const {
   return (pool_.raw_load(bitmap_idx(seg, slot)) >> (slot % 64)) & 1;
 }
 
+void TxAllocator::quiesce_intents(int tid) {
+  if (!tm_managed_ || !metadata_present()) return;
+  bool idled = false;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    const std::size_t base = intent_base(t);
+    if ((pool_.raw_load(base) & 3) != kIntentPrepared) continue;
+    // Persist phases are drained (checkpoint holds the exclusive side), so
+    // this record's transaction has durably applied its effects; idling it
+    // only removes recovery's idempotent re-application.
+    meta_store(tid, base, kIntentIdle);
+    meta_store(tid, base + 1, 0);
+    idled = true;
+  }
+  if (idled) pool_.fence(tid);
+}
+
 AllocDurableSummary TxAllocator::durable_summary() const {
   AllocDurableSummary s;
   if (!tm_managed_ || !metadata_present()) return s;
@@ -376,7 +393,8 @@ AllocDurableSummary TxAllocator::durable_summary() const {
   return s;
 }
 
-AllocRecoveryReport TxAllocator::recover_metadata(int rtid, const CommitPredicate& committed) {
+AllocRecoveryReport TxAllocator::recover_metadata(int rtid, const CommitPredicate& committed,
+                                                 int workers) {
   AllocRecoveryReport rep;
   rep.ran = true;
 
@@ -448,15 +466,35 @@ AllocRecoveryReport TxAllocator::recover_metadata(int rtid, const CommitPredicat
   }
 
   // Phase 2: rebuild volatile state from the durable headers and bitmaps.
+  // The header walk is serial — large-object extents make blind segment
+  // partitioning unsound (a partition could start inside an extent) — and
+  // so is every metadata write. Only the per-segment slot-bit scans, pure
+  // reads over disjoint bitmaps, fan out across the recovery worker pool;
+  // the in-order merge below then replays the serial path's stores and
+  // free-list pushes exactly, so the rebuilt state is identical for any
+  // worker count.
   std::uint64_t wm = pool_.raw_load(meta_base_ + 1);
   if (wm > space_.segment_count) wm = space_.segment_count;
   rep.watermark = wm;
   seg_bump_ = static_cast<std::size_t>(wm);
+
+  struct SegScan {
+    std::size_t seg;
+    int cls;
+    std::size_t used = 0;
+    std::vector<gaddr_t> free_slots;
+  };
+  struct WalkItem {
+    std::size_t seg;
+    std::uint64_t hdr;
+    std::ptrdiff_t scan = -1;  // index into `scans` for class segments
+  };
+  std::vector<WalkItem> walk;
+  std::vector<SegScan> scans;
   for (std::size_t seg = 0; seg < wm;) {
     const std::uint64_t s = pool_.raw_load(seg_hdr_idx(seg));
     if (s == kSegVirgin) {
-      free_segments_.push_back(seg);
-      rep.free_segments++;
+      walk.push_back({seg, s, -1});
       ++seg;
       continue;
     }
@@ -471,28 +509,46 @@ AllocRecoveryReport TxAllocator::recover_metadata(int rtid, const CommitPredicat
       throw TmLogicError("orphan large-object body segment in allocator metadata");
     if (s < 1 || s > kSizeClasses.size())
       throw TmLogicError("corrupt allocator segment header");
-    const int cls = static_cast<int>(s) - 1;
-    const std::uint32_t cw = kSizeClasses[static_cast<std::size_t>(cls)];
-    const std::size_t slots = SegmentSpace::slots_per_segment(cw);
-    const gaddr_t sbase = space_.segment_base(seg);
-    std::size_t used = 0;
-    for (std::size_t slot = 0; slot < slots; ++slot) {
-      if ((pool_.raw_load(bitmap_idx(seg, slot)) >> (slot % 64)) & 1) ++used;
+    walk.push_back({seg, s, static_cast<std::ptrdiff_t>(scans.size())});
+    scans.push_back({seg, static_cast<int>(s) - 1, 0, {}});
+    ++seg;
+  }
+
+  runtime::run_recovery_partitions(
+      scans.size(), workers, rtid, [&](int /*wtid*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          SegScan& sc = scans[i];
+          const std::uint32_t cw = kSizeClasses[static_cast<std::size_t>(sc.cls)];
+          const std::size_t slots = SegmentSpace::slots_per_segment(cw);
+          const gaddr_t sbase = space_.segment_base(sc.seg);
+          for (std::size_t slot = 0; slot < slots; ++slot) {
+            if ((pool_.raw_load(bitmap_idx(sc.seg, slot)) >> (slot % 64)) & 1) {
+              ++sc.used;
+            } else {
+              sc.free_slots.push_back(sbase + slot * cw);
+            }
+          }
+        }
+      });
+
+  for (const WalkItem& it : walk) {
+    if (it.hdr == kSegVirgin) {
+      free_segments_.push_back(it.seg);
+      rep.free_segments++;
+      continue;
     }
-    if (used == 0) {
+    const SegScan& sc = scans[static_cast<std::size_t>(it.scan)];
+    if (sc.used == 0) {
       // Every slot came home: recycle the segment whole for any class.
-      meta_store(rtid, seg_hdr_idx(seg), kSegVirgin);
-      free_segments_.push_back(seg);
+      meta_store(rtid, seg_hdr_idx(it.seg), kSegVirgin);
+      free_segments_.push_back(it.seg);
       rep.free_segments++;
     } else {
-      for (std::size_t slot = 0; slot < slots; ++slot) {
-        if (!((pool_.raw_load(bitmap_idx(seg, slot)) >> (slot % 64)) & 1)) {
-          global_free_[static_cast<std::size_t>(cls)].push_back(sbase + slot * cw);
-          rep.free_slots++;
-        }
+      for (const gaddr_t a : sc.free_slots) {
+        global_free_[static_cast<std::size_t>(sc.cls)].push_back(a);
+        rep.free_slots++;
       }
     }
-    ++seg;
   }
   pool_.fence(rtid);
 

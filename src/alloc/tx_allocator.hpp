@@ -153,6 +153,13 @@ class TxAllocator {
   /// persist_arm overwrites it, and recovery re-normalizes it either way.
   void persist_apply(int tid);
 
+  /// Durably idles every armed intent record (checkpoint truncation).
+  /// Caller must have drained all persist phases: with no arm/apply in
+  /// flight, every PREPARED record belongs to a transaction whose apply is
+  /// already durably fenced, so idling it only removes work recovery would
+  /// have re-done idempotently. Fences on `tid` when anything was idled.
+  void quiesce_intents(int tid);
+
   // ---- Non-transactional interface (setup / tests) ---------------------
   gaddr_t raw_alloc(int tid, std::size_t nwords);
   void raw_free(int tid, gaddr_t a, std::size_t nwords);
@@ -186,7 +193,12 @@ class TxAllocator {
   /// → revert, sweeping orphaned allocations), then rebuilds free lists
   /// and the segment watermark from the durable bitmaps and headers.
   /// Runs quiescently on recovery thread `rtid`; fences once at the end.
-  AllocRecoveryReport recover_metadata(int rtid, const CommitPredicate& committed);
+  /// `workers` parallelizes the read-only bitmap scans of Phase 2 across
+  /// the recovery worker pool; intent normalization and every metadata
+  /// write stay serial on `rtid` in segment order, so the rebuilt state
+  /// (and the durable image) is identical for any worker count.
+  AllocRecoveryReport recover_metadata(int rtid, const CommitPredicate& committed,
+                                       int workers = 1);
   const AllocRecoveryReport& last_recovery() const { return last_recovery_; }
 
   /// Optional cross-check of persistent metadata against structure

@@ -107,6 +107,17 @@ class TransactionalMemory {
   /// Claims a slot for the calling thread; released when the handle dies.
   ThreadHandle register_thread() { return ThreadHandle(registry()); }
 
+  /// Durably retires the revert/replay obligations accumulated so far — a
+  /// checkpoint — so the next recovery is bounded by the delta since this
+  /// call (DESIGN.md Sec. 13). Callable from any registered thread between
+  /// its own transactions; concurrent committers block only for the
+  /// duration. Returns false when this TM (or its configuration) does not
+  /// checkpoint; the default is that no-op.
+  virtual bool checkpoint(int tid) {
+    (void)tid;
+    return false;
+  }
+
   /// Post-crash recovery: restores the volatile image from the durable
   /// state (reverting in-flight transactions / replaying logs), resets
   /// volatile TM metadata, and reconstructs the allocator from the pool's

@@ -14,6 +14,7 @@
 
 #include "baselines/spht/spht_tm.hpp"
 #include "pmem/crash_sim.hpp"
+#include "runtime/recovery_pool.hpp"
 
 namespace nvhalt {
 
@@ -72,9 +73,11 @@ void SphtTm::replay_impl(int caller_tid, int nthreads, bool durable_prefix_only)
         const auto [a, v] = final_writes[i];
         // The NVM heap image lives in the records' `cur` field; replay
         // writes it and persists the line. `old`/`pver` are unused by
-        // SPHT (they are Trinity machinery).
+        // SPHT (they are Trinity machinery) — the pver stamp uses a fixed
+        // tid 0 so the replayed image is byte-identical for any worker
+        // count (the partitioning decides which worker writes a record).
         PRecord r = pool_.read_record(a);
-        pool_.record_write(tid, a, r.old, v, /*seq=*/0);
+        pool_.record_write(/*tid=*/0, a, r.old, v, /*seq=*/0);
         pool_.flush_record(tid, a);
       }
       pool_.fence(tid);
@@ -161,16 +164,40 @@ void SphtTm::replay_full_logs(int tid) {
   }
 }
 
+bool SphtTm::checkpoint(int tid) {
+  if (!cfg_.checkpoint || !cfg_.persist_txns) return false;
+  // SPHT's native compaction IS a full-log replay: every logged write is
+  // folded into the NVM heap image, the durable marker advances over the
+  // replayed timestamps, and the logs are truncated — after which recovery
+  // replays only the delta logged since. The full-log path quiesces
+  // writers via the global fallback lock and drains persist phases.
+  replay_full_logs(tid);
+  // Durably bump the generation counter (observability: tests and the
+  // crash sweep assert checkpoints really retired log history).
+  pool_.raw_store(tid, ckpt_gen_raw_idx_, pool_.raw_load(ckpt_gen_raw_idx_) + 1);
+  pool_.flush_raw(tid, ckpt_gen_raw_idx_);
+  pool_.fence(tid);
+  return true;
+}
+
 void SphtTm::recover_data() {
   // Post-crash: the staged view equals the durable one. Bring the NVM heap
   // image up to the durable marker, then rebuild the volatile image.
   gpm_volatile_.value.store(pool_.raw_load(gpm_raw_idx_), std::memory_order_relaxed);
   gpm_durable_.value.store(gpm_volatile_.value.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
-  replay_impl(/*caller_tid=*/0, 1, /*durable_prefix_only=*/true);
+  replay_impl(/*caller_tid=*/0, cfg_.replay_threads, /*durable_prefix_only=*/true);
 
-  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a)
-    pool_.store(a, pool_.read_record(a).cur);
+  // Volatile image rebuild: pure per-word loads/stores, partitioned across
+  // the replay workers (byte-identical for any worker count).
+  runtime::run_recovery_partitions(
+      pool_.capacity_words() - 1, cfg_.replay_threads, /*serial_tid=*/0,
+      [&](int /*tid*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const gaddr_t a = static_cast<gaddr_t>(1 + i);
+          pool_.store(a, pool_.read_record(a).cur);
+        }
+      });
 
   htm_.reset();
   global_lock_.value.store(0, std::memory_order_relaxed);

@@ -59,6 +59,13 @@ struct SphtConfig {
   /// Adaptive HTM attempt budget (runtime::AdaptivePolicy); see
   /// NvHaltConfig::adaptive_htm_budget.
   bool adaptive_htm_budget = false;
+
+  /// Checkpointing (DESIGN.md Sec. 13): checkpoint(tid) replays and
+  /// truncates the persistent logs (SPHT's native compaction — after it,
+  /// recovery replays only the delta logged since) and durably bumps a
+  /// generation counter. Off by default; the generation word is allocated
+  /// only when enabled so the raw layout stays byte-identical otherwise.
+  bool checkpoint = false;
 };
 
 class SphtTm final : public runtime::TmRuntime {
@@ -68,6 +75,16 @@ class SphtTm final : public runtime::TmRuntime {
 
   void recover_data() override;
   void rebuild_allocator(std::span<const LiveBlock> live) override;
+
+  /// Log replay + truncation as a checkpoint (cfg.checkpoint): bounded
+  /// recovery follows directly from SPHT's redo-log design — after the
+  /// truncation, recovery replays only the delta logged since. Returns
+  /// false when checkpointing is off or transactions are not persisted.
+  bool checkpoint(int tid) override;
+  /// Durable checkpoint generation (0 when cfg.checkpoint is off).
+  std::uint64_t checkpoint_generation() const {
+    return ckpt_gen_raw_idx_ == 0 ? 0 : pool_.raw_load(ckpt_gen_raw_idx_);
+  }
 
   PmemPool& pool() override { return pool_; }
   /// Note: SPHT does not use this allocator (see header comment); the
@@ -155,6 +172,7 @@ class SphtTm final : public runtime::TmRuntime {
   CacheLinePadded<std::atomic<std::uint64_t>> gpm_durable_;
   CacheLinePadded<std::atomic<std::uint64_t>> gl_held_ns_;
   std::size_t gpm_raw_idx_;
+  std::size_t ckpt_gen_raw_idx_ = 0;  // allocated only when cfg_.checkpoint
   std::mutex gpm_mu_;
 
   /// Published (ts << 1 | persisted) per thread; see persist_committed.

@@ -1,9 +1,12 @@
 #include "baselines/trinity/trinity_tm.hpp"
 
 #include <algorithm>
+#include <shared_mutex>
 #include <vector>
 
+#include "core/record_recovery.hpp"
 #include "htm/small_map.hpp"
+#include "pmem/checkpoint.hpp"
 #include "pmem/crash_sim.hpp"
 #include "runtime/per_thread.hpp"
 
@@ -59,9 +62,17 @@ TrinityTm::TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& allo
   // TM-managed allocator: persistent metadata, epoch-based reclamation
   // bounded by this registry, and crash recovery from the pool alone.
   alloc_.attach_registry(&registry_);
+  // Checkpoint/compaction: reserves its raw region only when enabled.
+  if (cfg_.checkpoint) ckpt_ = std::make_unique<CheckpointManager>(pool_, &alloc_);
 }
 
 TrinityTm::~TrinityTm() = default;
+
+bool TrinityTm::checkpoint(int tid) {
+  if (!ckpt_) return false;
+  ckpt_->checkpoint(tid);
+  return true;
+}
 
 /// Tx handle for one TL2 attempt.
 class TrinityTx final : public Tx {
@@ -109,7 +120,12 @@ class TrinityTx final : public Tx {
         // No data words written, but the transaction allocated or freed:
         // the allocator effects still need the arm → marker → apply
         // durability sequence (no locks needed — reads were validated at
-        // read time, and the effects are per-thread allocator state).
+        // read time, and the effects are per-thread allocator state). This
+        // is still a persist phase: hold the checkpoint guard so a
+        // concurrent checkpoint's intent quiesce cannot race the arm. No
+        // record stores happen, so there are no dirty lines to mark.
+        std::shared_lock<std::shared_mutex> persist_phase;
+        if (tm_.ckpt_) persist_phase = tm_.ckpt_->persist_phase();
         tm_.alloc_.persist_arm(tid_, ctx_.pver);
         tm_.pool_.fence(tid_);
         ++ctx_.pver;
@@ -167,6 +183,19 @@ class TrinityTx final : public Tx {
     // Persist with Trinity records while the locks are held, then apply.
     ctx_.tel.write_set_size.record(ctx_.wrset.size());
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid_, ctx_.held.size());
+    // Checkpointing: durably publish the write set's dirty-line bits
+    // before any record store is staged (write-barrier invariant), under
+    // the persist-phase guard checkpoints drain.
+    std::shared_lock<std::shared_mutex> persist_phase;
+    if (tm_.ckpt_) {
+      persist_phase = tm_.ckpt_->persist_phase();
+      bool need_fence = false;
+      for (const auto& w : ctx_.wrset) need_fence |= tm_.ckpt_->mark(tid_, w.addr);
+      if (need_fence) {
+        tm_.pool_.fence(tid_);
+        tm_.ckpt_->commit_marks(tid_);
+      }
+    }
     // Allocator intent record: armed under this transaction's pre-bump
     // pVerNum and flushed with the write set, so it is durable before the
     // marker can be. Recovery replays it iff pver crossed the arm id.
@@ -269,22 +298,18 @@ bool TrinityTm::run_registered(int tid, TxMode mode, TxBody body) {
 }
 
 void TrinityTm::recover_data() {
-  const int rtid = 0;
+  const int rtid = 0;  // serial tid; workers take the dedicated top range
   std::uint64_t durable_pver[kMaxThreads];
   for (int t = 0; t < kMaxThreads; ++t) durable_pver[t] = pool_.load_pver(t);
 
-  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a) {
-    PRecord r = pool_.read_record(a);
-    const int wtid = pver_tid(r.pver);
-    const std::uint64_t seq = pver_seq(r.pver);
-    if (seq >= durable_pver[wtid] && r.cur != r.old) {
-      pool_.revert_record(a);
-      pool_.flush_record(rtid, a);
-      r.cur = r.old;
-    }
-    pool_.store(a, r.cur);
-  }
-  pool_.fence(rtid);
+  // Shared record-revert engine (core/record_recovery.cpp): bounded by the
+  // checkpoint's dirty-line bitmap when enabled, partitioned across
+  // cfg_.recovery_threads workers either way.
+  RecordRecoveryOptions ropt;
+  ropt.rtid = rtid;
+  ropt.workers = cfg_.recovery_threads;
+  ropt.ckpt = ckpt_.get();
+  recover_records(pool_, durable_pver, ropt);
 
   locks_.reset();
   gv_.value.store(0, std::memory_order_relaxed);
@@ -293,9 +318,12 @@ void TrinityTm::recover_data() {
   // Reconstruct allocator state from the pool's persistent metadata: the
   // committed-ness predicate mirrors the data pass (record stamped with a
   // pre-bump pVerNum is committed iff the durable marker crossed it).
-  alloc_.recover_metadata(rtid, [&](int t, std::uint64_t seq) {
-    return seq < durable_pver[t];
-  });
+  alloc_.recover_metadata(
+      rtid, [&](int t, std::uint64_t seq) { return seq < durable_pver[t]; },
+      cfg_.recovery_threads);
+
+  // Start a fresh checkpoint generation over the recovered image.
+  if (ckpt_) ckpt_->recover(rtid);
 }
 
 void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) {

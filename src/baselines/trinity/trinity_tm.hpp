@@ -33,10 +33,21 @@
 
 namespace nvhalt {
 
+class CheckpointManager;
+
 struct TrinityConfig {
   std::size_t lock_table_entries = std::size_t{1} << 16;
   /// Bound on retries; < 0 retries until commit.
   int max_retries = -1;
+
+  /// Checkpoint/compaction (DESIGN.md Sec. 13): same dirty-line bitmap +
+  /// generation watermark as NV-HALT (the persistence mechanism is
+  /// identical). Off by default; the raw region is allocated only when
+  /// enabled so the pool layout stays byte-identical otherwise.
+  bool checkpoint = false;
+
+  /// Recovery worker pool size; any count recovers a byte-identical image.
+  int recovery_threads = 1;
 };
 
 class TrinityTm final : public runtime::TmRuntime {
@@ -46,6 +57,10 @@ class TrinityTm final : public runtime::TmRuntime {
 
   void recover_data() override;
   void rebuild_allocator(std::span<const LiveBlock> live) override;
+  bool checkpoint(int tid) override;
+
+  /// Checkpoint subsystem, or null when cfg.checkpoint is off (tests).
+  CheckpointManager* checkpoint_manager() { return ckpt_.get(); }
 
   PmemPool& pool() override { return pool_; }
   TxAllocator& allocator() override { return alloc_; }
@@ -72,6 +87,7 @@ class TrinityTm final : public runtime::TmRuntime {
   PmemPool& pool_;
   TxAllocator& alloc_;
   LockSpace locks_;
+  std::unique_ptr<CheckpointManager> ckpt_;  // only when cfg_.checkpoint
   CacheLinePadded<std::atomic<std::uint64_t>> gv_;  // TL2 global version clock
   runtime::PerThread<ThreadCtx> ctx_;
 };

@@ -1,6 +1,7 @@
 #include "core/nvhalt_tm.hpp"
 
 #include "core/nvhalt_internal.hpp"
+#include "pmem/checkpoint.hpp"
 #include "pmem/crash_sim.hpp"
 
 namespace nvhalt {
@@ -43,6 +44,9 @@ NvHaltTm::NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, Tx
   // TM-managed allocator: persistent metadata, epoch-based reclamation
   // bounded by this registry, and crash recovery from the pool alone.
   alloc_.attach_registry(&registry_);
+  // Checkpoint/compaction: reserves its raw region only when enabled, so
+  // the default configuration keeps a byte-identical pool layout.
+  if (cfg_.checkpoint) ckpt_ = std::make_unique<CheckpointManager>(pool_, &alloc_);
 }
 
 NvHaltTm::~NvHaltTm() = default;
@@ -69,6 +73,22 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // released (done by the caller), preserving the invariant that an
   // address is non-durable only while locked.
   ctx.tel.write_set_size.record(ctx.persist_buf.size());
+  // Checkpointing: hold the persist-phase guard across the whole phase
+  // (checkpoints drain these), and durably publish the dirty bit of every
+  // record line this write set touches BEFORE any record store is staged —
+  // the write-barrier invariant bounded recovery rests on. Lines already
+  // durably marked this generation cost nothing (shadow bitmap).
+  std::shared_lock<std::shared_mutex> persist_phase;
+  if (ckpt_) {
+    persist_phase = ckpt_->persist_phase();
+    bool need_fence = false;
+    for (const ThreadCtx::PersistEnt& e : ctx.persist_buf)
+      need_fence |= ckpt_->mark(tid, e.addr);
+    if (need_fence) {
+      pool_.fence(tid);
+      ckpt_->commit_marks(tid);
+    }
+  }
   // Allocator intent record: armed under this transaction's pre-bump
   // pVerNum and flushed with the write set, so it is durable before the
   // marker can be. Recovery replays it iff pver crossed the arm id.
@@ -94,6 +114,12 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // the still-armed record idempotently either way.
   alloc_.persist_apply(tid);
   pool_.fence(tid);
+}
+
+bool NvHaltTm::checkpoint(int tid) {
+  if (!ckpt_) return false;
+  ckpt_->checkpoint(tid);
+  return true;
 }
 
 bool NvHaltTm::run_registered(int tid, TxMode mode, TxBody body) {

@@ -36,6 +36,8 @@
 
 namespace nvhalt {
 
+class CheckpointManager;
+
 enum class Variant { kWeak, kStrong };
 
 struct NvHaltConfig {
@@ -88,6 +90,19 @@ struct NvHaltConfig {
   /// recovery is caught with a replayable (trace, prefix, seed) triple.
   int recovery_skip_nth_revert = -1;
 
+  /// Checkpoint/compaction (DESIGN.md Sec. 13): maintain a persistent
+  /// dirty-line bitmap so checkpoint(tid) can retire accumulated revert
+  /// obligations and recovery scans only the delta since the last
+  /// checkpoint. Off by default — the checkpoint raw region is allocated
+  /// only when enabled, so disabled configurations keep a byte-identical
+  /// pool layout.
+  bool checkpoint = false;
+
+  /// Recovery worker pool size (parallel record revert + image rebuild).
+  /// 1 reproduces the serial recovery path exactly; any count yields a
+  /// byte-identical recovered image.
+  int recovery_threads = 1;
+
   /// Read-only fast path (docs/PROTOCOLS.md "Read-only fast path"):
   /// transactions hinted TxMode::kReadOnly — or detected via a streak of
   /// empty-write-set commits — run a TL2-style snapshot attempt with zero
@@ -106,6 +121,7 @@ class NvHaltTm final : public runtime::TmRuntime {
 
   void recover_data() override;
   void rebuild_allocator(std::span<const LiveBlock> live) override;
+  bool checkpoint(int tid) override;
 
   PmemPool& pool() override { return pool_; }
   TxAllocator& allocator() override { return alloc_; }
@@ -115,6 +131,8 @@ class NvHaltTm final : public runtime::TmRuntime {
   telemetry::TmTelemetry telemetry() const override;
 
   const NvHaltConfig& config() const { return cfg_; }
+  /// Checkpoint subsystem, or null when cfg.checkpoint is off (tests).
+  CheckpointManager* checkpoint_manager() { return ckpt_.get(); }
   htm::SimHtm& htm() { return htm_; }
   LockSpace& locks() { return locks_; }
   std::uint64_t gclock() const { return gclock_.value.load(std::memory_order_acquire); }
@@ -173,6 +191,10 @@ class NvHaltTm final : public runtime::TmRuntime {
   htm::SimHtm& htm_;
   TxAllocator& alloc_;
   LockSpace locks_;
+
+  /// Dirty-line tracking + generation watermark; built only when
+  /// cfg_.checkpoint (reserves pool raw space in the constructor).
+  std::unique_ptr<CheckpointManager> ckpt_;
 
   /// Global software clock (NV-HALT-SP only). Accessed through the HTM
   /// simulator so hardware transactions could in principle subscribe to it

@@ -1,0 +1,64 @@
+// Shared record-revert recovery engine (NV-HALT + Trinity).
+//
+// Both TMs colocate the undo history with the data as per-word
+// {cur, old, pver} records, so their recovery is the same pass: revert
+// every record whose persistent version number is at or above its owning
+// thread's durable marker (in-flight at the crash; nobody can have
+// observed its value because its lock was still held), then rebuild the
+// volatile user image from the records. This module factors that pass out
+// of the per-TM recover_data() implementations and adds the two scaling
+// levers of ROADMAP open item 4:
+//
+//  * Bounded recovery: with a valid CheckpointManager region, only record
+//    lines whose durable dirty bit is set can hold an in-flight record
+//    (write-barrier invariant: the bit is fenced before any record store
+//    to the line is staged), so the revert pass visits just the
+//    delta-since-checkpoint. The volatile rebuild still covers the whole
+//    pool but needs no predicate.
+//  * Parallel recovery: both passes split into contiguous disjoint
+//    partitions replayed by run_recovery_partitions workers. Every write
+//    depends only on its own record, so the recovered image is
+//    byte-identical for any worker count (pinned by
+//    tests/recovery_parallel_test.cpp via PmemPool::image_hash()).
+//
+// The fault-injection path (skip_nth_revert >= 0) forces the exact legacy
+// serial loop: the mutation tests count reverts in address order, which
+// only the serial scan defines.
+#pragma once
+
+#include <cstdint>
+
+#include "pmem/pmem_pool.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+class CheckpointManager;
+
+struct RecordRecoveryOptions {
+  int rtid = 0;     ///< serial tid (workers use the dedicated top range)
+  int workers = 1;  ///< recovery worker pool size
+  /// Fault injection (tests only): leave the nth in-flight record torn.
+  /// Forces the serial full scan — revert order is address order.
+  int skip_nth_revert = -1;
+  /// Checkpoint region; bounded recovery when non-null and durably valid.
+  CheckpointManager* ckpt = nullptr;
+};
+
+struct RecordRecoveryReport {
+  bool bounded = false;            ///< dirty-bitmap-guided revert pass ran
+  std::uint64_t lines_scanned = 0; ///< record lines the revert pass visited
+  std::uint64_t reverts = 0;       ///< in-flight records reverted
+  int workers_used = 1;
+};
+
+/// Runs the revert pass and the volatile rebuild over `pool`.
+/// `durable_pver[t]` is thread t's durable persistence marker; a record
+/// with pver_seq >= durable_pver[pver_tid] and cur != old is in-flight and
+/// reverted (persisted idempotently so a crash mid-recovery re-reverts).
+/// Quiescent; fences each worker's queue before returning.
+RecordRecoveryReport recover_records(PmemPool& pool,
+                                     const std::uint64_t (&durable_pver)[kMaxThreads],
+                                     const RecordRecoveryOptions& opts);
+
+}  // namespace nvhalt

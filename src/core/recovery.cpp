@@ -6,38 +6,30 @@
 // image is then rebuilt from the records, volatile TM metadata (locks,
 // conflict table, clock) is reset, and the allocator state is reconstructed
 // from the user-supplied live-block iterator (Sec. 4).
+//
+// The scan itself lives in core/record_recovery.cpp (shared with Trinity):
+// bounded by the checkpoint's dirty-line bitmap when cfg.checkpoint is on,
+// and partitioned across cfg.recovery_threads workers either way.
 #include "core/nvhalt_internal.hpp"
+#include "core/record_recovery.hpp"
+#include "pmem/checkpoint.hpp"
 
 namespace nvhalt {
 
 void NvHaltTm::recover_data() {
-  const int rtid = 0;  // recovery is single-threaded (full-system-crash model)
+  const int rtid = 0;  // serial tid; workers take the dedicated top range
 
   // Durable per-thread persistent version numbers (staged == durable after
   // PmemPool::crash()).
   std::uint64_t durable_pver[kMaxThreads];
   for (int t = 0; t < kMaxThreads; ++t) durable_pver[t] = pool_.load_pver(t);
 
-  int reverts_seen = 0;
-  for (gaddr_t a = 1; a < pool_.capacity_words(); ++a) {
-    PRecord r = pool_.read_record(a);
-    const int wtid = pver_tid(r.pver);
-    const std::uint64_t seq = pver_seq(r.pver);
-    if (seq >= durable_pver[wtid] && r.cur != r.old) {
-      if (reverts_seen++ == cfg_.recovery_skip_nth_revert) {
-        // Fault injection (tests only): leave this in-flight record torn.
-        pool_.store(a, r.cur);
-        continue;
-      }
-      // In-flight at the crash: revert and persist the reversion so a
-      // crash during recovery re-reverts idempotently.
-      pool_.revert_record(a);
-      pool_.flush_record(rtid, a);
-      r.cur = r.old;
-    }
-    pool_.store(a, r.cur);  // rebuild the volatile image
-  }
-  pool_.fence(rtid);
+  RecordRecoveryOptions ropt;
+  ropt.rtid = rtid;
+  ropt.workers = cfg_.recovery_threads;
+  ropt.skip_nth_revert = cfg_.recovery_skip_nth_revert;
+  ropt.ckpt = ckpt_.get();
+  recover_records(pool_, durable_pver, ropt);
 
   // Volatile synchronization metadata did not survive; start clean. This
   // is safe precisely because recovery reverted every address whose lock
@@ -65,9 +57,14 @@ void NvHaltTm::recover_data() {
   // blocks (allocated, never committed) are swept here. No structure
   // traversal is required; rebuild_allocator() below is an optional
   // cross-check.
-  alloc_.recover_metadata(rtid, [&](int t, std::uint64_t seq) {
-    return seq < durable_pver[t];
-  });
+  alloc_.recover_metadata(
+      rtid, [&](int t, std::uint64_t seq) { return seq < durable_pver[t]; },
+      cfg_.recovery_threads);
+
+  // Retire the recovered delta as a fresh checkpoint generation so the
+  // next crash starts from an empty dirty set (adopts the durable
+  // generation, or reseeds a region the crash predated).
+  if (ckpt_) ckpt_->recover(rtid);
 }
 
 void NvHaltTm::rebuild_allocator(std::span<const LiveBlock> live) {

@@ -1,0 +1,180 @@
+#include "pmem/checkpoint.hpp"
+
+#include <bit>
+#include <mutex>
+
+#include "alloc/tx_allocator.hpp"
+
+namespace nvhalt {
+
+std::size_t CheckpointManager::metadata_words(std::size_t capacity_words) {
+  const std::size_t rec_lines = (capacity_words + 1) / 2;
+  const std::size_t bitmap_words = (rec_lines + 63) / 64;
+  const std::size_t bitmap_padded =
+      (bitmap_words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+  // Watermark line + two generation slot-header lines + bitmap.
+  return 3 * kWordsPerLine + bitmap_padded;
+}
+
+CheckpointManager::CheckpointManager(PmemPool& pool, TxAllocator* alloc)
+    : pool_(pool), alloc_(alloc) {
+  rec_lines_ = (pool_.capacity_words() + 1) / 2;
+  bitmap_words_ = (rec_lines_ + 63) / 64;
+  base_ = pool_.alloc_raw(metadata_words(pool_.capacity_words()));
+  bitmap_base_ = base_ + 3 * kWordsPerLine;
+
+  shadow_ = std::make_unique<std::atomic<std::uint64_t>[]>(bitmap_words_);
+  for (std::size_t w = 0; w < bitmap_words_; ++w)
+    shadow_[w].store(0, std::memory_order_relaxed);
+  word_locks_ = std::make_unique<std::atomic_flag[]>(kWordLocks);
+  for (std::size_t i = 0; i < kWordLocks; ++i) word_locks_[i].clear();
+  pending_ = std::make_unique<PendingMarks[]>(kMaxThreads);
+
+  if (pool_.attached_existing()) return;  // recover() adopts the durable state
+
+  // Seed generation 0 durably: slot 0 sealed, then the watermark. A crash
+  // before the final fence leaves an invalid watermark and recovery falls
+  // back to the full scan — never an unsound bounded one.
+  const int tid = 0;
+  pool_.raw_store(tid, slot_idx(0), kSlotComplete);
+  pool_.raw_store(tid, slot_idx(0) + 1, 0);
+  pool_.flush_raw(tid, slot_idx(0));
+  pool_.fence(tid);
+  pool_.raw_store(tid, base_, pack_wm(0, 0));
+  pool_.flush_raw(tid, base_);
+  pool_.fence(tid);
+}
+
+bool CheckpointManager::mark(int tid, gaddr_t a) {
+  const std::size_t line = static_cast<std::size_t>(a) / 2;
+  const std::size_t w = line / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (line % 64);
+  if (shadow_[w].load(std::memory_order_acquire) & bit) return false;  // durably set
+
+  // Stage the bit (idempotent OR, serialized per word: independent slots
+  // of the same bitmap word can be marked concurrently).
+  std::atomic_flag& lk = word_locks_[w % kWordLocks];
+  while (lk.test_and_set(std::memory_order_acquire)) cpu_relax();
+  const std::uint64_t cur = pool_.raw_load(bitmap_word_idx(w));
+  if (!(cur & bit)) pool_.raw_store(tid, bitmap_word_idx(w), cur | bit);
+  lk.clear(std::memory_order_release);
+
+  // Always flush on OUR queue: another thread may have staged the bit, but
+  // its fence can land after our record store — durability of the bit must
+  // ride a fence we control and order before our stores.
+  pool_.flush_raw(tid, bitmap_word_idx(w));
+  pending_[tid].lines.push_back(line);
+  stat_marks_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void CheckpointManager::commit_marks(int tid) {
+  auto& p = pending_[tid].lines;
+  if (p.empty()) return;
+  for (const std::size_t line : p) {
+    const std::size_t w = line / 64;
+    shadow_[w].fetch_or(std::uint64_t{1} << (line % 64), std::memory_order_acq_rel);
+  }
+  p.clear();
+  stat_mark_fences_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CheckpointManager::truncate_and_flip(int tid, std::uint64_t next_gen) {
+  const int next_slot = slot_ ^ 1;
+
+  // (1) Open the inactive generation slot. The watermark still names the
+  // old generation, so a crash anywhere below recovers from it.
+  pool_.raw_store(tid, slot_idx(next_slot), kSlotInProgress);
+  pool_.raw_store(tid, slot_idx(next_slot) + 1, next_gen);
+  pool_.flush_raw(tid, slot_idx(next_slot));
+  pool_.fence(tid);
+
+  // (2) Truncation/compaction: clear the dirty-line bitmap. Sound even
+  // half-done — persist phases are drained, so every bit cleared here
+  // covered only durably-committed records the revert predicate skips.
+  std::uint64_t retired = 0;
+  for (std::size_t w = 0; w < bitmap_words_; ++w) {
+    const std::uint64_t v = pool_.raw_load(bitmap_word_idx(w));
+    if (v == 0) continue;
+    retired += static_cast<std::uint64_t>(std::popcount(v));
+    pool_.raw_store(tid, bitmap_word_idx(w), 0);
+    pool_.flush_raw(tid, bitmap_word_idx(w));
+  }
+  pool_.fence(tid);
+
+  // (3) Seal the slot, (4) flip the watermark. Two fences so the
+  // crash-prefix enumerator gets a boundary between "new generation
+  // sealed" and "new generation active" — the torn-checkpoint window.
+  pool_.raw_store(tid, slot_idx(next_slot), kSlotComplete);
+  pool_.flush_raw(tid, slot_idx(next_slot));
+  pool_.fence(tid);
+  pool_.raw_store(tid, base_, pack_wm(next_gen, next_slot));
+  pool_.flush_raw(tid, base_);
+  pool_.fence(tid);
+
+  for (std::size_t w = 0; w < bitmap_words_; ++w)
+    shadow_[w].store(0, std::memory_order_relaxed);
+  for (int t = 0; t < kMaxThreads; ++t) pending_[t].lines.clear();
+  gen_.store(next_gen, std::memory_order_release);
+  slot_ = next_slot;
+  stat_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  stat_lines_retired_.fetch_add(retired, std::memory_order_relaxed);
+}
+
+void CheckpointManager::checkpoint(int tid) {
+  std::unique_lock<std::shared_mutex> x(mu_);
+  // Persist phases are drained: every armed allocator intent belongs to a
+  // transaction whose apply is durably fenced, so idling the records is
+  // pure truncation (recovery would only have re-applied them).
+  if (alloc_ != nullptr) alloc_->quiesce_intents(tid);
+  truncate_and_flip(tid, gen_.load(std::memory_order_relaxed) + 1);
+}
+
+CheckpointStats CheckpointManager::stats() const {
+  CheckpointStats s;
+  s.checkpoints = stat_checkpoints_.load(std::memory_order_relaxed);
+  s.lines_retired = stat_lines_retired_.load(std::memory_order_relaxed);
+  s.marks = stat_marks_.load(std::memory_order_relaxed);
+  s.mark_fences = stat_mark_fences_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool CheckpointManager::durable_valid() const {
+  const std::uint64_t wm = pool_.raw_load(base_);
+  if ((wm >> 32) != kWmMagic) return false;
+  // The watermark must name a sealed slot carrying the same generation
+  // (the flip is fenced after the seal, so a valid watermark implies this;
+  // checking anyway keeps a corrupted image on the full-scan path).
+  const int slot = static_cast<int>(wm & 1);
+  const std::uint64_t gen = (wm >> 1) & 0x7FFFFFFFULL;
+  return pool_.raw_load(slot_idx(slot)) == kSlotComplete &&
+         pool_.raw_load(slot_idx(slot) + 1) == gen;
+}
+
+std::uint64_t CheckpointManager::durable_generation() const {
+  return (pool_.raw_load(base_) >> 1) & 0x7FFFFFFFULL;
+}
+
+bool CheckpointManager::durable_dirty(std::size_t rec_line) const {
+  const std::size_t w = rec_line / 64;
+  return (pool_.raw_load(bitmap_word_idx(w)) >> (rec_line % 64)) & 1;
+}
+
+void CheckpointManager::recover(int tid) {
+  // Quiescent: adopt the durable generation (or restart at 0 when the
+  // crash predates initialization), then retire the recovered delta as a
+  // fresh generation — recovery just reverted or confirmed every dirty
+  // record, so the next crash starts from an empty dirty set.
+  std::uint64_t gen = 0;
+  if (durable_valid()) {
+    const std::uint64_t wm = pool_.raw_load(base_);
+    slot_ = static_cast<int>(wm & 1);
+    gen = (wm >> 1) & 0x7FFFFFFFULL;
+  } else {
+    slot_ = 1;  // truncate_and_flip seals slot 0 for the reseeded generation
+  }
+  gen_.store(gen, std::memory_order_relaxed);
+  truncate_and_flip(tid, gen + 1);
+}
+
+}  // namespace nvhalt

@@ -1,0 +1,186 @@
+// Checkpoint/compaction subsystem (ROADMAP open item 4, DESIGN.md Sec. 13).
+//
+// NV-HALT and Trinity colocate their undo history with the data (per-word
+// {cur, old, pver} records), so unlike SPHT there is no log to replay —
+// but recovery still scans *every* record to decide which in-flight writes
+// to revert, an O(pool) pass no matter how little happened since the last
+// consistent point. This module bounds that pass by delta-since-checkpoint:
+//
+//  * A persistent *dirty-line bitmap* over the record lines. Before a
+//    persist phase stages any record store to a line, it durably sets the
+//    line's bit (store + flush + fence, on the writing thread's own flush
+//    queue). The write-barrier invariant this buys: any record line the
+//    crash adversary can materialize has a durable dirty bit, so recovery
+//    may skip the revert scan for every clean line.
+//  * A *double-buffered checkpoint region*: two generation slot headers
+//    plus a single packed watermark word naming the active slot. A
+//    checkpoint drains all persist phases (writer-side shared lock,
+//    checkpoint-side exclusive), durably idles the allocator's armed
+//    intent records, opens the inactive slot, truncates the bitmap (the
+//    compaction step — cleared bits are exactly the revert obligations
+//    retired by the checkpoint), seals the slot, and finally flips the
+//    watermark. Every step is separated by the pool's normal flush/fence
+//    discipline, so the crash-prefix enumerator can place boundaries
+//    inside compaction and truncation like anywhere else.
+//
+// Torn-checkpoint window: a crash between the bitmap truncation and the
+// watermark flip leaves the *old* generation named by the watermark with a
+// (partially) cleared bitmap. This is safe by construction — at truncation
+// time all persist phases were drained, so every record a cleared bit
+// covered belongs to a durably completed transaction (its pver is below
+// the owner's durable marker) which the revert predicate would skip
+// anyway. Recovery therefore reaches the same state from either
+// generation; tests/checkpoint_test.cpp pins this with replayable
+// (hash, prefix, seed) triples.
+//
+// The steady-state cost is one bit-set + fence per line per checkpoint
+// interval: once a line's bit is durably set (tracked by a volatile shadow
+// bitmap), later writers skip it entirely, so hot lines pay nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "pmem/pmem_pool.hpp"
+#include "util/common.hpp"
+
+namespace nvhalt {
+
+class TxAllocator;
+
+struct CheckpointStats {
+  std::uint64_t checkpoints = 0;    ///< completed watermark flips
+  std::uint64_t lines_retired = 0;  ///< dirty bits cleared by truncation
+  std::uint64_t marks = 0;          ///< dirty bits durably published
+  std::uint64_t mark_fences = 0;    ///< extra fences paid publishing marks
+};
+
+class CheckpointManager {
+ public:
+  /// Reserves the checkpoint raw region (metadata_words) from the pool and
+  /// durably initializes generation 0 unless the pool attached to an
+  /// existing image (then recover() adopts the durable state instead).
+  /// `alloc` (may be null) is quiesced during checkpoints so a truncated
+  /// bitmap never outlives an armed intent record it made redundant.
+  CheckpointManager(PmemPool& pool, TxAllocator* alloc);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Raw persistent words of checkpoint metadata for a pool of
+  /// `capacity_words` (watermark line + two slot-header lines + the
+  /// dirty-line bitmap, line-padded). Pool sizing adds this to raw-region
+  /// budgets when checkpointing is enabled; disabled configurations
+  /// allocate nothing and keep a byte-identical raw layout.
+  static std::size_t metadata_words(std::size_t capacity_words);
+
+  // ---- Writer side (persist phases) ------------------------------------
+  /// Shared-mode guard a persist phase must hold from before its first
+  /// mark() until after its closing fence. Checkpoints take the exclusive
+  /// side, so holding this open is what "drain all persist phases" means.
+  std::shared_lock<std::shared_mutex> persist_phase() {
+    return std::shared_lock<std::shared_mutex>(mu_);
+  }
+
+  /// Stages the dirty bit covering word `a`'s record line and queues its
+  /// flush on `tid`'s own queue — even when another thread already staged
+  /// the bit, because that thread's fence may come later than our record
+  /// store. Returns true when the caller must fence (publishing the bit
+  /// durably) before staging any record store to the line; callers batch
+  /// marks for a whole write set and pay at most one such fence. Requires
+  /// a persist_phase() guard.
+  bool mark(int tid, gaddr_t a);
+
+  /// Publishes `tid`'s pending marks to the volatile shadow bitmap. Call
+  /// only after the fence that made those bitmap flushes durable.
+  void commit_marks(int tid);
+
+  // ---- Checkpoint -------------------------------------------------------
+  /// Runs one checkpoint on behalf of `tid`: drains persist phases
+  /// (exclusive lock), durably idles armed allocator intents, advances the
+  /// double-buffered generation, truncates the dirty bitmap, and flips the
+  /// watermark. Safe to call from any registered thread between its own
+  /// transactions; concurrent committers block only for the duration.
+  void checkpoint(int tid);
+
+  std::uint64_t generation() const { return gen_.load(std::memory_order_acquire); }
+  CheckpointStats stats() const;
+
+  // ---- Recovery side (quiescent) ---------------------------------------
+  /// True when the durable watermark names a sealed generation — the
+  /// precondition for the bounded (bitmap-guided) revert pass. False for
+  /// crash images predating the initialization fence; recovery then falls
+  /// back to the full scan.
+  bool durable_valid() const;
+  std::uint64_t durable_generation() const;
+
+  /// Durable dirty bit of record line `rec_line` (= a / 2 for word a).
+  bool durable_dirty(std::size_t rec_line) const;
+  std::size_t record_lines() const { return rec_lines_; }
+
+  /// Post-recovery adoption: loads the durable generation (or reseeds an
+  /// invalid region), then runs one checkpoint so the recovered image
+  /// starts a fresh generation with an empty dirty set — sound because
+  /// recovery just made every record durably consistent.
+  void recover(int tid);
+
+ private:
+  static constexpr std::uint64_t kWmMagic = 0x43504B31;  // "CPK1"
+  static constexpr std::uint64_t kSlotEmpty = 0;
+  static constexpr std::uint64_t kSlotInProgress = 1;
+  static constexpr std::uint64_t kSlotComplete = 2;
+  // Watermark word: [63:32] magic, [31:1] generation, [0] active slot.
+  // One word, stored atomically by the pool, so the flip itself can never
+  // tear — the double-buffered slots carry everything else.
+  static std::uint64_t pack_wm(std::uint64_t gen, int slot) {
+    return (kWmMagic << 32) | ((gen & 0x7FFFFFFFULL) << 1) |
+           static_cast<std::uint64_t>(slot & 1);
+  }
+
+  std::size_t slot_idx(int slot) const {
+    return base_ + (1 + static_cast<std::size_t>(slot)) * kWordsPerLine;
+  }
+  std::size_t bitmap_word_idx(std::size_t w) const { return bitmap_base_ + w; }
+
+  /// Clears the staged+durable bitmap and flips to `next_gen`; caller
+  /// holds mu_ exclusively (or is quiescent recovery).
+  void truncate_and_flip(int tid, std::uint64_t next_gen);
+
+  PmemPool& pool_;
+  TxAllocator* alloc_;
+  std::size_t rec_lines_;
+  std::size_t bitmap_words_;
+  std::size_t base_;         // raw index: watermark line
+  std::size_t bitmap_base_;  // raw index: first bitmap word
+
+  /// Persist phases shared, checkpoints exclusive.
+  std::shared_mutex mu_;
+
+  /// Volatile shadow of the durable bitmap: a set bit means the durable
+  /// bit is known fenced, so writers skip re-publishing it.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shadow_;
+
+  /// Hashed spinlocks serializing staged read-modify-write of one bitmap
+  /// word (slots of different threads share bitmap words).
+  static constexpr std::size_t kWordLocks = 64;
+  std::unique_ptr<std::atomic_flag[]> word_locks_;
+
+  /// Marks staged+flushed by a thread but not yet covered by its fence.
+  struct alignas(kCacheLineBytes) PendingMarks {
+    std::vector<std::size_t> lines;
+  };
+  std::unique_ptr<PendingMarks[]> pending_;
+
+  std::atomic<std::uint64_t> gen_{0};
+  int slot_ = 0;
+
+  std::atomic<std::uint64_t> stat_checkpoints_{0};
+  std::atomic<std::uint64_t> stat_lines_retired_{0};
+  std::atomic<std::uint64_t> stat_marks_{0};
+  std::atomic<std::uint64_t> stat_mark_fences_{0};
+};
+
+}  // namespace nvhalt

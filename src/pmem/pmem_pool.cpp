@@ -388,6 +388,29 @@ void PmemPool::fence(int tid) {
   fq.pending.clear();
 }
 
+std::uint64_t PmemPool::image_hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xFF;
+      h *= 0x100000001B3ull;
+    }
+  };
+  for (std::size_t i = 0; i < cfg_.capacity_words; ++i)
+    mix(vmem_[i].load(std::memory_order_acquire));
+  const std::size_t raw_words_padded = raw_space_words();
+  const std::size_t rec_words = record_lines_ * kWordsPerLine;
+  for (std::size_t i = 0; i < raw_words_padded; ++i)
+    mix(raw_staged_[i].load(std::memory_order_acquire));
+  for (std::size_t i = 0; i < rec_words; ++i)
+    mix(rec_staged_[i].load(std::memory_order_acquire));
+  for (std::size_t i = 0; i < raw_words_padded; ++i)
+    mix(raw_durable_[i].load(std::memory_order_acquire));
+  for (std::size_t i = 0; i < rec_words; ++i)
+    mix(rec_durable_[i].load(std::memory_order_acquire));
+  return h;
+}
+
 telemetry::PowHistogram PmemPool::fence_flush_hist() const {
   telemetry::PowHistogram h;
   for (int t = 0; t < kMaxThreads; ++t) h.add(flush_queues_[t].fence_lines);

@@ -121,6 +121,8 @@ class PmemPool {
 
   const PmemConfig& config() const { return cfg_; }
   std::size_t capacity_words() const { return cfg_.capacity_words; }
+  /// Record lines covering the word space (2 records per line).
+  std::size_t record_lines() const { return record_lines_; }
 
   // ---- Volatile user image -------------------------------------------
   word_t load(gaddr_t a) const { return vmem_[a].load(std::memory_order_acquire); }
@@ -233,6 +235,11 @@ class PmemPool {
   /// fencing thread, so call this quiescently (same contract as the TM
   /// stats accessors).
   telemetry::PowHistogram fence_flush_hist() const;
+
+  /// FNV-1a digest over the volatile, staged and durable images (in that
+  /// order). Quiescent-only; used by the parallel-recovery determinism
+  /// tests to assert byte-identical recovered state across worker counts.
+  std::uint64_t image_hash() const;
 
   /// True when the pool was constructed over an existing backing file:
   /// the durable image holds a previous run's state; attach by running the

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "api/tm_factory.hpp"
+#include "pmem/checkpoint.hpp"
 #include "pmem/crash_enum.hpp"
 #include "structures/tm_hashmap.hpp"
 #include "structures/tm_list.hpp"
@@ -51,6 +52,16 @@ struct CrashHarnessOptions {
   word_t list_key_base = 9000;
   word_t initial_balance = 100;
   std::uint64_t workload_seed = 0xC0FFEE;
+
+  /// When > 0, transfer thread 0 runs tm.checkpoint() after every N of its
+  /// committed transactions, so the journal interleaves checkpoint
+  /// truncation/compaction traffic with live commits — the crash-prefix
+  /// enumerator then places boundaries inside those windows like anywhere
+  /// else (including the torn-checkpoint window between the bitmap
+  /// truncation and the watermark flip). Enables the TMs' checkpoint
+  /// configuration, which changes the pool's raw layout; bundles record it
+  /// so replays reconstruct the same geometry.
+  int checkpoint_every = 0;
 
   /// When non-empty, the harness dumps observability artifacts after the
   /// workload quiesces (and before the runner is torn down): `trace_out`
@@ -84,7 +95,7 @@ struct CrashTraceBundle {
 
 /// Small, enumeration-friendly geometry: recovery scans the full record
 /// space per materialized image, so the pool is kept compact.
-inline RunnerConfig crash_config(TmKind kind) {
+inline RunnerConfig crash_config(TmKind kind, bool checkpoint = false) {
   RunnerConfig cfg;
   cfg.kind = kind;
   cfg.pmem.capacity_words = std::size_t{1} << 17;  // 8 allocator segments
@@ -96,6 +107,16 @@ inline RunnerConfig crash_config(TmKind kind) {
   cfg.spht.max_threads = 12;
   cfg.spht.log_words_per_thread = std::size_t{1} << 11;
   cfg.spht.replay_threads = 1;
+  if (checkpoint) {
+    // Checkpointing changes the raw layout (dirty-line bitmap + watermark
+    // region, or SPHT's generation word), so the workload runner and the
+    // verifier must agree on this flag — the bundle records it.
+    cfg.nvhalt.checkpoint = true;
+    cfg.trinity.checkpoint = true;
+    cfg.spht.checkpoint = true;
+    cfg.pmem.raw_words +=
+        CheckpointManager::metadata_words(cfg.pmem.capacity_words) + 2 * kWordsPerLine;
+  }
   return cfg;
 }
 
@@ -113,7 +134,7 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
   if (!opt.trace_out.empty()) telemetry::TraceBuffer::instance().clear();
 
   PersistJournal journal;
-  RunnerConfig cfg = crash_config(opt.kind);
+  RunnerConfig cfg = crash_config(opt.kind, opt.checkpoint_every > 0);
   cfg.pmem.journal = &journal;
   TmRunner runner(cfg);
   auto& tm = runner.tm();
@@ -155,7 +176,8 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
   std::vector<std::thread> workers;
   int tid = 0;
   for (int t = 0; t < opt.transfer_threads; ++t, ++tid) {
-    workers.emplace_back([&, tid] {
+    const bool checkpointer = t == 0 && opt.checkpoint_every > 0;
+    workers.emplace_back([&, tid, checkpointer] {
       Xoshiro256 rng(opt.workload_seed * 31 + static_cast<std::uint64_t>(tid));
       barrier.arrive_and_wait();
       for (int i = 0; i < opt.txs_per_thread; ++i) {
@@ -172,6 +194,11 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
             tx.write(tr.accounts[to], vt + amt);
           }
         });
+        // Checkpoint mid-workload while every other worker keeps
+        // committing: the journal then carries truncation/compaction
+        // traffic interleaved with live persist phases, and the enumerator
+        // places crash boundaries inside those windows.
+        if (checkpointer && (i + 1) % opt.checkpoint_every == 0) tm.checkpoint(tid);
       }
     });
   }
@@ -402,7 +429,7 @@ class CrashImageVerifier {
 
  private:
   static RunnerConfig verifier_config(const CrashTraceBundle& tr, int skip_nth) {
-    RunnerConfig cfg = crash_config(tr.opt.kind);
+    RunnerConfig cfg = crash_config(tr.opt.kind, tr.opt.checkpoint_every > 0);
     cfg.nvhalt.recovery_skip_nth_revert = skip_nth;
     return cfg;
   }
@@ -425,7 +452,10 @@ class CrashImageVerifier {
 // ---- Bundle persistence (cross-process failure replay) -------------------
 
 namespace detail {
-inline constexpr std::uint64_t kBundleMagic = 0x4E56484243524232ULL;  // "NVHBCRB2"
+// v3 appends checkpoint_every (layout-affecting: the verifier must rebuild
+// the same raw geometry). v2 bundles load with checkpointing off.
+inline constexpr std::uint64_t kBundleMagicV2 = 0x4E56484243524232ULL;  // "NVHBCRB2"
+inline constexpr std::uint64_t kBundleMagic = 0x4E56484243524233ULL;    // "NVHBCRB3"
 
 inline void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -454,6 +484,7 @@ inline void save_bundle(const std::string& path, const CrashTraceBundle& tr) {
   put_u64(f, tr.opt.list_key_base);
   put_u64(f, tr.opt.initial_balance);
   put_u64(f, tr.opt.workload_seed);
+  put_u64(f, static_cast<std::uint64_t>(tr.opt.checkpoint_every));
   put_u64(f, tr.prefill_bound);
   put_u64(f, tr.map_key_base);
   const auto put_vec = [&f](const std::vector<gaddr_t>& v) {
@@ -489,8 +520,10 @@ inline CrashTraceBundle load_bundle(const std::string& path) {
   using detail::get_u64;
   std::ifstream f(path, std::ios::binary);
   if (!f) throw TmLogicError("cannot open bundle file: " + path);
-  if (get_u64(f) != detail::kBundleMagic)
+  const std::uint64_t magic = get_u64(f);
+  if (magic != detail::kBundleMagic && magic != detail::kBundleMagicV2)
     throw TmLogicError("not a crash-trace bundle: " + path);
+  const bool v3 = magic == detail::kBundleMagic;
   CrashTraceBundle tr;
   tr.opt.kind = static_cast<TmKind>(get_u64(f));
   tr.opt.transfer_threads = static_cast<int>(get_u64(f));
@@ -504,6 +537,7 @@ inline CrashTraceBundle load_bundle(const std::string& path) {
   tr.opt.list_key_base = get_u64(f);
   tr.opt.initial_balance = get_u64(f);
   tr.opt.workload_seed = get_u64(f);
+  tr.opt.checkpoint_every = v3 ? static_cast<int>(get_u64(f)) : 0;
   tr.prefill_bound = get_u64(f);
   tr.map_key_base = get_u64(f);
   const auto get_vec = [&f](std::vector<gaddr_t>& v) {

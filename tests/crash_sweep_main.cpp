@@ -36,6 +36,10 @@ struct SweepArgs {
   // Delete-heavy list churn on by default: CI sweeps should always cover
   // the allocator's free-intent + epoch-reclamation machinery.
   int list_threads = 2;
+  // Checkpoint cadence (0 = off): interleaves checkpoint truncation/
+  // compaction with live commits so crash boundaries land inside those
+  // windows. The CI recovery-sweep step runs with this enabled.
+  int checkpoint_every = 0;
   std::uint64_t subset_seeds = 2;
   std::uint64_t budget_ms = env_u64("NVHALT_CRASH_BUDGET", 20000);
   std::uint64_t workload_seed = 0xC0FFEE;
@@ -55,6 +59,8 @@ void usage(const char* argv0) {
                "  --txs N           transactions per worker thread (default 12)\n"
                "  --list-threads N  delete-heavy list-churn workers driving tx.free\n"
                "                    through intents + epoch limbo (default 2; 0 disables)\n"
+               "  --checkpoint-every N  run tm.checkpoint() every N committed transfers on\n"
+               "                    worker 0 (default 0 = checkpointing off)\n"
                "  --seeds N         adversarial subset images per fence boundary (default 2)\n"
                "  --budget-ms N     per-TM time budget; 0 = unlimited\n"
                "                    (default $NVHALT_CRASH_BUDGET or 20000)\n"
@@ -105,6 +111,10 @@ bool parse_args(int argc, char** argv, SweepArgs* a) {
       const char* v = next();
       if (v == nullptr) return false;
       a->list_threads = std::atoi(v);
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->checkpoint_every = std::atoi(v);
     } else if (arg == "--seeds") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -155,6 +165,7 @@ CrashTraceBundle run_workload(const SweepArgs& a, TmKind kind) {
   opt.kind = kind;
   opt.txs_per_thread = a.txs_per_thread;
   opt.list_threads = a.list_threads;
+  opt.checkpoint_every = a.checkpoint_every;
   opt.workload_seed = a.workload_seed;
   if (!a.trace_out.empty())
     opt.trace_out = a.trace_out + "." + tm_kind_name(kind);

@@ -1,0 +1,82 @@
+// Parallel recovery determinism: recovering the same crash image with 1,
+// 2 and 8 workers must produce byte-identical pool state, asserted with
+// PmemPool::image_hash (an FNV-1a digest over the volatile, staged and
+// durable images). Recovery partitions are contiguous and disjoint and
+// every recovery write depends only on its own record, so worker count
+// may change scheduling but never the result. Covers all five TMs,
+// fence-boundary and adversarial write-back images, and the
+// checkpoint-enabled bounded path. The suite name matches the
+// tsan-concurrency preset filter so the worker pool runs under TSan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crash_harness.hpp"
+#include "pmem/crash_enum.hpp"
+#include "test_helpers.hpp"
+
+namespace nvhalt {
+namespace {
+
+using test::all_kinds;
+using test::crash_config;
+using test::CrashHarnessOptions;
+using test::CrashTraceBundle;
+using test::kind_param_name;
+
+RunnerConfig recovery_config(TmKind kind, bool checkpoint, int workers) {
+  RunnerConfig cfg = crash_config(kind, checkpoint);
+  cfg.nvhalt.recovery_threads = workers;
+  cfg.trinity.recovery_threads = workers;
+  cfg.spht.replay_threads = workers;
+  return cfg;
+}
+
+/// Recovers `img` in a fresh runner with `workers` recovery threads and
+/// returns the post-recovery pool digest.
+std::uint64_t recover_hash(TmKind kind, bool checkpoint, int workers, const CrashImage& img) {
+  TmRunner runner(recovery_config(kind, checkpoint, workers));
+  runner.pool().install_crash_image(img.words);
+  runner.tm().recover_data();
+  return runner.pool().image_hash();
+}
+
+class RecoveryParallelTest : public testing::TestWithParam<TmKind> {
+ protected:
+  void check_images(bool checkpoint) {
+    CrashHarnessOptions opt;
+    opt.kind = GetParam();
+    opt.txs_per_thread = 8;
+    opt.list_threads = 2;
+    opt.checkpoint_every = checkpoint ? 3 : 0;
+    const CrashTraceBundle tr = test::run_crash_workload(opt);
+
+    // Fence-boundary images at ~25/50/100% of the trace plus one
+    // adversarial write-back image at the midpoint.
+    CrashEnumerator en(tr.events, CrashEnumOptions{});
+    const auto& bs = en.boundaries();
+    ASSERT_GE(bs.size(), 4u);
+    std::vector<CrashImage> images;
+    for (const std::size_t p : {bs[bs.size() / 4], bs[bs.size() / 2], bs.back()})
+      images.push_back(materialize_crash_image(tr.events, p, 0));
+    images.push_back(materialize_crash_image(tr.events, bs[bs.size() / 2], /*subset_seed=*/7));
+
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const std::uint64_t h1 = recover_hash(GetParam(), checkpoint, 1, images[i]);
+      const std::uint64_t h2 = recover_hash(GetParam(), checkpoint, 2, images[i]);
+      const std::uint64_t h8 = recover_hash(GetParam(), checkpoint, 8, images[i]);
+      EXPECT_EQ(h1, h2) << "image " << i << ": 2-worker recovery diverged from serial";
+      EXPECT_EQ(h1, h8) << "image " << i << ": 8-worker recovery diverged from serial";
+    }
+  }
+};
+
+TEST_P(RecoveryParallelTest, ByteIdenticalAcrossWorkerCounts) { check_images(false); }
+
+TEST_P(RecoveryParallelTest, ByteIdenticalWithCheckpointEnabled) { check_images(true); }
+
+INSTANTIATE_TEST_SUITE_P(RecoveryParallel, RecoveryParallelTest, testing::ValuesIn(all_kinds()),
+                         kind_param_name);
+
+}  // namespace
+}  // namespace nvhalt
