@@ -117,6 +117,12 @@ BenchResult run_structure_bench(const BenchParams& p) {
   r.tm = tm.stats();
   r.htm = runner.htm().aggregate_stats();
   r.tel = tm.telemetry();
+  if (const ContentionTable* ct = tm.contention()) {
+    r.has_contention = true;
+    r.contention_stripes = ct->stripes();
+    r.contention = ct->totals();
+    r.hot_stripes = ct->top_k(16);
+  }
   if (r.total_ops > 0) {
     r.flushes_per_op = static_cast<double>(flushes_measured) / static_cast<double>(r.total_ops);
     r.fences_per_op = static_cast<double>(fences_measured) / static_cast<double>(r.total_ops);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "api/tm_factory.hpp"
+#include "locks/contention.hpp"
 #include "telemetry/tx_telemetry.hpp"
 
 namespace nvhalt::bench {
@@ -76,6 +77,12 @@ struct BenchResult {
   /// Abort taxonomy + histograms for the measured phase (the taxonomy is
   /// live at every telemetry level; latency histograms need level >= 1).
   telemetry::TmTelemetry tel;
+  /// Per-stripe lock-contention snapshot (always-on failure-path counters;
+  /// absent only for TMs without a contention observatory).
+  bool has_contention = false;
+  std::size_t contention_stripes = 0;
+  ContentionTotals contention;
+  std::vector<StripeContention> hot_stripes;
 };
 
 /// Runs one data point: build system, prefill to 50%, measure.

@@ -18,6 +18,10 @@
 //   --taxonomy-out abort-taxonomy sidecar path, one line per grid cell with
 //                  the decoded abort-cause split (default: BENCH_taxonomy.json);
 //                  --check additionally asserts each cell's cause counts sum
+//   --contention-out per-stripe lock-contention sidecar path, one line per
+//                  grid cell with totals + decayed top-K hot stripes
+//                  (default: BENCH_contention.json); bench_report
+//                  --contention renders it as the stripe heatmap
 //                  to its hw_aborts exactly
 //   --hw-out       hardware-fast-path access-cost report (ns per
 //                  transactional read/write, hw commit fraction), mirroring
@@ -86,6 +90,7 @@ struct Options {
   std::string out = "BENCH_sw_hotpath.json";
   std::string scaling_out = "BENCH_thread_scaling.json";
   std::string taxonomy_out = "BENCH_taxonomy.json";
+  std::string contention_out = "BENCH_contention.json";
   std::string hw_out = "BENCH_hw_hotpath.json";
   std::string ro_out = "BENCH_ro_path.json";
   std::string alloc_out = "BENCH_alloc_churn.json";
@@ -834,8 +839,18 @@ int run_report(const Options& opt) {
   tax << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
   tax << "  \"cells\": [\n";
 
+  // Contention sidecar: one line per grid cell with the lock-contention
+  // totals and the top-K hot stripes — bench_report --contention renders
+  // this as the per-stripe heatmap.
+  std::ostringstream con;
+  con << "{\n";
+  con << "  \"schema\": \"nvhalt-bench-contention-v1\",\n";
+  con << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  con << "  \"cells\": [\n";
+
   js << "  \"grid\": [\n";
   bool first = true;
+  bool con_first = true;
   for (const Structure st : {Structure::kAbTree, Structure::kHashMap}) {
     for (const int read_pct : fig8_read_pcts()) {
       for (const TmKind kind : fig8_tms()) {
@@ -872,6 +887,22 @@ int run_report(const Options& opt) {
         tax << ", \"ro_commits\": " << r.tm.ro_commits << ", \"user_aborts\": " << t.user_aborts
             << ", \"fallbacks\": " << r.tm.fallbacks
             << ", \"write_set_p99\": " << r.tel.tx.write_set_size.quantile_bound(0.99) << "}";
+        con << (con_first ? "" : ",\n");
+        con_first = false;
+        con << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+            << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"stripes\": " << r.contention_stripes
+            << ", \"stalls\": " << r.contention.stalls
+            << ", \"stall_ticks\": " << r.contention.stall_ticks
+            << ", \"cas_failures\": " << r.contention.cas_failures
+            << ", \"aborts\": " << r.contention.aborts << ", \"top\": [";
+        for (std::size_t i = 0; i < r.hot_stripes.size(); ++i) {
+          const StripeContention& hs = r.hot_stripes[i];
+          con << (i == 0 ? "" : ", ") << "{\"stripe\": " << hs.stripe
+              << ", \"stalls\": " << hs.stalls << ", \"stall_ticks\": " << hs.stall_ticks
+              << ", \"cas_failures\": " << hs.cas_failures << ", \"aborts\": " << hs.aborts
+              << ", \"score\": " << hs.score() << "}";
+        }
+        con << "]}";
         std::fprintf(stderr, "%s %dro %s: %.0f ops/s\n", structure_name(st), read_pct,
                      tm_kind_name(kind), r.ops_per_sec);
       }
@@ -879,6 +910,7 @@ int run_report(const Options& opt) {
   }
   js << "\n  ]\n}\n";
   tax << "\n  ]\n}\n";
+  con << "\n  ]\n}\n";
 
   std::ofstream f(opt.out, std::ios::trunc);
   if (!f) {
@@ -897,6 +929,16 @@ int run_report(const Options& opt) {
   tf << tax.str();
   tf.close();
   std::fprintf(stderr, "bench_regress: wrote %s\n", opt.taxonomy_out.c_str());
+
+  std::ofstream cf(opt.contention_out, std::ios::trunc);
+  if (!cf) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n",
+                 opt.contention_out.c_str());
+    return 1;
+  }
+  cf << con.str();
+  cf.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.contention_out.c_str());
   return 0;
 }
 
@@ -1043,6 +1085,64 @@ int check_taxonomy(const std::string& path) {
   if (!saw_schema) errors.push_back("missing/unknown taxonomy schema tag");
   if (cells != 40)
     errors.push_back("taxonomy must have 40 cells, found " + std::to_string(cells));
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
+/// Shape + consistency validation for the contention sidecar: 40 cells,
+/// every cell carries a stripe count, and every top-K entry's score obeys
+/// the published formula (4*aborts + 2*cas_failures + stalls) — the same
+/// arithmetic ContentionTable ranks by, so drift means a snapshot bug.
+int check_contention(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  std::string line;
+  bool saw_schema = false;
+  std::size_t cells = 0;
+  while (std::getline(f, line)) {
+    if (line.find("\"schema\": \"nvhalt-bench-contention-v1\"") != std::string::npos)
+      saw_schema = true;
+    const auto tm_pos = line.find("\"tm\": \"");
+    const auto top_pos = line.find("\"top\": [");
+    if (tm_pos == std::string::npos || top_pos == std::string::npos) continue;
+    ++cells;
+    const auto stripes_pos = line.find("\"stripes\": ");
+    if (stripes_pos == std::string::npos ||
+        std::atoll(line.c_str() + stripes_pos + 11) < 1) {
+      errors.push_back("contention cell " + std::to_string(cells) + ": missing stripe count");
+      continue;
+    }
+    // Walk the top-K objects; keys repeat per entry so scan object by object.
+    std::size_t pos = top_pos + 8;
+    while (true) {
+      const auto open = line.find('{', pos);
+      if (open == std::string::npos) break;
+      const auto close = line.find('}', open);
+      if (close == std::string::npos) break;
+      const std::string obj = line.substr(open, close - open + 1);
+      const auto field = [&obj](const char* key) -> long long {
+        const std::string needle = std::string("\"") + key + "\": ";
+        const auto p = obj.find(needle);
+        return p == std::string::npos ? 0 : std::atoll(obj.c_str() + p + needle.size());
+      };
+      const long long want = 4 * field("aborts") + 2 * field("cas_failures") + field("stalls");
+      if (field("score") != want) {
+        errors.push_back("contention cell " + std::to_string(cells) + ": top entry score " +
+                         std::to_string(field("score")) + " != recomputed " +
+                         std::to_string(want));
+      }
+      pos = close + 1;
+    }
+  }
+  if (!saw_schema) errors.push_back("missing/unknown contention schema tag");
+  if (cells != 40)
+    errors.push_back("contention sidecar must have 40 cells, found " + std::to_string(cells));
 
   for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
   if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
@@ -1366,6 +1466,8 @@ int main(int argc, char** argv) {
       opt.scaling_out = argv[++i];
     } else if (std::strcmp(argv[i], "--taxonomy-out") == 0 && i + 1 < argc) {
       opt.taxonomy_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--contention-out") == 0 && i + 1 < argc) {
+      opt.contention_out = argv[++i];
     } else if (std::strcmp(argv[i], "--hw-out") == 0 && i + 1 < argc) {
       opt.hw_out = argv[++i];
     } else if (std::strcmp(argv[i], "--ro-out") == 0 && i + 1 < argc) {
@@ -1387,7 +1489,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
-                   "[--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH] [--alloc-out PATH] "
+                   "[--taxonomy-out PATH] [--contention-out PATH] [--hw-out PATH] [--ro-out PATH] "
+                   "[--alloc-out PATH] "
                    "[--baseline PATH] [--hw-baseline PATH] [--ro-baseline PATH] "
                    "[--alloc-baseline PATH] [--recovery-out PATH] [--recovery-baseline PATH]\n");
       return 2;
@@ -1417,12 +1520,14 @@ int main(int argc, char** argv) {
     const int rc7 = opt.recovery_out.empty()
                         ? 0
                         : nvhalt::bench::check_recovery_report(opt.recovery_out);
+    const int rc8 = nvhalt::bench::check_contention(opt.contention_out);
     if (rc == 0) rc = rc2;
     if (rc == 0) rc = rc3;
     if (rc == 0) rc = rc4;
     if (rc == 0) rc = rc5;
     if (rc == 0) rc = rc6;
     if (rc == 0) rc = rc7;
+    if (rc == 0) rc = rc8;
     if (rc != 0) return rc;
   }
   if (!opt.baseline.empty()) {

@@ -17,6 +17,10 @@
 // With --recovery PATH it renders a bench_regress recovery-time report
 // (BENCH_recovery.json): recovery vs history length (checkpoint off/on)
 // and vs parallel replay worker count.
+// With --contention PATH it renders a bench_regress lock-contention sidecar
+// (BENCH_contention.json) as the per-stripe heatmap: totals per grid cell
+// plus the hottest stripes of the most contended cell per TM.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -425,6 +429,150 @@ int render_recovery_markdown(const std::string& path) {
   return 0;
 }
 
+// ---- contention heatmap rendering (--contention) -------------------------
+
+struct ContentionStripeLine {
+  long long stripe = 0, stalls = 0, stall_ticks = 0, cas_failures = 0, aborts = 0, score = 0;
+};
+
+struct ContentionCell {
+  std::string structure, tm;
+  long long read_pct = 0, stripes = 0;
+  long long stalls = 0, stall_ticks = 0, cas_failures = 0, aborts = 0;
+  std::vector<ContentionStripeLine> top;
+};
+
+/// Line-oriented parse of the contention sidecar. The top-K array repeats
+/// keys per entry, so it is scanned object by object instead of by a
+/// whole-line field lookup.
+std::vector<ContentionCell> parse_contention(std::ifstream& f) {
+  std::vector<ContentionCell> cells;
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto str_field = [&line](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": \"";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      const auto start = pos + needle.size();
+      const auto end = line.find('"', start);
+      return end == std::string::npos ? std::string{} : line.substr(start, end - start);
+    };
+    const auto top_pos = line.find("\"top\": [");
+    const std::string head = top_pos == std::string::npos ? line : line.substr(0, top_pos);
+    const auto num_field = [&head](const char* key) -> long long {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = head.find(needle);
+      if (pos == std::string::npos) return 0;
+      return std::atoll(head.c_str() + pos + needle.size());
+    };
+    ContentionCell c;
+    c.structure = str_field("structure");
+    c.tm = str_field("tm");
+    if (c.structure.empty() || c.tm.empty() || top_pos == std::string::npos) continue;
+    c.read_pct = num_field("read_pct");
+    c.stripes = num_field("stripes");
+    c.stalls = num_field("stalls");
+    c.stall_ticks = num_field("stall_ticks");
+    c.cas_failures = num_field("cas_failures");
+    c.aborts = num_field("aborts");
+    std::size_t pos = top_pos + 8;
+    while (true) {
+      const auto open = line.find('{', pos);
+      if (open == std::string::npos) break;
+      const auto close = line.find('}', open);
+      if (close == std::string::npos) break;
+      const std::string obj = line.substr(open, close - open + 1);
+      const auto obj_field = [&obj](const char* key) -> long long {
+        const std::string needle = std::string("\"") + key + "\": ";
+        const auto p = obj.find(needle);
+        return p == std::string::npos ? 0 : std::atoll(obj.c_str() + p + needle.size());
+      };
+      ContentionStripeLine s;
+      s.stripe = obj_field("stripe");
+      s.stalls = obj_field("stalls");
+      s.stall_ticks = obj_field("stall_ticks");
+      s.cas_failures = obj_field("cas_failures");
+      s.aborts = obj_field("aborts");
+      s.score = obj_field("score");
+      c.top.push_back(s);
+      pos = close + 1;
+    }
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+/// Renders a bench_regress contention sidecar (BENCH_contention.json) as
+/// the lock-contention heatmap: per structure a totals table over every
+/// workload x TM cell, then per structure the hottest stripes of the most
+/// abort-heavy cell per TM with a bar scaled to the group's peak score —
+/// where in the lock space the workload is actually fighting.
+int render_contention_markdown(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_report --contention: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const std::vector<ContentionCell> cells = parse_contention(f);
+  if (cells.empty()) {
+    std::fprintf(stderr, "bench_report --contention: no cells in %s\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("# Lock-contention heatmap (%s)\n", path.c_str());
+  std::printf("\nFailure-path tallies only (stalls, CAS losses, conflict aborts) — an empty\n"
+              "table row means the cell ran contention-free, not that tracking was off.\n");
+  for (const char* st : {"abtree", "hashmap"}) {
+    bool any = false;
+    for (const ContentionCell& c : cells) any |= c.structure == st;
+    if (!any) continue;
+    std::printf("\n## %s — totals\n\n", st);
+    std::printf("| workload | tm | stripes | stalls | stall ticks | cas failures | aborts |\n");
+    std::printf("|---|---|---:|---:|---:|---:|---:|\n");
+    for (const ContentionCell& c : cells) {
+      if (c.structure != st) continue;
+      std::printf("| %s | %s | %lld | %lld | %lld | %lld | %lld |\n",
+                  workload_name(static_cast<int>(c.read_pct)).c_str(), c.tm.c_str(), c.stripes,
+                  c.stalls, c.stall_ticks, c.cas_failures, c.aborts);
+    }
+
+    // Hot stripes: per TM, the cell with the most attributed aborts (the
+    // workload actually fighting), its top stripes bar-scaled to the
+    // structure-wide peak score so bars compare across TMs.
+    std::vector<const ContentionCell*> hottest;
+    for (const ContentionCell& c : cells) {
+      if (c.structure != st || c.top.empty()) continue;
+      bool found = false;
+      for (const ContentionCell*& h : hottest) {
+        if (h->tm != c.tm) continue;
+        found = true;
+        if (c.aborts > h->aborts) h = &c;
+      }
+      if (!found) hottest.push_back(&c);
+    }
+    long long peak = 0;
+    for (const ContentionCell* h : hottest)
+      for (const ContentionStripeLine& s : h->top) peak = std::max(peak, s.score);
+    if (peak == 0) continue;
+    std::printf("\n## %s — hot stripes\n\n", st);
+    std::printf("| tm | workload | stripe | heat | score | stalls | cas | aborts |\n");
+    std::printf("|---|---|---:|:---|---:|---:|---:|---:|\n");
+    for (const ContentionCell* h : hottest) {
+      std::size_t shown = 0;
+      for (const ContentionStripeLine& s : h->top) {
+        if (shown++ >= 8) break;
+        const int bars = static_cast<int>((s.score * 20 + peak - 1) / peak);
+        std::string bar;
+        for (int b = 0; b < bars; ++b) bar += "█";
+        std::printf("| %s | %s | %lld | %s | %lld | %lld | %lld | %lld |\n", h->tm.c_str(),
+                    workload_name(static_cast<int>(h->read_pct)).c_str(), s.stripe, bar.c_str(),
+                    s.score, s.stalls, s.cas_failures, s.aborts);
+      }
+    }
+  }
+  return 0;
+}
+
 // ---- Trinity-gap markdown rendering (--gap) ------------------------------
 
 struct GapCell {
@@ -550,9 +698,11 @@ int main(int argc, char** argv) {
       return render_gap_markdown(argv[i + 1]);
     if (std::strcmp(argv[i], "--recovery") == 0 && i + 1 < argc)
       return render_recovery_markdown(argv[i + 1]);
+    if (std::strcmp(argv[i], "--contention") == 0 && i + 1 < argc)
+      return render_contention_markdown(argv[i + 1]);
     std::fprintf(stderr,
                  "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH] [--gap PATH] "
-                 "[--recovery PATH]\n");
+                 "[--recovery PATH] [--contention PATH]\n");
     return 2;
   }
   const BenchScale scale = read_scale_from_env();

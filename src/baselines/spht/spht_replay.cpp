@@ -176,11 +176,20 @@ bool SphtTm::checkpoint(int tid) {
   // crash sweep assert checkpoints really retired log history).
   pool_.raw_store(tid, ckpt_gen_raw_idx_, pool_.raw_load(ckpt_gen_raw_idx_) + 1);
   pool_.flush_raw(tid, ckpt_gen_raw_idx_);
+  if constexpr (telemetry::kLevel >= 1) {
+    if (frec_)
+      frec_->record(tid, telemetry::EventKind::kCheckpoint, 0xFF,
+                    static_cast<std::uint16_t>(pool_.raw_load(ckpt_gen_raw_idx_) & 0xFFFF));
+  }
   pool_.fence(tid);
   return true;
 }
 
 void SphtTm::recover_data() {
+  // Postmortem first: decode the flight recorder from the crash image
+  // before any recovery write can disturb it (read-only, never throws).
+  if (frec_)
+    last_postmortem_ = std::make_unique<telemetry::PostmortemReport>(frec_->postmortem());
   // Post-crash: the staged view equals the durable one. Bring the NVM heap
   // image up to the durable marker, then rebuild the volatile image.
   gpm_volatile_.value.store(pool_.raw_load(gpm_raw_idx_), std::memory_order_relaxed);
@@ -214,6 +223,8 @@ void SphtTm::recover_data() {
   // ever freed — so the committed-ness predicate is vacuous.
   alloc_iface_.recover_metadata(0, [](int, std::uint64_t) { return false; });
   for (int t = 0; t < cfg_.max_threads; ++t) bump_[t] = BumpState{};
+  // Re-arm the recorder over the recovered image (stamps a recovery event).
+  if (frec_) frec_->on_recover(0);
 }
 
 void SphtTm::rebuild_allocator(std::span<const LiveBlock> live) {

@@ -84,6 +84,12 @@ SphtTm::SphtTm(const SphtConfig& cfg, PmemPool& pool, htm::SimHtm& htm, TxAlloca
   // SPHT never frees, so the epoch machinery stays idle (no pins needed)
   // and no per-transaction allocator intents are ever armed.
   alloc_iface_.attach_registry(&registry_);
+  // Flight recorder: same conditional-reservation discipline as the
+  // checkpoint generation word above.
+  if (cfg_.flight_recorder) {
+    frec_ = std::make_unique<telemetry::FlightRecorder>(pool_);
+    for (int t = 0; t < ctx_.size(); ++t) ctx_[t].recorder = frec_.get();
+  }
 }
 
 SphtTm::~SphtTm() = default;
@@ -200,7 +206,10 @@ void SphtTm::persist_committed(int tid, std::uint64_t ts_commit) {
   [[maybe_unused]] std::uint64_t ack_t0 = 0;
   if constexpr (telemetry::kLevel >= 1) ack_t0 = telemetry::now_ticks();
 
-  // 1. Append + persist the redo log record.
+  // 1. Append + persist the redo log record. The flight-recorder note
+  //    rides the append's internal fence.
+  ctx.fr(tid, telemetry::EventKind::kFence, 0xFF,
+         static_cast<std::uint16_t>(std::min<std::size_t>(ctx.redo.size(), 0xFFFF)));
   while (!log_.append(tid, ts_commit, ctx.redo)) replay_full_logs(tid);
 
   // 2. Publish "my log at ts_commit is durable".
@@ -257,8 +266,12 @@ SphtTm::AttemptResult SphtTm::attempt_hw(int tid, TxBody body) {
   try {
     // Subscribe to the global fallback lock: abort immediately if held,
     // and (via the read set) whenever it becomes held.
-    if (htm_.load(tid, kGlLoc, &global_lock_.value) != 0)
+    if (htm_.load(tid, kGlLoc, &global_lock_.value) != 0) {
+      // Contention cells are plain diagnostics outside the simulated
+      // transaction's tracked footprint, so the increment survives xabort.
+      contention_.on_abort(0);
       htm_.xabort(tid, kGlSubscribeAbortCode);
+    }
     body(tx);
     if (cfg_.persist_txns && !ctx.redo.empty()) {
       // Commit timestamp taken inside the transaction (rdtscp analogue).
@@ -311,16 +324,26 @@ SphtTm::AttemptResult SphtTm::attempt_sw(int tid, TxBody body) {
   [[maybe_unused]] std::uint64_t stall_t0 = 0;
   if constexpr (telemetry::kLevel >= 1) stall_t0 = telemetry::now_ticks();
   std::uint64_t expected = 0;
+  bool contended = false;
   while (!htm_.nontx_cas(tid, kGlLoc, &global_lock_.value, expected,
                          static_cast<std::uint64_t>(tid) + 1)) {
+    contention_.on_cas_fail(0);
+    contended = true;
     expected = 0;
     if (auto* c = pool_.crash_coordinator()) c->crash_point();
     std::this_thread::yield();
   }
   if constexpr (telemetry::kLevel >= 1) {
+    // kLockStall arg encodes stripe << 48 | ticks; SPHT's only lock is
+    // stripe 0, so the arg is the wait alone.
+    const std::uint64_t waited = telemetry::now_ticks() - stall_t0;
+    if (contended) contention_.on_stall(0, waited);
     telemetry::trace1(telemetry::EventKind::kLockStall, tid,
-                      telemetry::now_ticks() - stall_t0);
+                      waited & ((std::uint64_t{1} << 48) - 1));
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid, 1);
+    ctx.fr(tid, telemetry::EventKind::kLockAcquire, 0xFF, 1);
+  } else {
+    if (contended) contention_.on_stall(0, 0);
   }
   const auto gl_acquired_at = std::chrono::steady_clock::now();
   const auto account_gl = [&] {
@@ -392,7 +415,7 @@ bool SphtTm::run_registered(int tid, TxMode mode, TxBody body) {
     void before_hw_attempt() {
       // Wait for the fallback lock to be free before (re)trying in hardware.
       [[maybe_unused]] std::uint64_t t0 = 0;
-      [[maybe_unused]] bool stalled = false;
+      bool stalled = false;
       if constexpr (telemetry::kLevel >= 1) t0 = telemetry::now_ticks();
       while (tm.htm_.nontx_load(tid, kGlLoc, &tm.global_lock_.value) != 0) {
         stalled = true;
@@ -400,9 +423,14 @@ bool SphtTm::run_registered(int tid, TxMode mode, TxBody body) {
         std::this_thread::yield();
       }
       if constexpr (telemetry::kLevel >= 1) {
-        if (stalled)
+        if (stalled) {
+          const std::uint64_t waited = telemetry::now_ticks() - t0;
+          tm.contention_.on_stall(0, waited);
           telemetry::trace1(telemetry::EventKind::kLockStall, tid,
-                            telemetry::now_ticks() - t0);
+                            waited & ((std::uint64_t{1} << 48) - 1));
+        }
+      } else {
+        if (stalled) tm.contention_.on_stall(0, 0);
       }
     }
     void crash_point() {
@@ -415,7 +443,10 @@ bool SphtTm::run_registered(int tid, TxMode mode, TxBody body) {
 
 TmStats SphtTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
-void SphtTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
+void SphtTm::reset_stats() {
+  runtime::reset_thread_stats(ctx_);
+  contention_.reset();
+}
 
 telemetry::TmTelemetry SphtTm::telemetry() const {
   return runtime::aggregate_thread_telemetry(ctx_, policy_);

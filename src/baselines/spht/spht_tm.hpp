@@ -34,7 +34,9 @@
 #include "api/tm.hpp"
 #include "baselines/spht/spht_log.hpp"
 #include "htm/sim_htm.hpp"
+#include "locks/contention.hpp"
 #include "runtime/tm_runtime.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/common.hpp"
 
 namespace nvhalt {
@@ -66,6 +68,12 @@ struct SphtConfig {
   /// generation counter. Off by default; the generation word is allocated
   /// only when enabled so the raw layout stays byte-identical otherwise.
   bool checkpoint = false;
+
+  /// Persistent flight recorder (telemetry/flight_recorder.hpp). Same
+  /// conditional-reservation discipline as `checkpoint`: the recorder raw
+  /// region exists only when enabled, records are written only at
+  /// NVHALT_TELEMETRY >= 1.
+  bool flight_recorder = false;
 };
 
 class SphtTm final : public runtime::TmRuntime {
@@ -94,6 +102,15 @@ class SphtTm final : public runtime::TmRuntime {
   TmStats stats() const override;
   void reset_stats() override;
   telemetry::TmTelemetry telemetry() const override;
+  /// SPHT has exactly one lock — the global fallback lock — so its
+  /// contention observatory is a single stripe (stripe 0).
+  const ContentionTable* contention() const override { return &contention_; }
+  const telemetry::PostmortemReport* last_postmortem() const override {
+    return last_postmortem_.get();
+  }
+
+  /// Flight recorder, or null when cfg.flight_recorder is off.
+  telemetry::FlightRecorder* flight_recorder() { return frec_.get(); }
 
   /// Checkpoints every persisted log record into the NVM heap image,
   /// durably advances the marker over the checkpointed timestamps, and
@@ -174,6 +191,9 @@ class SphtTm final : public runtime::TmRuntime {
   std::size_t gpm_raw_idx_;
   std::size_t ckpt_gen_raw_idx_ = 0;  // allocated only when cfg_.checkpoint
   std::mutex gpm_mu_;
+  ContentionTable contention_{1};  // one stripe: the global fallback lock
+  std::unique_ptr<telemetry::FlightRecorder> frec_;  // only when cfg_.flight_recorder
+  std::unique_ptr<telemetry::PostmortemReport> last_postmortem_;
 
   /// Published (ts << 1 | persisted) per thread; see persist_committed.
   std::unique_ptr<CacheLinePadded<std::atomic<std::uint64_t>>[]> ts_pub_;

@@ -64,6 +64,12 @@ TrinityTm::TrinityTm(const TrinityConfig& cfg, PmemPool& pool, TxAllocator& allo
   alloc_.attach_registry(&registry_);
   // Checkpoint/compaction: reserves its raw region only when enabled.
   if (cfg_.checkpoint) ckpt_ = std::make_unique<CheckpointManager>(pool_, &alloc_);
+  // Flight recorder: same conditional-reservation discipline, allocated
+  // after the checkpoint region for stable raw offsets.
+  if (cfg_.flight_recorder) {
+    frec_ = std::make_unique<telemetry::FlightRecorder>(pool_);
+    for (int t = 0; t < ctx_.size(); ++t) ctx_[t].recorder = frec_.get();
+  }
 }
 
 TrinityTm::~TrinityTm() = default;
@@ -71,6 +77,11 @@ TrinityTm::~TrinityTm() = default;
 bool TrinityTm::checkpoint(int tid) {
   if (!ckpt_) return false;
   ckpt_->checkpoint(tid);
+  if (frec_) {
+    ctx_[tid].fr(tid, telemetry::EventKind::kCheckpoint, 0xFF,
+                 static_cast<std::uint16_t>(ckpt_->generation() & 0xFFFF));
+    pool_.fence(tid);
+  }
   return true;
 }
 
@@ -89,10 +100,16 @@ class TrinityTx final : public Tx {
     // TL2 read: value sandwiched by identical lock snapshots that are
     // unlocked with version <= rv — i.e. written before we started.
     const std::uint64_t l1 = lk.s->load(std::memory_order_seq_cst);
-    if (lockword::is_locked(l1) || lockword::version(l1) > ctx_.rv) throw TxConflictAbort{};
+    if (lockword::is_locked(l1) || lockword::version(l1) > ctx_.rv) {
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+      throw TxConflictAbort{};
+    }
     const word_t val = tm_.pool_.word_ptr(a)->load(std::memory_order_seq_cst);
     const std::uint64_t l2 = lk.s->load(std::memory_order_seq_cst);
-    if (l1 != l2) throw TxConflictAbort{};
+    if (l1 != l2) {
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+      throw TxConflictAbort{};
+    }
     ctx_.rdset.push_back({lk.s, l1});
     return val;
   }
@@ -105,7 +122,10 @@ class TrinityTx final : public Tx {
       return;
     }
     LockRef lk = tm_.locks_.ref(a);
-    if (lockword::is_locked(lk.s->load(std::memory_order_seq_cst))) throw TxConflictAbort{};
+    if (lockword::is_locked(lk.s->load(std::memory_order_seq_cst))) {
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+      throw TxConflictAbort{};
+    }
     ctx_.wr_index.insert(a, static_cast<std::uint32_t>(ctx_.wrset.size()));
     ctx_.wrset.push_back({a, v, lk.s});
   }
@@ -127,11 +147,14 @@ class TrinityTx final : public Tx {
         std::shared_lock<std::shared_mutex> persist_phase;
         if (tm_.ckpt_) persist_phase = tm_.ckpt_->persist_phase();
         tm_.alloc_.persist_arm(tid_, ctx_.pver);
+        ctx_.fr(tid_, telemetry::EventKind::kAllocArm);
+        ctx_.fr(tid_, telemetry::EventKind::kFence, 0xFF, 0);
         tm_.pool_.fence(tid_);
         ++ctx_.pver;
         tm_.pool_.store_pver(tid_, ctx_.pver);
         tm_.pool_.flush_pver(tid_);
         tm_.alloc_.persist_apply(tid_);
+        ctx_.fr(tid_, telemetry::EventKind::kAllocApply);
         tm_.pool_.fence(tid_);
         return;
       }
@@ -155,6 +178,7 @@ class TrinityTx final : public Tx {
       if (lockword::is_locked(cur) || lockword::version(cur) > ctx_.rv ||
           !w.lock_s->compare_exchange_strong(cur, lockword::make(lockword::version(cur), true, tid_),
                                              std::memory_order_seq_cst)) {
+        tm_.locks_.contention().on_cas_fail(tm_.locks_.contention_stripe(w.addr));
         release_held_at_rollback();  // restore pre-acquire versions
         throw TxConflictAbort{};
       }
@@ -170,10 +194,14 @@ class TrinityTx final : public Tx {
         const bool self_held = lockword::is_locked(cur) && lockword::owner(cur) == tid_;
         if (!self_held &&
             (lockword::is_locked(cur) || lockword::version(cur) > ctx_.rv)) {
+          tm_.locks_.contention().on_abort(
+              tm_.locks_.contention_stripe_of_lock(e.lock_s));
           release_held_at_rollback();
           throw TxConflictAbort{};
         }
         if (self_held && lockword::version(cur) > ctx_.rv) {
+          tm_.locks_.contention().on_abort(
+              tm_.locks_.contention_stripe_of_lock(e.lock_s));
           release_held_at_rollback();
           throw TxConflictAbort{};
         }
@@ -183,6 +211,9 @@ class TrinityTx final : public Tx {
     // Persist with Trinity records while the locks are held, then apply.
     ctx_.tel.write_set_size.record(ctx_.wrset.size());
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid_, ctx_.held.size());
+    ctx_.fr(tid_, telemetry::EventKind::kLockAcquire, 0xFF,
+            static_cast<std::uint16_t>(
+                std::min<std::size_t>(ctx_.held.size(), 0xFFFF)));
     // Checkpointing: durably publish the write set's dirty-line bits
     // before any record store is staged (write-barrier invariant), under
     // the persist-phase guard checkpoints drain.
@@ -206,6 +237,12 @@ class TrinityTx final : public Tx {
       tm_.pool_.flush_record(tid_, w.addr);
       tm_.pool_.word_ptr(w.addr)->store(w.val, std::memory_order_seq_cst);
     }
+    // Flight-recorder notes ride the write-set fence below.
+    if (tm_.alloc_.has_pending(tid_))
+      ctx_.fr(tid_, telemetry::EventKind::kAllocArm);
+    ctx_.fr(tid_, telemetry::EventKind::kFence, 0xFF,
+            static_cast<std::uint16_t>(
+                std::min<std::size_t>(ctx_.wrset.size(), 0xFFFF)));
     tm_.pool_.fence(tid_);
     ++ctx_.pver;
     tm_.pool_.store_pver(tid_, ctx_.pver);
@@ -213,7 +250,9 @@ class TrinityTx final : public Tx {
     // Allocation-bitmap apply rides the marker's fence: apply-durable
     // implies marker-durable (enqueue order), and recovery re-normalizes
     // the still-armed record idempotently either way.
+    const bool applied = tm_.alloc_.has_pending(tid_);
     tm_.alloc_.persist_apply(tid_);
+    if (applied) ctx_.fr(tid_, telemetry::EventKind::kAllocApply);
     tm_.pool_.fence(tid_);
 
     // Release with version wv: readers that started before us see
@@ -299,6 +338,10 @@ bool TrinityTm::run_registered(int tid, TxMode mode, TxBody body) {
 
 void TrinityTm::recover_data() {
   const int rtid = 0;  // serial tid; workers take the dedicated top range
+  // Postmortem first: decode the flight recorder from the crash image
+  // before any recovery write can disturb it (read-only, never throws).
+  if (frec_)
+    last_postmortem_ = std::make_unique<telemetry::PostmortemReport>(frec_->postmortem());
   std::uint64_t durable_pver[kMaxThreads];
   for (int t = 0; t < kMaxThreads; ++t) durable_pver[t] = pool_.load_pver(t);
 
@@ -324,6 +367,8 @@ void TrinityTm::recover_data() {
 
   // Start a fresh checkpoint generation over the recovered image.
   if (ckpt_) ckpt_->recover(rtid);
+  // Re-arm the recorder over the recovered image (stamps a recovery event).
+  if (frec_) frec_->on_recover(rtid);
 }
 
 void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) {
@@ -336,7 +381,10 @@ void TrinityTm::rebuild_allocator(std::span<const LiveBlock> live) {
 
 TmStats TrinityTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
-void TrinityTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
+void TrinityTm::reset_stats() {
+  runtime::reset_thread_stats(ctx_);
+  locks_.contention().reset();
+}
 
 telemetry::TmTelemetry TrinityTm::telemetry() const {
   return runtime::aggregate_thread_telemetry(ctx_, policy_);

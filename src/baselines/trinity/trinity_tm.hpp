@@ -29,6 +29,7 @@
 #include "api/tm.hpp"
 #include "locks/lock_table.hpp"
 #include "runtime/tm_runtime.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/common.hpp"
 
 namespace nvhalt {
@@ -48,6 +49,12 @@ struct TrinityConfig {
 
   /// Recovery worker pool size; any count recovers a byte-identical image.
   int recovery_threads = 1;
+
+  /// Persistent flight recorder (telemetry/flight_recorder.hpp). Same
+  /// conditional-reservation discipline as `checkpoint`: the recorder raw
+  /// region exists only when enabled, records are written only at
+  /// NVHALT_TELEMETRY >= 1.
+  bool flight_recorder = false;
 };
 
 class TrinityTm final : public runtime::TmRuntime {
@@ -68,6 +75,13 @@ class TrinityTm final : public runtime::TmRuntime {
   TmStats stats() const override;
   void reset_stats() override;
   telemetry::TmTelemetry telemetry() const override;
+  const ContentionTable* contention() const override { return &locks_.contention(); }
+  const telemetry::PostmortemReport* last_postmortem() const override {
+    return last_postmortem_.get();
+  }
+
+  /// Flight recorder, or null when cfg.flight_recorder is off.
+  telemetry::FlightRecorder* flight_recorder() { return frec_.get(); }
 
   std::uint64_t gv() const { return gv_.value.load(std::memory_order_acquire); }
 
@@ -88,6 +102,8 @@ class TrinityTm final : public runtime::TmRuntime {
   TxAllocator& alloc_;
   LockSpace locks_;
   std::unique_ptr<CheckpointManager> ckpt_;  // only when cfg_.checkpoint
+  std::unique_ptr<telemetry::FlightRecorder> frec_;  // only when cfg_.flight_recorder
+  std::unique_ptr<telemetry::PostmortemReport> last_postmortem_;
   CacheLinePadded<std::atomic<std::uint64_t>> gv_;  // TL2 global version clock
   runtime::PerThread<ThreadCtx> ctx_;
 };

@@ -9,6 +9,8 @@
 // log, bumps the thread's persistent version number, and only then releases
 // the locks (Sec. 3.4). This is what Fig. 4 shows is missing from a
 // metadata-read-only fast path in the persistent setting.
+#include <algorithm>
+
 #include "core/nvhalt_internal.hpp"
 
 namespace nvhalt {
@@ -39,7 +41,13 @@ class NvHaltHwTx final : public Tx {
       // locked-by-other test, so skip both.
       if (lk.s != ctx_.hw_lock_memo) {
         const std::uint64_t w = tm_.htm_.load(tid_, lk.loc, lk.s);
-        if (lockword::locked_by_other(w, tid_)) tm_.htm_.xabort(tid_, kHwLockedAbortCode);
+        if (lockword::locked_by_other(w, tid_)) {
+          // Contention cells are plain diagnostics outside the simulated
+          // transaction's tracked footprint, so the increment survives the
+          // xabort below.
+          tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+          tm_.htm_.xabort(tid_, kHwLockedAbortCode);
+        }
         ctx_.hw_lock_memo = lk.s;
         ctx_.hw_lock_memo_word = w;
       }
@@ -73,6 +81,7 @@ class NvHaltHwTx final : public Tx {
         }
         ctx_.hw_locks.push_back({lk, acq});
       } else if (lockword::owner(w) != tid_) {
+        tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
         tm_.htm_.xabort(tid_, kHwLockedAbortCode);
       }
     }
@@ -138,8 +147,14 @@ NvHaltTm::AttemptResult NvHaltTm::attempt_hw(int tid, TxBody body) {
   // The hardware transaction committed: its writes and lock acquisitions
   // are visible. Persist the write set under those locks (flushes must
   // happen outside the transaction — they would have aborted it).
-  if (!ctx.hw_locks.empty())
+  if (!ctx.hw_locks.empty()) {
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid, ctx.hw_locks.size());
+    // Recorded after xend: the locks are published and held, and recorder
+    // writes (raw stores + flushes) would have aborted the transaction.
+    ctx.fr(tid, telemetry::EventKind::kLockAcquire, 0xFF,
+           static_cast<std::uint16_t>(
+               std::min<std::size_t>(ctx.hw_locks.size(), 0xFFFF)));
+  }
   if (cfg_.persist_hw_txns && (!ctx.hw_undo.empty() || alloc_.has_pending(tid))) {
     ctx.persist_buf.clear();
     for (const auto& u : ctx.hw_undo)

@@ -1,5 +1,7 @@
 #include "core/nvhalt_tm.hpp"
 
+#include <algorithm>
+
 #include "core/nvhalt_internal.hpp"
 #include "pmem/checkpoint.hpp"
 #include "pmem/crash_sim.hpp"
@@ -47,6 +49,12 @@ NvHaltTm::NvHaltTm(const NvHaltConfig& cfg, PmemPool& pool, htm::SimHtm& htm, Tx
   // Checkpoint/compaction: reserves its raw region only when enabled, so
   // the default configuration keeps a byte-identical pool layout.
   if (cfg_.checkpoint) ckpt_ = std::make_unique<CheckpointManager>(pool_, &alloc_);
+  // Flight recorder: same conditional-reservation discipline. Allocated
+  // after the checkpoint region so both subsystems keep stable raw offsets.
+  if (cfg_.flight_recorder) {
+    frec_ = std::make_unique<telemetry::FlightRecorder>(pool_);
+    for (int t = 0; t < ctx_.size(); ++t) ctx_[t].recorder = frec_.get();
+  }
 }
 
 NvHaltTm::~NvHaltTm() = default;
@@ -58,7 +66,10 @@ const char* NvHaltTm::name() const {
 
 TmStats NvHaltTm::stats() const { return runtime::aggregate_thread_stats(ctx_); }
 
-void NvHaltTm::reset_stats() { runtime::reset_thread_stats(ctx_); }
+void NvHaltTm::reset_stats() {
+  runtime::reset_thread_stats(ctx_);
+  locks_.contention().reset();
+}
 
 telemetry::TmTelemetry NvHaltTm::telemetry() const {
   return runtime::aggregate_thread_telemetry(ctx_, policy_);
@@ -105,6 +116,14 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
     htm_.nontx_store_cached(tid, htm::loc_pool(e.addr), pool_.word_ptr(e.addr), e.val, claim);
   }
   htm_.nontx_claim_release(claim);
+  // Allocator intent + write-set fence are in flight: note both in the
+  // flight recorder so a postmortem names the pending persist work. The
+  // records ride the very fence below.
+  if (alloc_.has_pending(tid))
+    ctx.fr(tid, telemetry::EventKind::kAllocArm);
+  ctx.fr(tid, telemetry::EventKind::kFence, 0xFF,
+         static_cast<std::uint16_t>(
+             std::min<std::size_t>(ctx.persist_buf.size(), 0xFFFF)));
   pool_.fence(tid);
   ++ctx.pver;
   pool_.store_pver(tid, ctx.pver);
@@ -112,13 +131,20 @@ void NvHaltTm::persist_and_bump_pver(int tid, ThreadCtx& ctx) {
   // Allocation-bitmap apply rides the marker's fence: apply-durable
   // implies marker-durable (enqueue order), and recovery re-normalizes
   // the still-armed record idempotently either way.
+  const bool applied = alloc_.has_pending(tid);
   alloc_.persist_apply(tid);
+  if (applied) ctx.fr(tid, telemetry::EventKind::kAllocApply);
   pool_.fence(tid);
 }
 
 bool NvHaltTm::checkpoint(int tid) {
   if (!ckpt_) return false;
   ckpt_->checkpoint(tid);
+  if (frec_) {
+    ctx_[tid].fr(tid, telemetry::EventKind::kCheckpoint, 0xFF,
+                 static_cast<std::uint16_t>(ckpt_->generation() & 0xFFFF));
+    pool_.fence(tid);
+  }
   return true;
 }
 

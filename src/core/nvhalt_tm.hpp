@@ -32,6 +32,7 @@
 #include "htm/small_map.hpp"
 #include "locks/lock_table.hpp"
 #include "runtime/tm_runtime.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/rng.hpp"
 
 namespace nvhalt {
@@ -103,6 +104,15 @@ struct NvHaltConfig {
   /// byte-identical recovered image.
   int recovery_threads = 1;
 
+  /// Persistent flight recorder (telemetry/flight_recorder.hpp): per-thread
+  /// NVM-resident rings of checksummed lifecycle records, decoded into an
+  /// in-flight postmortem on recover_data(). Off by default — the recorder
+  /// raw region is allocated only when enabled, so disabled configurations
+  /// keep a byte-identical pool layout. Records are written only at
+  /// NVHALT_TELEMETRY >= 1; the reservation is level-independent so crash
+  /// images replay across build levels.
+  bool flight_recorder = false;
+
   /// Read-only fast path (docs/PROTOCOLS.md "Read-only fast path"):
   /// transactions hinted TxMode::kReadOnly — or detected via a streak of
   /// empty-write-set commits — run a TL2-style snapshot attempt with zero
@@ -129,10 +139,16 @@ class NvHaltTm final : public runtime::TmRuntime {
   TmStats stats() const override;
   void reset_stats() override;
   telemetry::TmTelemetry telemetry() const override;
+  const ContentionTable* contention() const override { return &locks_.contention(); }
+  const telemetry::PostmortemReport* last_postmortem() const override {
+    return last_postmortem_.get();
+  }
 
   const NvHaltConfig& config() const { return cfg_; }
   /// Checkpoint subsystem, or null when cfg.checkpoint is off (tests).
   CheckpointManager* checkpoint_manager() { return ckpt_.get(); }
+  /// Flight recorder, or null when cfg.flight_recorder is off.
+  telemetry::FlightRecorder* flight_recorder() { return frec_.get(); }
   htm::SimHtm& htm() { return htm_; }
   LockSpace& locks() { return locks_; }
   std::uint64_t gclock() const { return gclock_.value.load(std::memory_order_acquire); }
@@ -195,6 +211,12 @@ class NvHaltTm final : public runtime::TmRuntime {
   /// Dirty-line tracking + generation watermark; built only when
   /// cfg_.checkpoint (reserves pool raw space in the constructor).
   std::unique_ptr<CheckpointManager> ckpt_;
+
+  /// Persistent flight recorder; built only when cfg_.flight_recorder
+  /// (reserves pool raw space in the constructor).
+  std::unique_ptr<telemetry::FlightRecorder> frec_;
+  /// Postmortem decoded by the most recent recover_data().
+  std::unique_ptr<telemetry::PostmortemReport> last_postmortem_;
 
   /// Global software clock (NV-HALT-SP only). Accessed through the HTM
   /// simulator so hardware transactions could in principle subscribe to it

@@ -13,11 +13,20 @@
 #include "core/nvhalt_internal.hpp"
 #include "core/record_recovery.hpp"
 #include "pmem/checkpoint.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace nvhalt {
 
 void NvHaltTm::recover_data() {
   const int rtid = 0;  // serial tid; workers take the dedicated top range
+
+  // Flight-recorder postmortem first, before any recovery write can touch
+  // raw space: a read-only decode of the durable rings (torn tails are
+  // counted and skipped — decode never throws, so recovery cannot fail on
+  // recorder corruption).
+  if (frec_)
+    last_postmortem_ =
+        std::make_unique<telemetry::PostmortemReport>(frec_->postmortem());
 
   // Durable per-thread persistent version numbers (staged == durable after
   // PmemPool::crash()).
@@ -65,6 +74,10 @@ void NvHaltTm::recover_data() {
   // next crash starts from an empty dirty set (adopts the durable
   // generation, or reseeds a region the crash predated).
   if (ckpt_) ckpt_->recover(rtid);
+
+  // Reseed the recorder cursors past the decoded history and stamp a
+  // durable kRecovery record — the first record of the new epoch.
+  if (frec_) frec_->on_recover(rtid);
 }
 
 void NvHaltTm::rebuild_allocator(std::span<const LiveBlock> live) {

@@ -30,13 +30,19 @@ class NvHaltSwTx final : public Tx {
     // unlocked lock snapshots. A locked or changed lock means a concurrent
     // conflicting writer — abort (weak progressiveness permits this).
     const std::uint64_t l1 = tm_.htm_.nontx_load(tid_, lk.loc, lk.s);
-    if (lockword::is_locked(l1)) throw TxConflictAbort{};
+    if (lockword::is_locked(l1)) {
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+      throw TxConflictAbort{};
+    }
     const word_t val = tm_.htm_.nontx_load(tid_, htm::loc_pool(a), tm_.pool_.word_ptr(a));
     std::uint64_t h = 0;
     if (tm_.cfg_.variant == Variant::kStrong)
       h = tm_.htm_.nontx_load(tid_, lk.loc, lk.h);
     const std::uint64_t l2 = tm_.htm_.nontx_load(tid_, lk.loc, lk.s);
-    if (l1 != l2) throw TxConflictAbort{};
+    if (l1 != l2) {
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+      throw TxConflictAbort{};
+    }
 
     ctx_.rdset.push_back({a, lk.s, lk.h, lk.loc, l1, h});
     if (NVHALT_UNLIKELY(tm_.cfg_.validate_every_read)) {
@@ -74,7 +80,10 @@ class NvHaltSwTx final : public Tx {
     // Encounter-time check: the lock must be free now; its version is the
     // CAS expectation at commit (Fig. 1 / Sec. 3.2).
     const std::uint64_t l = tm_.htm_.nontx_load(tid_, lk.loc, lk.s);
-    if (lockword::is_locked(l)) throw TxConflictAbort{};
+    if (lockword::is_locked(l)) {
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(a));
+      throw TxConflictAbort{};
+    }
     ctx_.wr_index.insert(a, static_cast<std::uint32_t>(ctx_.wrset.size()));
     ctx_.wrset.push_back({a, v, lk.s, lk.h, lk.loc, l});
   }
@@ -94,6 +103,8 @@ class NvHaltSwTx final : public Tx {
       if (lockword::is_locked(cur) && lockword::owner(cur) == tid_ &&
           lockword::version(cur) == lockword::version(e.seen_s) + 1)
         continue;
+      // Attribute the validation failure to the stripe whose lock moved.
+      tm_.locks_.contention().on_abort(tm_.locks_.contention_stripe(e.addr));
       return false;
     }
     return true;
@@ -205,6 +216,7 @@ class NvHaltSwTx final : public Tx {
       std::uint64_t expected = w.seen_s;
       if (!tm_.htm_.nontx_cas(tid_, w.lock_loc, w.lock_s, expected,
                               lockword::acquired(w.seen_s, tid_))) {
+        tm_.locks_.contention().on_cas_fail(tm_.locks_.contention_stripe(w.addr));
         release_acquired();
         throw TxConflictAbort{};
       }
@@ -212,6 +224,9 @@ class NvHaltSwTx final : public Tx {
       ctx_.acquired.push_back(i);
     }
     telemetry::trace1(telemetry::EventKind::kLockAcquire, tid_, ctx_.acquired.size());
+    ctx_.fr(tid_, telemetry::EventKind::kLockAcquire, 0xFF,
+            static_cast<std::uint16_t>(
+                std::min<std::size_t>(ctx_.acquired.size(), 0xFFFF)));
   }
 
   void release_acquired() {

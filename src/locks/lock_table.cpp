@@ -3,7 +3,9 @@
 namespace nvhalt {
 
 LockSpace::LockSpace(LockMode mode, std::size_t table_entries, std::size_t capacity_words)
-    : mode_(mode) {
+    : mode_(mode),
+      contention_(mode == LockMode::kTable ? table_entries
+                                           : ContentionTable::kMaxStripes) {
   if (mode_ == LockMode::kTable) {
     if (table_entries == 0 || (table_entries & (table_entries - 1)) != 0)
       throw TmLogicError("lock table size must be a power of two");

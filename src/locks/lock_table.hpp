@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "locks/contention.hpp"
 #include "locks/versioned_lock.hpp"
 #include "util/common.hpp"
 
@@ -51,10 +52,40 @@ class LockSpace {
     return LockRef{&e.s, &e.h, htm::loc_colock(a)};
   }
 
-  /// Clears all locks (recovery: locks are volatile metadata).
+  /// Clears all locks (recovery: locks are volatile metadata). Contention
+  /// tallies are deliberately preserved — they are diagnostics of the run,
+  /// not lock state; reset them via contention().reset().
   void reset();
 
   std::size_t table_entries() const { return mask_ + 1; }
+
+  /// Per-stripe contention observatory over this lock space. In table mode
+  /// a stripe is the lock-table index (hash-reduced when the table exceeds
+  /// ContentionTable::kMaxStripes); colocated entries hash-reduce too.
+  ContentionTable& contention() { return contention_; }
+  const ContentionTable& contention() const { return contention_; }
+
+  /// The contention stripe covering address `a` — same mapping ref() uses,
+  /// reduced to the table size, so attribution and locking agree.
+  std::size_t contention_stripe(gaddr_t a) const {
+    if (NVHALT_LIKELY(mode_ == LockMode::kTable))
+      return (hash(a / kWordsPerLine) & mask_) % contention_.stripes();
+    return hash(a) % contention_.stripes();
+  }
+
+  /// Stripe of a lock by its sLock word pointer — for attribution sites
+  /// (TL2 revalidation) that recorded the lock but not the address.
+  std::size_t contention_stripe_of_lock(const std::atomic<std::uint64_t>* lock_s) const {
+    const auto* p = reinterpret_cast<const char*>(lock_s);
+    if (NVHALT_LIKELY(mode_ == LockMode::kTable)) {
+      const auto* b = reinterpret_cast<const char*>(table_raw_);
+      return (static_cast<std::size_t>(p - b) / sizeof(PaddedLockEntry)) %
+             contention_.stripes();
+    }
+    const auto* b = reinterpret_cast<const char*>(colocated_raw_);
+    return hash(static_cast<gaddr_t>(static_cast<std::size_t>(p - b) / sizeof(LockEntry))) %
+           contention_.stripes();
+  }
 
  private:
   static std::size_t hash(gaddr_t a) {
@@ -63,6 +94,7 @@ class LockSpace {
   }
 
   LockMode mode_;
+  ContentionTable contention_;
   std::size_t mask_ = 0;
   std::size_t colocated_count_ = 0;
   // Table entries are padded to a cache line each (they are shared by many

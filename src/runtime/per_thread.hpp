@@ -16,6 +16,7 @@
 #include "core/tm_stats.hpp"
 #include "htm/htm_types.hpp"
 #include "runtime/retry_policy.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/tx_telemetry.hpp"
 #include "util/rng.hpp"
@@ -41,6 +42,23 @@ struct TxThreadState {
   /// fallback-on-capacity policy). Unused by software-only TMs.
   htm::AbortCause last_hw_abort = htm::AbortCause::kConflict;
 
+  /// Owning TM's persistent flight recorder, or null when disabled (the
+  /// config default). Set once at TM construction for every slot.
+  telemetry::FlightRecorder* recorder = nullptr;
+
+  /// Flight-recorder hook: appends a persistent lifecycle record when the
+  /// TM has a recorder and the build is at telemetry level >= 1; otherwise
+  /// free. The read-only fast path never calls this — it commits with zero
+  /// journal records (structurally asserted) and the recorder keeps it so.
+  void fr(int tid, telemetry::EventKind kind, std::uint8_t cause = 0xFF,
+          std::uint16_t arg = 0) {
+    if constexpr (telemetry::kLevel >= 1) {
+      if (recorder != nullptr) recorder->record(tid, kind, cause, arg);
+    } else {
+      (void)tid; (void)kind; (void)cause; (void)arg;
+    }
+  }
+
   /// The one place a hardware abort is accounted: bumps the coarse counter,
   /// the per-cause taxonomy, and the retry policy's last-cause in lockstep
   /// so they can never disagree (last_hw_abort alone used to lose history).
@@ -51,6 +69,7 @@ struct TxThreadState {
     tel.taxonomy.hw_by_cause[static_cast<std::size_t>(c)]++;
     telemetry::trace1(telemetry::EventKind::kHwAbort, tid, code,
                       static_cast<std::uint8_t>(c));
+    fr(tid, telemetry::EventKind::kHwAbort, static_cast<std::uint8_t>(c), code);
   }
 
   /// The one place a read-only fast-path abort is accounted, mirroring

@@ -225,6 +225,7 @@ bool run_retry_loop(const PathPolicy& pol, int tid, State& ts, Env&& env) {
   namespace tel = nvhalt::telemetry;
   env.crash_point();
   tel::trace1(tel::EventKind::kTxBegin, tid);
+  ts.fr(tid, tel::EventKind::kTxBegin);
   [[maybe_unused]] std::uint64_t t0 = 0;
   if constexpr (tel::kLevel >= 1) t0 = tel::now_ticks();
 
@@ -238,11 +239,13 @@ bool run_retry_loop(const PathPolicy& pol, int tid, State& ts, Env&& env) {
       case AttemptStatus::kCommitted:
         ts.adaptive.record(pol, /*aborted=*/false);
         tel::trace1(tel::EventKind::kHwCommit, tid);
+        ts.fr(tid, tel::EventKind::kHwCommit);
         if constexpr (tel::kLevel >= 1) ts.tel.tx_latency_hw.record(tel::now_ticks() - t0);
         return true;
       case AttemptStatus::kUserAborted:
         ts.adaptive.record(pol, /*aborted=*/false);
         tel::trace1(tel::EventKind::kUserAbort, tid);
+        ts.fr(tid, tel::EventKind::kUserAbort);
         return false;
       case AttemptStatus::kAborted:
         break;
@@ -266,13 +269,17 @@ bool run_retry_loop(const PathPolicy& pol, int tid, State& ts, Env&& env) {
     switch (env.attempt_sw()) {
       case AttemptStatus::kCommitted:
         tel::trace1(tel::EventKind::kSwCommit, tid, static_cast<std::uint64_t>(retries));
+        ts.fr(tid, tel::EventKind::kSwCommit, 0xFF,
+              static_cast<std::uint16_t>(std::min(retries, 0xFFFF)));
         if constexpr (tel::kLevel >= 1) ts.tel.tx_latency_sw.record(tel::now_ticks() - t0);
         return true;
       case AttemptStatus::kUserAborted:
         tel::trace1(tel::EventKind::kUserAbort, tid);
+        ts.fr(tid, tel::EventKind::kUserAbort);
         return false;
       case AttemptStatus::kAborted:
         tel::trace1(tel::EventKind::kSwAbort, tid);
+        ts.fr(tid, tel::EventKind::kSwAbort);
         break;
     }
     ++retries;

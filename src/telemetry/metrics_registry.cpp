@@ -103,6 +103,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     m.name = e.label;
     m.stats = e.tm->stats();
     m.tel = e.tm->telemetry();
+    if (const ContentionTable* ct = e.tm->contention()) {
+      m.has_contention = true;
+      m.contention_stripes = ct->stripes();
+      m.contention = ct->totals();
+      m.hot_stripes = ct->top_k(16);
+    }
     snap.tms.push_back(std::move(m));
   }
   for (const PoolEntry& e : pools_) {
@@ -156,6 +162,29 @@ std::string MetricsSnapshot::to_json() const {
     json_hist(out, "write_set_words", m.tel.tx.write_set_size);
     out += ",";
     json_hist(out, "ack_latency_ticks", m.tel.tx.ack_latency);
+    if (m.has_contention) {
+      append(out,
+             ",\"contention\":{\"stripes\":%llu,\"stalls\":%llu,\"stall_ticks\":%llu,"
+             "\"cas_failures\":%llu,\"aborts\":%llu,\"top\":[",
+             static_cast<unsigned long long>(m.contention_stripes),
+             static_cast<unsigned long long>(m.contention.stalls),
+             static_cast<unsigned long long>(m.contention.stall_ticks),
+             static_cast<unsigned long long>(m.contention.cas_failures),
+             static_cast<unsigned long long>(m.contention.aborts));
+      for (std::size_t s = 0; s < m.hot_stripes.size(); ++s) {
+        const StripeContention& sc = m.hot_stripes[s];
+        append(out,
+               "%s{\"stripe\":%llu,\"stalls\":%llu,\"stall_ticks\":%llu,"
+               "\"cas_failures\":%llu,\"aborts\":%llu,\"score\":%llu}",
+               s ? "," : "", static_cast<unsigned long long>(sc.stripe),
+               static_cast<unsigned long long>(sc.stalls),
+               static_cast<unsigned long long>(sc.stall_ticks),
+               static_cast<unsigned long long>(sc.cas_failures),
+               static_cast<unsigned long long>(sc.aborts),
+               static_cast<unsigned long long>(sc.score()));
+      }
+      out += "]}";
+    }
     append(out,
            ",\"adaptive\":{\"enabled\":%s,\"current_budget\":%d,"
            "\"window_attempts\":%llu,\"window_aborts\":%llu,\"window_abort_rate\":%.4f,"
@@ -225,6 +254,31 @@ std::string MetricsSnapshot::to_prometheus() const {
   out += "# TYPE nvhalt_commits_total counter\n";
   out += "# HELP nvhalt_hw_aborts_total Hardware aborts by decoded cause.\n";
   out += "# TYPE nvhalt_hw_aborts_total counter\n";
+  // Histogram declarations: every _bucket/_sum/_count triple below belongs
+  // to one of these families (Prometheus native-histogram ingestion keys
+  // off the TYPE line; bare samples are scraped as untyped otherwise).
+  out += "# HELP nvhalt_tx_latency_ticks Transaction latency by path.\n";
+  out += "# TYPE nvhalt_tx_latency_ticks histogram\n";
+  out += "# HELP nvhalt_write_set_words Committed write-set size in words.\n";
+  out += "# TYPE nvhalt_write_set_words histogram\n";
+  out += "# HELP nvhalt_ack_latency_ticks Durability-ack wait latency.\n";
+  out += "# TYPE nvhalt_ack_latency_ticks histogram\n";
+  out += "# HELP nvhalt_pool_fence_lines Lines flushed per fence.\n";
+  out += "# TYPE nvhalt_pool_fence_lines histogram\n";
+  out += "# HELP nvhalt_alloc_reclaim_latency_ns Retire-to-reclaim latency.\n";
+  out += "# TYPE nvhalt_alloc_reclaim_latency_ns histogram\n";
+  // Contention observatory counter families (per-TM totals plus a
+  // per-stripe gauge for the decayed top-K heat view).
+  out += "# HELP nvhalt_lock_stalls_total Lock-acquire stalls observed.\n";
+  out += "# TYPE nvhalt_lock_stalls_total counter\n";
+  out += "# HELP nvhalt_lock_stall_ticks_total Ticks spent stalled on locks.\n";
+  out += "# TYPE nvhalt_lock_stall_ticks_total counter\n";
+  out += "# HELP nvhalt_lock_cas_failures_total Lock-word CAS losses.\n";
+  out += "# TYPE nvhalt_lock_cas_failures_total counter\n";
+  out += "# HELP nvhalt_lock_aborts_total Aborts attributed to a lock stripe.\n";
+  out += "# TYPE nvhalt_lock_aborts_total counter\n";
+  out += "# HELP nvhalt_lock_stripe_score Contention score of a hot stripe.\n";
+  out += "# TYPE nvhalt_lock_stripe_score gauge\n";
   for (const TmMetrics& m : tms) {
     const std::string tm_label = "tm=\"" + m.name + "\"";
     prom_counter(out, "commits_total", tm_label + ",path=\"hw\"", m.stats.hw_commits);
@@ -258,6 +312,17 @@ std::string MetricsSnapshot::to_prometheus() const {
            m.tel.adaptive.ro_window_abort_rate);
     append(out, "nvhalt_ro_suspended{%s} %d\n", tm_label.c_str(),
            m.tel.adaptive.ro_suspended);
+    if (m.has_contention) {
+      prom_counter(out, "lock_stalls_total", tm_label, m.contention.stalls);
+      prom_counter(out, "lock_stall_ticks_total", tm_label, m.contention.stall_ticks);
+      prom_counter(out, "lock_cas_failures_total", tm_label, m.contention.cas_failures);
+      prom_counter(out, "lock_aborts_total", tm_label, m.contention.aborts);
+      for (const StripeContention& sc : m.hot_stripes) {
+        append(out, "nvhalt_lock_stripe_score{%s,stripe=\"%llu\"} %llu\n",
+               tm_label.c_str(), static_cast<unsigned long long>(sc.stripe),
+               static_cast<unsigned long long>(sc.score()));
+      }
+    }
   }
   for (const PoolMetrics& p : pools) {
     const std::string pool_label = "pool=\"" + p.name + "\"";

@@ -14,6 +14,7 @@
 #include "alloc/tx_allocator.hpp"
 #include "api/tm.hpp"
 #include "core/tm_stats.hpp"
+#include "locks/contention.hpp"
 #include "pmem/pmem_pool.hpp"
 #include "telemetry/tx_telemetry.hpp"
 
@@ -24,6 +25,12 @@ struct TmMetrics {
   std::string name;
   TmStats stats;
   TmTelemetry tel;
+  /// Contention observatory (lock-stripe heat), captured when the TM
+  /// exposes a ContentionTable (all five TMs do).
+  bool has_contention = false;
+  std::size_t contention_stripes = 0;
+  ContentionTotals contention;
+  std::vector<StripeContention> hot_stripes;  // hottest-first, top 16
 };
 
 /// Pool-level persistence counters.

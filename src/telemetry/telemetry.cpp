@@ -37,6 +37,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kRoAttempt: return "ro_attempt";
     case EventKind::kRoCommit: return "ro_commit";
     case EventKind::kRoAbort: return "ro_abort";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kAllocArm: return "alloc_arm";
+    case EventKind::kAllocApply: return "alloc_apply";
+    case EventKind::kRecovery: return "recovery";
     case EventKind::kRead: return "read";
     case EventKind::kWrite: return "write";
     case EventKind::kNumKinds: break;
@@ -123,6 +127,7 @@ std::vector<ThreadTrace> TraceBuffer::collect() const {
     tt.tid = tid;
     tt.pushed = r.pushed();
     tt.dropped = r.dropped();
+    tt.capacity = r.capacity();
     tt.events = r.snapshot();
     out.push_back(std::move(tt));
   }

@@ -68,13 +68,17 @@ enum class EventKind : std::uint8_t {
   kSwCommit,        // arg: sw retries consumed before the commit
   kUserAbort,       // arg: 0
   kLockAcquire,     // arg: locks acquired
-  kLockStall,       // arg: ticks spent waiting
+  kLockStall,       // arg: stripe id << 48 | ticks spent waiting (low 48)
   kFlushEnqueue,    // arg: line index enqueued
   kFence,           // arg: unique lines written back
   kDurabilityAck,   // arg: ticks from commit to durability
   kRoAttempt,       // arg: attempt index within the read-only fast path
   kRoCommit,        // arg: unique lock lines validated
   kRoAbort,         // cause field holds RoAbortCause; arg: 0
+  kCheckpoint,      // arg: checkpoint generation (flight recorder)
+  kAllocArm,        // arg: armed intent records (flight recorder)
+  kAllocApply,      // arg: applied intent records (flight recorder)
+  kRecovery,        // arg: 0; first record after a postmortem decode
   kRead,            // level 2; arg: gaddr
   kWrite,           // level 2; arg: gaddr
   kNumKinds
@@ -165,11 +169,14 @@ class TraceRing {
   std::atomic<std::uint64_t> started_{0};
 };
 
-/// Everything one ring held at snapshot time.
+/// Everything one ring held at snapshot time. `capacity` is carried so a
+/// saved trace alone can reconstruct dropped() (= pushed - capacity when
+/// positive) without knowing the build's ring size.
 struct ThreadTrace {
   int tid = 0;
   std::uint64_t pushed = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t capacity = 0;
   std::vector<TraceEvent> events;
 };
 

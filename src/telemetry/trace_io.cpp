@@ -70,7 +70,7 @@ void write_raw_trace(std::ostream& os, const TraceDump& dump) {
      << " ticks_per_us=" << dump.ticks_per_us << "\n";
   for (const ThreadTrace& t : dump.threads) {
     os << "# ring tid=" << t.tid << " pushed=" << t.pushed
-       << " dropped=" << t.dropped << "\n";
+       << " dropped=" << t.dropped << " capacity=" << t.capacity << "\n";
     for (const TraceEvent& e : t.events) {
       os << e.ticks << ' ' << event_kind_name(e.kind) << ' ' << e.tid << ' '
          << e.arg << ' ';
@@ -113,8 +113,8 @@ bool read_raw_trace(std::istream& is, TraceDump& dump, std::string* err) {
     if (line.empty()) continue;
     if (line[0] == '#') {
       std::istringstream hs(line);
-      std::string hash, tag, tid_kv, pushed_kv, dropped_kv;
-      hs >> hash >> tag >> tid_kv >> pushed_kv >> dropped_kv;
+      std::string hash, tag, tid_kv, pushed_kv, dropped_kv, cap_kv;
+      hs >> hash >> tag >> tid_kv >> pushed_kv >> dropped_kv >> cap_kv;
       if (tag != "ring" || tid_kv.rfind("tid=", 0) != 0 ||
           pushed_kv.rfind("pushed=", 0) != 0 || dropped_kv.rfind("dropped=", 0) != 0)
         return fail("bad ring header at line " + std::to_string(lineno));
@@ -122,6 +122,9 @@ bool read_raw_trace(std::istream& is, TraceDump& dump, std::string* err) {
       t.tid = std::stoi(tid_kv.substr(4));
       t.pushed = std::stoull(pushed_kv.substr(7));
       t.dropped = std::stoull(dropped_kv.substr(8));
+      // capacity= is optional (pre-v1.1 dumps lack it); when present,
+      // dropped counts stay reconstructible from pushed and ring size.
+      if (cap_kv.rfind("capacity=", 0) == 0) t.capacity = std::stoull(cap_kv.substr(9));
       dump.threads.push_back(std::move(t));
       cur = &dump.threads.back();
       continue;
@@ -198,6 +201,12 @@ void write_chrome_trace(std::ostream& os, const TraceDump& dump) {
             os << ",\"cause\":\"";
             json_escape(os, htm::abort_cause_name(static_cast<htm::AbortCause>(e.cause)));
             os << "\"";
+          }
+          if (e.kind == EventKind::kLockStall) {
+            // arg packs stripe << 48 | wait ticks — surface both so the
+            // viewer can group stalls by contended stripe.
+            os << ",\"stripe\":" << (e.arg >> 48)
+               << ",\"wait_ticks\":" << (e.arg & ((std::uint64_t{1} << 48) - 1));
           }
           os << "}}";
           break;

@@ -28,6 +28,7 @@
 #include "pmem/crash_enum.hpp"
 #include "structures/tm_hashmap.hpp"
 #include "structures/tm_list.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/trace_io.hpp"
 #include "util/barrier.hpp"
@@ -63,6 +64,13 @@ struct CrashHarnessOptions {
   /// so replays reconstruct the same geometry.
   int checkpoint_every = 0;
 
+  /// Enables the persistent flight recorder in both the workload and the
+  /// verifier runner (layout-affecting: the recorder reserves raw words, so
+  /// bundles record it and replays reconstruct the same geometry). The
+  /// verifier then decodes a postmortem from every enumerated crash image
+  /// and validates its artifact round-trip.
+  bool flight_recorder = false;
+
   /// When non-empty, the harness dumps observability artifacts after the
   /// workload quiesces (and before the runner is torn down): `trace_out`
   /// gets a raw nvhalt-trace-v1 file (meaningful only in NVHALT_TELEMETRY
@@ -95,7 +103,8 @@ struct CrashTraceBundle {
 
 /// Small, enumeration-friendly geometry: recovery scans the full record
 /// space per materialized image, so the pool is kept compact.
-inline RunnerConfig crash_config(TmKind kind, bool checkpoint = false) {
+inline RunnerConfig crash_config(TmKind kind, bool checkpoint = false,
+                                 bool flight_recorder = false) {
   RunnerConfig cfg;
   cfg.kind = kind;
   cfg.pmem.capacity_words = std::size_t{1} << 17;  // 8 allocator segments
@@ -117,6 +126,14 @@ inline RunnerConfig crash_config(TmKind kind, bool checkpoint = false) {
     cfg.pmem.raw_words +=
         CheckpointManager::metadata_words(cfg.pmem.capacity_words) + 2 * kWordsPerLine;
   }
+  if (flight_recorder) {
+    // The recorder reserves raw words too — same layout-agreement contract
+    // as the checkpoint region above.
+    cfg.nvhalt.flight_recorder = true;
+    cfg.trinity.flight_recorder = true;
+    cfg.spht.flight_recorder = true;
+    cfg.pmem.raw_words += telemetry::FlightRecorder::metadata_words();
+  }
   return cfg;
 }
 
@@ -134,7 +151,7 @@ inline CrashTraceBundle run_crash_workload(const CrashHarnessOptions& opt) {
   if (!opt.trace_out.empty()) telemetry::TraceBuffer::instance().clear();
 
   PersistJournal journal;
-  RunnerConfig cfg = crash_config(opt.kind, opt.checkpoint_every > 0);
+  RunnerConfig cfg = crash_config(opt.kind, opt.checkpoint_every > 0, opt.flight_recorder);
   cfg.pmem.journal = &journal;
   TmRunner runner(cfg);
   auto& tm = runner.tm();
@@ -312,6 +329,25 @@ class CrashImageVerifier {
     pool.install_crash_image(img.words);
     tm.recover_data();
 
+    // ---- 0. Flight-recorder postmortem ---------------------------------
+    // Every enumerated crash image must yield a decodable postmortem whose
+    // artifact serialization round-trips. Torn recorder tails are expected
+    // (the report counts them); what must never happen is recovery failing
+    // on recorder state or the artifact failing to parse back.
+    if (tr_.opt.flight_recorder) {
+      const telemetry::PostmortemReport* pm = tm.last_postmortem();
+      if (pm == nullptr)
+        return fail(why, prefix, "flight recorder enabled but recovery produced no postmortem");
+      telemetry::PostmortemReport rt;
+      std::string perr;
+      if (!telemetry::parse_postmortem(telemetry::serialize_postmortem(*pm, tm.name()), rt,
+                                       nullptr, &perr))
+        return fail(why, prefix, "postmortem artifact round-trip failed: ", perr);
+      if (rt.total_valid != pm->total_valid || rt.total_torn != pm->total_torn ||
+          rt.per_thread.size() != pm->per_thread.size())
+        return fail(why, prefix, "postmortem artifact round-trip lost records");
+    }
+
     std::vector<LiveBlock> live;
     // Setup-phase raw allocations are eagerly durable (allocation bit +
     // fence before the address is handed out), so the durable bitmap says
@@ -429,7 +465,8 @@ class CrashImageVerifier {
 
  private:
   static RunnerConfig verifier_config(const CrashTraceBundle& tr, int skip_nth) {
-    RunnerConfig cfg = crash_config(tr.opt.kind, tr.opt.checkpoint_every > 0);
+    RunnerConfig cfg =
+        crash_config(tr.opt.kind, tr.opt.checkpoint_every > 0, tr.opt.flight_recorder);
     cfg.nvhalt.recovery_skip_nth_revert = skip_nth;
     return cfg;
   }
@@ -452,10 +489,12 @@ class CrashImageVerifier {
 // ---- Bundle persistence (cross-process failure replay) -------------------
 
 namespace detail {
-// v3 appends checkpoint_every (layout-affecting: the verifier must rebuild
-// the same raw geometry). v2 bundles load with checkpointing off.
+// v4 appends flight_recorder, v3 checkpoint_every (both layout-affecting:
+// the verifier must rebuild the same raw geometry). Old bundles load with
+// the missing features off.
 inline constexpr std::uint64_t kBundleMagicV2 = 0x4E56484243524232ULL;  // "NVHBCRB2"
-inline constexpr std::uint64_t kBundleMagic = 0x4E56484243524233ULL;    // "NVHBCRB3"
+inline constexpr std::uint64_t kBundleMagicV3 = 0x4E56484243524233ULL;  // "NVHBCRB3"
+inline constexpr std::uint64_t kBundleMagic = 0x4E56484243524234ULL;    // "NVHBCRB4"
 
 inline void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -485,6 +524,7 @@ inline void save_bundle(const std::string& path, const CrashTraceBundle& tr) {
   put_u64(f, tr.opt.initial_balance);
   put_u64(f, tr.opt.workload_seed);
   put_u64(f, static_cast<std::uint64_t>(tr.opt.checkpoint_every));
+  put_u64(f, tr.opt.flight_recorder ? 1 : 0);
   put_u64(f, tr.prefill_bound);
   put_u64(f, tr.map_key_base);
   const auto put_vec = [&f](const std::vector<gaddr_t>& v) {
@@ -521,9 +561,11 @@ inline CrashTraceBundle load_bundle(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw TmLogicError("cannot open bundle file: " + path);
   const std::uint64_t magic = get_u64(f);
-  if (magic != detail::kBundleMagic && magic != detail::kBundleMagicV2)
+  if (magic != detail::kBundleMagic && magic != detail::kBundleMagicV3 &&
+      magic != detail::kBundleMagicV2)
     throw TmLogicError("not a crash-trace bundle: " + path);
-  const bool v3 = magic == detail::kBundleMagic;
+  const bool v4 = magic == detail::kBundleMagic;
+  const bool v3 = v4 || magic == detail::kBundleMagicV3;
   CrashTraceBundle tr;
   tr.opt.kind = static_cast<TmKind>(get_u64(f));
   tr.opt.transfer_threads = static_cast<int>(get_u64(f));
@@ -538,6 +580,7 @@ inline CrashTraceBundle load_bundle(const std::string& path) {
   tr.opt.initial_balance = get_u64(f);
   tr.opt.workload_seed = get_u64(f);
   tr.opt.checkpoint_every = v3 ? static_cast<int>(get_u64(f)) : 0;
+  tr.opt.flight_recorder = v4 && get_u64(f) != 0;
   tr.prefill_bound = get_u64(f);
   tr.map_key_base = get_u64(f);
   const auto get_vec = [&f](std::vector<gaddr_t>& v) {

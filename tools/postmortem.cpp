@@ -1,0 +1,88 @@
+// postmortem: render a flight-recorder postmortem artifact (written by
+// crash_sweep --postmortem or telemetry::serialize_postmortem) as a human
+// report or chrome://tracing JSON, or just validate it.
+//
+//   postmortem <report.txt>                 human-readable summary (stdout)
+//   postmortem <report.txt> --chrome out.json   chrome://tracing conversion
+//   postmortem --check <report.txt>         parse + sanity-check, no output
+//
+// --check verifies the file parses and each thread section's record count
+// matches its header. Exit status 0 on success, 1 on any failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace_io.hpp"
+
+namespace tel = nvhalt::telemetry;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: postmortem <report.txt> [--chrome out.json]\n"
+               "       postmortem --check <report.txt>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string in_path, chrome_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--check") {
+      check_only = true;
+    } else if (a == "--chrome") {
+      if (++i >= argc) return usage();
+      chrome_path = argv[i];
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else if (in_path.empty()) {
+      in_path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (in_path.empty()) return usage();
+
+  std::ifstream is(in_path);
+  if (!is) {
+    std::cerr << "postmortem: cannot open " << in_path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  tel::PostmortemReport report;
+  std::string tm_name, err;
+  if (!tel::parse_postmortem(buf.str(), report, &tm_name, &err)) {
+    std::cerr << "postmortem: " << in_path << ": " << err << "\n";
+    return 1;
+  }
+
+  if (check_only) {
+    std::cerr << "postmortem: ok: tm=" << tm_name << " threads="
+              << report.per_thread.size() << " valid=" << report.total_valid
+              << " torn=" << report.total_torn << "\n";
+    return 0;
+  }
+
+  if (!chrome_path.empty()) {
+    // Reuse the chrome writer: postmortem records become a TraceDump with
+    // ticks = sequence numbers (ticks_per_us = 1).
+    tel::TraceDump dump;
+    dump.ticks_per_us = 1.0;
+    dump.threads = tel::postmortem_to_traces(report);
+    if (!tel::write_chrome_trace_file(chrome_path, dump)) {
+      std::cerr << "postmortem: cannot write " << chrome_path << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  std::cout << "tm=" << tm_name << "\n" << report.to_string();
+  return 0;
+}

@@ -36,6 +36,22 @@ bool check_dump(const tel::TraceDump& dump) {
                 << "\n";
       ok = false;
     }
+    // With the ring capacity round-tripped in the header, dropped is fully
+    // reconstructible: the ring keeps at most `capacity` survivors, so
+    // dropped must equal pushed - events when the ring wrapped.
+    if (t.capacity > 0) {
+      if (t.events.size() > t.capacity) {
+        std::cerr << "trace_dump: tid " << t.tid << ": " << t.events.size()
+                  << " events exceed ring capacity " << t.capacity << "\n";
+        ok = false;
+      }
+      if (t.pushed - t.dropped != t.events.size()) {
+        std::cerr << "trace_dump: tid " << t.tid << ": pushed " << t.pushed
+                  << " - dropped " << t.dropped << " != surviving events "
+                  << t.events.size() << "\n";
+        ok = false;
+      }
+    }
     std::uint64_t prev = 0;
     for (const tel::TraceEvent& e : t.events) {
       if (e.ticks < prev) {
