@@ -1,13 +1,15 @@
 // Perf-regression reporter: runs a fixed micro-grid (abtree + hashmap,
-// 99/90/50/0% read-only, all 5 TMs) plus a software-path read-set scaling
-// sweep (validation cache on vs validate_every_read), and emits a
-// machine-readable JSON report so every PR leaves a throughput trajectory
-// behind. Plain binary — no google-benchmark, no external JSON library.
+// 99/90/50/0% read-only uniform plus a 50% Zipf-skewed column, all 5 TMs)
+// plus a software-path read-set scaling sweep (validation cache on vs
+// validate_every_read), and emits a machine-readable JSON report so every
+// PR leaves a throughput trajectory behind. Plain binary — no
+// google-benchmark, no external JSON library.
 //
 // Usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH]
 //                      [--taxonomy-out PATH] [--hw-out PATH] [--ro-out PATH]
-//                      [--alloc-out PATH] [--baseline PATH] [--hw-baseline PATH]
-//                      [--ro-baseline PATH] [--alloc-baseline PATH]
+//                      [--alloc-out PATH] [--group-out PATH] [--baseline PATH]
+//                      [--hw-baseline PATH] [--ro-baseline PATH]
+//                      [--alloc-baseline PATH] [--group-baseline PATH]
 //   --smoke        truncated ~10s mode (small keys, short windows), used by
 //                  the perf-smoke CTest target
 //   --check        after writing the reports, re-read and validate their
@@ -43,6 +45,16 @@
 //                  BENCH_alloc_churn.json); --check asserts the ledger
 //                  balances (retired == reclaimed + limbo)
 //   --alloc-baseline  same cell-wise ops_per_sec gate for the churn report
+//   --group-out    group-durable-commit sweep: NV-HALT on the hashmap,
+//                  threads x {50ro, 0ro} x fence combining off/on, each cell
+//                  with ops_per_sec + fences_per_op (default:
+//                  BENCH_group_commit.json); --check asserts the shape
+//   --group-baseline  same cell-wise gate for the group-commit sweep
+//
+// Besides ops_per_sec, --baseline / --group-baseline also compare
+// fences_per_op cell-wise: a fence is the unit the group-commit layer
+// exists to amortize, so a fence-count regression is flagged (and gated
+// under NVHALT_BENCH_TOLERANCE) even when throughput hides it in noise.
 //
 // The committed BENCH_sw_hotpath.json / BENCH_thread_scaling.json at the
 // repo root are full-mode runs of this binary. By default there are no
@@ -94,10 +106,12 @@ struct Options {
   std::string hw_out = "BENCH_hw_hotpath.json";
   std::string ro_out = "BENCH_ro_path.json";
   std::string alloc_out = "BENCH_alloc_churn.json";
+  std::string group_out = "BENCH_group_commit.json";
   std::string baseline;
   std::string hw_baseline;
   std::string ro_baseline;
   std::string alloc_baseline;
+  std::string group_baseline;
   /// Recovery-time sweep (checkpoint/compaction + parallel replay). Empty
   /// by default: the sweep builds dozens of full pools and crash-recovers
   /// them, so only runs when explicitly requested (the CI bench job and
@@ -404,6 +418,108 @@ int run_alloc_report(const Options& opt) {
   f.close();
   std::fprintf(stderr, "bench_regress: wrote %s\n", opt.alloc_out.c_str());
   return 0;
+}
+
+// ------------------------------------------------- group-commit sweep
+
+std::vector<int> group_thread_counts(bool smoke) {
+  return smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+}
+
+/// The group-durable-commit sweep: NV-HALT on the hashmap (flat per-op
+/// cost, so fence latency dominates the update path), update-heavy
+/// workloads only — 50ro and 0ro are where overlapping committers exist to
+/// combine. Each (threads, read_pct) point runs twice, fence combining off
+/// (today's solo path, wc_block_lines 1) and on (flat-combining fence +
+/// XPLine write combining), so BENCH_group_commit.json records both the
+/// throughput delta and the fences_per_op drop the layer buys. Cells carry
+/// fences_combined_per_op — how many fences per op were absorbed into
+/// another committer's drain — so "combining was on but never engaged"
+/// (e.g. 1 thread) is visible in the report rather than a silent zero win.
+int run_group_report(const Options& opt) {
+  const int rounds = bench_rounds_from_env(opt.smoke);
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"schema\": \"nvhalt-bench-group-commit-v1\",\n";
+  js << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  js << "  \"cells\": [\n";
+  bool first = true;
+  for (const int threads : group_thread_counts(opt.smoke)) {
+    for (const int read_pct : {50, 0}) {
+      for (const bool combine : {false, true}) {
+        BenchParams p;
+        p.kind = TmKind::kNvHalt;
+        p.structure = Structure::kHashMap;
+        p.read_pct = read_pct;
+        p.threads = threads;
+        p.key_range = opt.smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
+        p.duration_ms = opt.smoke ? 20 : 150;
+        p.group_commit = combine;
+        p.wc_block_lines = combine ? 4 : 1;
+        const BenchResult r = run_structure_bench_best(p, rounds);
+        js << (first ? "" : ",\n");
+        first = false;
+        js << "    {\"structure\": \"hashmap\", \"read_pct\": " << read_pct << ", \"tm\": \""
+           << tm_kind_name(p.kind) << "\", \"threads\": " << threads
+           << ", \"combine\": " << (combine ? "true" : "false")
+           << ", \"ops_per_sec\": " << r.ops_per_sec
+           << ", \"fences_per_op\": " << r.fences_per_op
+           << ", \"flushes_per_op\": " << r.flushes_per_op
+           << ", \"fences_combined_per_op\": " << r.fences_combined_per_op << "}";
+        std::fprintf(stderr, "group t%d %dro combine=%d: %.0f ops/s, %.3f fences/op\n", threads,
+                     read_pct, combine ? 1 : 0, r.ops_per_sec, r.fences_per_op);
+      }
+    }
+  }
+  js << "\n  ]\n}\n";
+
+  std::ofstream f(opt.group_out, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot open %s for writing\n", opt.group_out.c_str());
+    return 1;
+  }
+  f << js.str();
+  f.close();
+  std::fprintf(stderr, "bench_regress: wrote %s\n", opt.group_out.c_str());
+  return 0;
+}
+
+/// Shape validation for the group-commit sweep: right schema, a cell per
+/// (thread count, workload, combine setting), half the cells combining.
+int check_group_report(const std::string& path, bool smoke) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_regress --check: missing %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string s = buf.str();
+  std::vector<std::string> errors;
+
+  if (s.find("\"schema\": \"nvhalt-bench-group-commit-v1\"") == std::string::npos)
+    errors.push_back("missing/unknown group-commit schema tag");
+
+  const auto count = [&s](const char* needle) {
+    std::size_t n = 0;
+    for (auto pos = s.find(needle); pos != std::string::npos; pos = s.find(needle, pos + 1)) ++n;
+    return n;
+  };
+  const std::size_t expected = group_thread_counts(smoke).size() * 2 * 2;
+  if (count("\"ops_per_sec\"") != expected) {
+    errors.push_back("group sweep must have " +
+                     std::to_string(group_thread_counts(smoke).size()) +
+                     " thread counts x 2 workloads x 2 combine settings = " +
+                     std::to_string(expected) + " cells");
+  }
+  if (count("\"combine\": true") != expected / 2 || count("\"combine\": false") != expected / 2)
+    errors.push_back("group sweep must split cells evenly between combine on/off");
+  if (count("\"fences_per_op\"") != expected)
+    errors.push_back("group sweep cells must carry fences_per_op");
+
+  for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
+  if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
+  return errors.empty() ? 0 : 1;
 }
 
 // ------------------------------------------------------ recovery-time sweep
@@ -851,13 +967,27 @@ int run_report(const Options& opt) {
   js << "  \"grid\": [\n";
   bool first = true;
   bool con_first = true;
+  // The paper's four uniform workloads plus one Zipf-skewed update column:
+  // skew concentrates writers on the same hot lines, which is exactly the
+  // regime the group-commit fence combiner and the contention observatory
+  // exist for, so the grid keeps one cell of it on record.
+  struct GridWorkload {
+    int read_pct;
+    KeyDist dist;
+  };
+  std::vector<GridWorkload> workloads;
+  for (const int pct : fig8_read_pcts()) workloads.push_back({pct, KeyDist::kUniform});
+  workloads.push_back({50, KeyDist::kZipf});
   for (const Structure st : {Structure::kAbTree, Structure::kHashMap}) {
-    for (const int read_pct : fig8_read_pcts()) {
+    for (const GridWorkload& wl : workloads) {
+      const int read_pct = wl.read_pct;
+      const char* dist_name = wl.dist == KeyDist::kZipf ? "zipf" : "uniform";
       for (const TmKind kind : fig8_tms()) {
         BenchParams p;
         p.kind = kind;
         p.structure = st;
         p.read_pct = read_pct;
+        p.dist = wl.dist;
         p.threads = 2;
         p.key_range = opt.smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 14);
         p.duration_ms = opt.smoke ? 20 : 150;
@@ -866,6 +996,7 @@ int run_report(const Options& opt) {
         tax << (first ? "" : ",\n");
         first = false;
         js << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+           << ", \"dist\": \"" << dist_name << "\""
            << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"threads\": " << p.threads
            << ", \"ops_per_sec\": " << r.ops_per_sec
            << ", \"flushes_per_op\": " << r.flushes_per_op
@@ -873,6 +1004,7 @@ int run_report(const Options& opt) {
            << ", \"flush_dedup_per_op\": " << r.flush_dedup_per_op << "}";
         const auto& t = r.tel.tx.taxonomy;
         tax << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+            << ", \"dist\": \"" << dist_name << "\""
             << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"commits\": " << r.tm.commits
             << ", \"hw_aborts\": " << r.tm.hw_aborts;
         for (std::size_t c = 0; c < telemetry::kNumAbortCauses; ++c) {
@@ -890,6 +1022,7 @@ int run_report(const Options& opt) {
         con << (con_first ? "" : ",\n");
         con_first = false;
         con << "    {\"structure\": \"" << structure_name(st) << "\", \"read_pct\": " << read_pct
+            << ", \"dist\": \"" << dist_name << "\""
             << ", \"tm\": \"" << tm_kind_name(kind) << "\", \"stripes\": " << r.contention_stripes
             << ", \"stalls\": " << r.contention.stalls
             << ", \"stall_ticks\": " << r.contention.stall_ticks
@@ -903,8 +1036,8 @@ int run_report(const Options& opt) {
               << ", \"score\": " << hs.score() << "}";
         }
         con << "]}";
-        std::fprintf(stderr, "%s %dro %s: %.0f ops/s\n", structure_name(st), read_pct,
-                     tm_kind_name(kind), r.ops_per_sec);
+        std::fprintf(stderr, "%s %dro%s %s: %.0f ops/s\n", structure_name(st), read_pct,
+                     wl.dist == KeyDist::kZipf ? " zipf" : "", tm_kind_name(kind), r.ops_per_sec);
       }
     }
   }
@@ -985,10 +1118,14 @@ int check_report(const std::string& path) {
   if (s.find("\"read_scaling\"") == std::string::npos) errors.push_back("missing read_scaling");
   if (count("\"ns_per_read\"") != 6) errors.push_back("read_scaling must have 2x3 points");
   const std::size_t cells = count("\"ops_per_sec\"");
-  if (cells != 40) {
-    errors.push_back("grid must have 2 structures x 4 workloads x 5 TMs = 40 cells, found " +
-                     std::to_string(cells));
+  if (cells != 50) {
+    errors.push_back(
+        "grid must have 2 structures x 5 workloads (4 uniform + 1 zipf) x 5 TMs = 50 cells, "
+        "found " +
+        std::to_string(cells));
   }
+  if (count("\"dist\": \"zipf\"") != 10)
+    errors.push_back("grid must carry 2 structures x 5 TMs = 10 zipf-skewed cells");
   for (const char* tm : {"NV-HALT-SP", "NV-HALT-CL", "Trinity", "SPHT"}) {
     if (s.find(std::string("\"tm\": \"") + tm + "\"") == std::string::npos)
       errors.push_back(std::string("missing TM ") + tm);
@@ -1036,7 +1173,7 @@ int check_scaling_report(const std::string& path, bool smoke) {
   return errors.empty() ? 0 : 1;
 }
 
-/// Shape + consistency validation for the taxonomy sidecar: 40 cells, and
+/// Shape + consistency validation for the taxonomy sidecar: 50 cells, and
 /// on every cell the per-cause counts must sum to hw_aborts exactly — the
 /// invariant record_hw_abort() maintains at the source.
 int check_taxonomy(const std::string& path) {
@@ -1083,15 +1220,15 @@ int check_taxonomy(const std::string& path) {
     }
   }
   if (!saw_schema) errors.push_back("missing/unknown taxonomy schema tag");
-  if (cells != 40)
-    errors.push_back("taxonomy must have 40 cells, found " + std::to_string(cells));
+  if (cells != 50)
+    errors.push_back("taxonomy must have 50 cells, found " + std::to_string(cells));
 
   for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
   if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
   return errors.empty() ? 0 : 1;
 }
 
-/// Shape + consistency validation for the contention sidecar: 40 cells,
+/// Shape + consistency validation for the contention sidecar: 50 cells,
 /// every cell carries a stripe count, and every top-K entry's score obeys
 /// the published formula (4*aborts + 2*cas_failures + stalls) — the same
 /// arithmetic ContentionTable ranks by, so drift means a snapshot bug.
@@ -1141,8 +1278,8 @@ int check_contention(const std::string& path) {
     }
   }
   if (!saw_schema) errors.push_back("missing/unknown contention schema tag");
-  if (cells != 40)
-    errors.push_back("contention sidecar must have 40 cells, found " + std::to_string(cells));
+  if (cells != 50)
+    errors.push_back("contention sidecar must have 50 cells, found " + std::to_string(cells));
 
   for (const auto& e : errors) std::fprintf(stderr, "bench_regress --check: %s\n", e.c_str());
   if (errors.empty()) std::fprintf(stderr, "bench_regress --check: %s OK\n", path.c_str());
@@ -1286,11 +1423,21 @@ int check_alloc_report(const std::string& path) {
 
 // ------------------------------------------------- baseline comparison
 
-/// One parsed grid cell: "structure/read_pct/tm" -> ops_per_sec. The
-/// reports are emitted one grid object per line by this binary, so a
-/// line-oriented field scan is a complete parser for them.
-std::vector<std::pair<std::string, double>> parse_grid_cells(const std::string& text) {
-  std::vector<std::pair<std::string, double>> cells;
+/// One parsed grid cell: a composed workload key plus the two gated
+/// metrics. The reports are emitted one grid object per line by this
+/// binary, so a line-oriented field scan is a complete parser for them.
+/// Optional coordinates (dist, combine) only suffix the key when present,
+/// so keys for pre-existing reports are unchanged and old committed
+/// baselines stay comparable.
+struct ParsedCell {
+  std::string key;
+  double ops = 0;
+  /// Negative when the report doesn't carry the field (ro/alloc reports).
+  double fences_per_op = -1;
+};
+
+std::vector<ParsedCell> parse_grid_cells(const std::string& text) {
+  std::vector<ParsedCell> cells;
   std::istringstream is(text);
   std::string line;
   const auto field = [&line](const char* key) -> std::string {
@@ -1310,7 +1457,21 @@ std::vector<std::pair<std::string, double>> parse_grid_cells(const std::string& 
     const std::string pct = field("read_pct");
     const std::string ops = field("ops_per_sec");
     if (st.empty() || tm.empty() || pct.empty() || ops.empty()) continue;
-    cells.emplace_back(st + "/" + pct + "ro/" + tm, std::strtod(ops.c_str(), nullptr));
+    ParsedCell c;
+    c.key = st + "/" + pct + "ro";
+    if (field("dist") == "zipf") c.key += "-zipf";
+    c.key += "/" + tm;
+    const std::string threads = field("threads");
+    const std::string combine = field("combine");
+    if (!combine.empty()) {
+      // Group-commit sweep: the same (structure, pct, tm) appears once per
+      // thread count and combine setting, so both join the key.
+      c.key += "/t" + threads + (combine == "true" ? "/combine" : "/solo");
+    }
+    c.ops = std::strtod(ops.c_str(), nullptr);
+    const std::string fences = field("fences_per_op");
+    if (!fences.empty()) c.fences_per_op = std::strtod(fences.c_str(), nullptr);
+    cells.push_back(std::move(c));
   }
   return cells;
 }
@@ -1323,11 +1484,16 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-/// Compares a fresh report's grid cells against a baseline report (both
-/// the main grid and the ro-path report share the cell line shape, so one
-/// comparator serves both flags). Advisory by default (prints every cell's
-/// ratio, worst first, returns 0); with a positive $NVHALT_BENCH_TOLERANCE
-/// it fails when any cell drops below baseline * (1 - tolerance).
+/// Compares a fresh report's grid cells against a baseline report (the
+/// main grid, the ro-path/alloc reports and the group-commit sweep all
+/// share the cell line shape, so one comparator serves every flag).
+/// Advisory by default (prints every cell's ratio, worst first, returns
+/// 0); with a positive $NVHALT_BENCH_TOLERANCE it fails when any cell's
+/// throughput drops below baseline * (1 - tolerance), or — for reports
+/// that carry fences_per_op — when a cell's fence count rises above
+/// baseline * (1 + tolerance). Fences are simulated-clock deterministic
+/// modulo scheduling, so the fence gate catches durability-cost creep that
+/// wall-clock noise would hide.
 int compare_grid_files(const char* flag, const std::string& base_path,
                        const std::string& cur_path) {
   const std::string base_text = read_file(base_path);
@@ -1354,14 +1520,18 @@ int compare_grid_files(const char* flag, const std::string& base_path,
   struct Delta {
     std::string key;
     double ratio;
+    /// cur/base fence ratio, or 0 when either side lacks the field.
+    double fence_ratio;
   };
   std::vector<Delta> deltas;
-  for (const auto& [key, cur_ops] : cur_cells) {
-    for (const auto& [bkey, base_ops] : base_cells) {
-      if (bkey == key && base_ops > 0) {
-        deltas.push_back({key, cur_ops / base_ops});
-        break;
-      }
+  for (const ParsedCell& cur : cur_cells) {
+    for (const ParsedCell& base : base_cells) {
+      if (base.key != cur.key || base.ops <= 0) continue;
+      Delta d{cur.key, cur.ops / base.ops, 0};
+      if (base.fences_per_op > 0 && cur.fences_per_op >= 0)
+        d.fence_ratio = cur.fences_per_op / base.fences_per_op;
+      deltas.push_back(std::move(d));
+      break;
     }
   }
   std::sort(deltas.begin(), deltas.end(),
@@ -1370,9 +1540,16 @@ int compare_grid_files(const char* flag, const std::string& base_path,
   int violations = 0;
   for (const Delta& d : deltas) {
     const bool slow = tolerance > 0 && d.ratio < 1.0 - tolerance;
-    if (slow) ++violations;
-    std::fprintf(stderr, "baseline %-28s %6.2fx%s\n", d.key.c_str(), d.ratio,
-                 slow ? "  << REGRESSION" : "");
+    const bool fence_regress = tolerance > 0 && d.fence_ratio > 1.0 + tolerance;
+    if (slow || fence_regress) ++violations;
+    if (d.fence_ratio > 0) {
+      std::fprintf(stderr, "baseline %-36s %6.2fx  fences %5.2fx%s%s\n", d.key.c_str(), d.ratio,
+                   d.fence_ratio, slow ? "  << REGRESSION" : "",
+                   fence_regress ? "  << FENCE REGRESSION" : "");
+    } else {
+      std::fprintf(stderr, "baseline %-36s %6.2fx%s\n", d.key.c_str(), d.ratio,
+                   slow ? "  << REGRESSION" : "");
+    }
   }
   if (tolerance <= 0) {
     std::fprintf(stderr, "bench_regress %s: advisory mode (%zu cells compared, "
@@ -1380,8 +1557,9 @@ int compare_grid_files(const char* flag, const std::string& base_path,
                  flag, deltas.size());
     return 0;
   }
-  std::fprintf(stderr, "bench_regress %s: %d of %zu cells below %.0f%% of baseline\n", flag,
-               violations, deltas.size(), (1.0 - tolerance) * 100.0);
+  std::fprintf(stderr,
+               "bench_regress %s: %d of %zu cells outside the %.0f%% tolerance band\n", flag,
+               violations, deltas.size(), tolerance * 100.0);
   return violations == 0 ? 0 : 1;
 }
 
@@ -1476,6 +1654,10 @@ int main(int argc, char** argv) {
       opt.alloc_out = argv[++i];
     } else if (std::strcmp(argv[i], "--alloc-baseline") == 0 && i + 1 < argc) {
       opt.alloc_baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--group-out") == 0 && i + 1 < argc) {
+      opt.group_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--group-baseline") == 0 && i + 1 < argc) {
+      opt.group_baseline = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       opt.baseline = argv[++i];
     } else if (std::strcmp(argv[i], "--hw-baseline") == 0 && i + 1 < argc) {
@@ -1490,9 +1672,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_regress [--smoke] [--check] [--out PATH] [--scaling-out PATH] "
                    "[--taxonomy-out PATH] [--contention-out PATH] [--hw-out PATH] [--ro-out PATH] "
-                   "[--alloc-out PATH] "
+                   "[--alloc-out PATH] [--group-out PATH] "
                    "[--baseline PATH] [--hw-baseline PATH] [--ro-baseline PATH] "
-                   "[--alloc-baseline PATH] [--recovery-out PATH] [--recovery-baseline PATH]\n");
+                   "[--alloc-baseline PATH] [--group-baseline PATH] "
+                   "[--recovery-out PATH] [--recovery-baseline PATH]\n");
       return 2;
     }
   }
@@ -1505,6 +1688,8 @@ int main(int argc, char** argv) {
   rc = nvhalt::bench::run_ro_report(opt);
   if (rc != 0) return rc;
   rc = nvhalt::bench::run_alloc_report(opt);
+  if (rc != 0) return rc;
+  rc = nvhalt::bench::run_group_report(opt);
   if (rc != 0) return rc;
   if (!opt.recovery_out.empty()) {
     rc = nvhalt::bench::run_recovery_report(opt);
@@ -1521,6 +1706,7 @@ int main(int argc, char** argv) {
                         ? 0
                         : nvhalt::bench::check_recovery_report(opt.recovery_out);
     const int rc8 = nvhalt::bench::check_contention(opt.contention_out);
+    const int rc9 = nvhalt::bench::check_group_report(opt.group_out, opt.smoke);
     if (rc == 0) rc = rc2;
     if (rc == 0) rc = rc3;
     if (rc == 0) rc = rc4;
@@ -1528,6 +1714,7 @@ int main(int argc, char** argv) {
     if (rc == 0) rc = rc6;
     if (rc == 0) rc = rc7;
     if (rc == 0) rc = rc8;
+    if (rc == 0) rc = rc9;
     if (rc != 0) return rc;
   }
   if (!opt.baseline.empty()) {
@@ -1540,6 +1727,10 @@ int main(int argc, char** argv) {
   }
   if (!opt.alloc_baseline.empty()) {
     rc = nvhalt::bench::compare_grid_files("--alloc-baseline", opt.alloc_baseline, opt.alloc_out);
+    if (rc != 0) return rc;
+  }
+  if (!opt.group_baseline.empty()) {
+    rc = nvhalt::bench::compare_grid_files("--group-baseline", opt.group_baseline, opt.group_out);
     if (rc != 0) return rc;
   }
   if (!opt.recovery_baseline.empty() && !opt.recovery_out.empty()) {

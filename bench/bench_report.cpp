@@ -110,8 +110,18 @@ void print_fig9(const BenchScale& scale) {
 
 // ---- taxonomy markdown rendering (--taxonomy) ----------------------------
 
+/// Workload label for rendered tables: the grid's Zipf-skewed column shares
+/// read_pct 50 with the uniform one, so skewed cells get a "-zipf" suffix
+/// ("50ro-zipf"). Cells from reports predating the dist field render
+/// unchanged.
+std::string wl_label(long long read_pct, const std::string& dist) {
+  std::string label = workload_name(static_cast<int>(read_pct));
+  if (dist == "zipf") label += "-zipf";
+  return label;
+}
+
 struct TaxonomyCell {
-  std::string structure, tm;
+  std::string structure, tm, dist;
   long long read_pct = 0;
   long long commits = 0, hw_aborts = 0, sw_aborts = 0, user_aborts = 0, fallbacks = 0;
   long long ro_commits = 0, ro_aborts = 0;
@@ -143,6 +153,7 @@ std::vector<TaxonomyCell> parse_taxonomy(std::ifstream& f) {
     TaxonomyCell c;
     c.structure = str_field("structure");
     c.tm = str_field("tm");
+    c.dist = str_field("dist");
     if (c.structure.empty() || c.tm.empty()) continue;
     c.read_pct = num_field("read_pct");
     c.commits = num_field("commits");
@@ -195,7 +206,7 @@ int render_taxonomy_markdown(const std::string& path) {
     std::printf("|---:|---:|\n");
     for (const TaxonomyCell& c : cells) {
       if (c.structure != st) continue;
-      std::printf("| %s | %s | %lld | %lld", workload_name(static_cast<int>(c.read_pct)).c_str(),
+      std::printf("| %s | %s | %lld | %lld", wl_label(c.read_pct, c.dist).c_str(),
                   c.tm.c_str(), c.commits, c.hw_aborts);
       for (std::size_t i = 0; i < telemetry::kNumAbortCauses; ++i)
         std::printf(" | %lld", c.by_cause[i]);
@@ -436,7 +447,7 @@ struct ContentionStripeLine {
 };
 
 struct ContentionCell {
-  std::string structure, tm;
+  std::string structure, tm, dist;
   long long read_pct = 0, stripes = 0;
   long long stalls = 0, stall_ticks = 0, cas_failures = 0, aborts = 0;
   std::vector<ContentionStripeLine> top;
@@ -468,6 +479,7 @@ std::vector<ContentionCell> parse_contention(std::ifstream& f) {
     ContentionCell c;
     c.structure = str_field("structure");
     c.tm = str_field("tm");
+    c.dist = str_field("dist");
     if (c.structure.empty() || c.tm.empty() || top_pos == std::string::npos) continue;
     c.read_pct = num_field("read_pct");
     c.stripes = num_field("stripes");
@@ -532,7 +544,7 @@ int render_contention_markdown(const std::string& path) {
     for (const ContentionCell& c : cells) {
       if (c.structure != st) continue;
       std::printf("| %s | %s | %lld | %lld | %lld | %lld | %lld |\n",
-                  workload_name(static_cast<int>(c.read_pct)).c_str(), c.tm.c_str(), c.stripes,
+                  wl_label(c.read_pct, c.dist).c_str(), c.tm.c_str(), c.stripes,
                   c.stalls, c.stall_ticks, c.cas_failures, c.aborts);
     }
 
@@ -565,7 +577,7 @@ int render_contention_markdown(const std::string& path) {
         std::string bar;
         for (int b = 0; b < bars; ++b) bar += "█";
         std::printf("| %s | %s | %lld | %s | %lld | %lld | %lld | %lld |\n", h->tm.c_str(),
-                    workload_name(static_cast<int>(h->read_pct)).c_str(), s.stripe, bar.c_str(),
+                    wl_label(h->read_pct, h->dist).c_str(), s.stripe, bar.c_str(),
                     s.score, s.stalls, s.cas_failures, s.aborts);
       }
     }
@@ -576,9 +588,11 @@ int render_contention_markdown(const std::string& path) {
 // ---- Trinity-gap markdown rendering (--gap) ------------------------------
 
 struct GapCell {
-  std::string structure, tm;
+  std::string structure, tm, dist;
   long long read_pct = 0;
   double ops = 0;
+  /// Negative when the report doesn't carry the field (e.g. ro-path).
+  double fences_per_op = -1;
 };
 
 /// Renders any grid-shaped report (one cell object per line carrying
@@ -612,9 +626,11 @@ int render_gap_markdown(const std::string& path) {
     GapCell c;
     c.structure = str_field("structure");
     c.tm = str_field("tm");
+    c.dist = str_field("dist");
     c.ops = num_field("ops_per_sec");
     if (c.structure.empty() || c.tm.empty() || c.ops < 0) continue;
     c.read_pct = static_cast<long long>(num_field("read_pct"));
+    c.fences_per_op = num_field("fences_per_op");
     cells.push_back(std::move(c));
   }
   if (cells.empty()) {
@@ -631,11 +647,11 @@ int render_gap_markdown(const std::string& path) {
     for (const std::string& t : tms) known |= t == c.tm;
     if (!known) tms.push_back(c.tm);
   }
-  const auto find_ops = [&cells](const std::string& st, long long pct,
-                                 const std::string& tm) -> double {
+  const auto find_cell = [&cells](const std::string& st, long long pct, const std::string& dist,
+                                  const std::string& tm) -> const GapCell* {
     for (const GapCell& c : cells)
-      if (c.structure == st && c.read_pct == pct && c.tm == tm) return c.ops;
-    return -1;
+      if (c.structure == st && c.read_pct == pct && c.dist == dist && c.tm == tm) return &c;
+    return nullptr;
   };
 
   std::printf("# Throughput vs Trinity (%s)\n\n", path.c_str());
@@ -646,28 +662,37 @@ int render_gap_markdown(const std::string& path) {
   for (std::size_t i = 0; i < tms.size(); ++i) std::printf("---:|");
   std::printf("\n");
 
-  std::vector<double> log_sum(tms.size(), 0.0);
-  std::vector<std::size_t> log_n(tms.size(), 0);
-  for (const char* st : {"abtree", "hashmap"}) {
-    // Row order: unique read_pcts in file order for this structure.
-    std::vector<long long> pcts;
+  struct Workload {
+    long long pct;
+    std::string dist;
+  };
+  const auto workloads_for = [&cells](const char* st) {
+    // Row order: unique (read_pct, dist) pairs in file order for this
+    // structure — the Zipf-skewed 50ro column is its own row.
+    std::vector<Workload> wls;
     for (const GapCell& c : cells) {
       if (c.structure != st) continue;
       bool known = false;
-      for (const long long p : pcts) known |= p == c.read_pct;
-      if (!known) pcts.push_back(c.read_pct);
+      for (const Workload& w : wls) known |= w.pct == c.read_pct && w.dist == c.dist;
+      if (!known) wls.push_back({c.read_pct, c.dist});
     }
-    for (const long long pct : pcts) {
-      const double trinity = find_ops(st, pct, "Trinity");
-      if (trinity <= 0) continue;
-      std::printf("| %s | %s |", st, workload_name(static_cast<int>(pct)).c_str());
+    return wls;
+  };
+
+  std::vector<double> log_sum(tms.size(), 0.0);
+  std::vector<std::size_t> log_n(tms.size(), 0);
+  for (const char* st : {"abtree", "hashmap"}) {
+    for (const Workload& wl : workloads_for(st)) {
+      const GapCell* trinity = find_cell(st, wl.pct, wl.dist, "Trinity");
+      if (trinity == nullptr || trinity->ops <= 0) continue;
+      std::printf("| %s | %s |", st, wl_label(wl.pct, wl.dist).c_str());
       for (std::size_t i = 0; i < tms.size(); ++i) {
-        const double ops = find_ops(st, pct, tms[i]);
-        if (ops < 0) {
+        const GapCell* c = find_cell(st, wl.pct, wl.dist, tms[i]);
+        if (c == nullptr) {
           std::printf(" – |");
           continue;
         }
-        const double ratio = ops / trinity;
+        const double ratio = c->ops / trinity->ops;
         log_sum[i] += std::log(ratio);
         log_n[i]++;
         std::printf(" %.2fx |", ratio);
@@ -683,6 +708,115 @@ int render_gap_markdown(const std::string& path) {
       std::printf(" **%.2fx** |", std::exp(log_sum[i] / static_cast<double>(log_n[i])));
   }
   std::printf("\n");
+
+  // Update-heavy close-up: the cells where commits actually pay for
+  // durability (50% reads and below). Next to the Trinity ratio each TM
+  // shows its fences_per_op — the unit the group-commit fence combiner
+  // amortizes — so a throughput win (or loss) comes with its fence story.
+  bool any_update_heavy = false;
+  for (const GapCell& c : cells) any_update_heavy |= c.read_pct <= 50 && c.fences_per_op >= 0;
+  if (any_update_heavy) {
+    std::printf("\n## Update-heavy cells: durability cost\n\n");
+    std::printf("fences/op is per-TM; the ratio column stays ops(TM)/ops(Trinity).\n\n");
+    std::printf("| structure | workload | tm | vs Trinity | fences/op | Trinity fences/op |\n");
+    std::printf("|---|---|---|---:|---:|---:|\n");
+    std::vector<double> uh_log_sum(tms.size(), 0.0);
+    std::vector<std::size_t> uh_log_n(tms.size(), 0);
+    for (const char* st : {"abtree", "hashmap"}) {
+      for (const Workload& wl : workloads_for(st)) {
+        if (wl.pct > 50) continue;
+        const GapCell* trinity = find_cell(st, wl.pct, wl.dist, "Trinity");
+        if (trinity == nullptr || trinity->ops <= 0) continue;
+        for (std::size_t i = 0; i < tms.size(); ++i) {
+          const GapCell* c = find_cell(st, wl.pct, wl.dist, tms[i]);
+          if (c == nullptr) continue;
+          const double ratio = c->ops / trinity->ops;
+          uh_log_sum[i] += std::log(ratio);
+          uh_log_n[i]++;
+          std::printf("| %s | %s | %s | %.2fx |", st, wl_label(wl.pct, wl.dist).c_str(),
+                      tms[i].c_str(), ratio);
+          if (c->fences_per_op >= 0)
+            std::printf(" %.3f |", c->fences_per_op);
+          else
+            std::printf(" – |");
+          if (trinity->fences_per_op >= 0)
+            std::printf(" %.3f |\n", trinity->fences_per_op);
+          else
+            std::printf(" – |\n");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < tms.size(); ++i) {
+      if (uh_log_n[i] == 0) continue;
+      std::printf("| **geomean** | | %s | **%.2fx** | | |\n", tms[i].c_str(),
+                  std::exp(uh_log_sum[i] / static_cast<double>(uh_log_n[i])));
+    }
+  }
+  return 0;
+}
+
+// ---- group-commit markdown rendering (--group) ---------------------------
+
+struct GroupCell {
+  long long read_pct = 0, threads = 0;
+  bool combine = false;
+  double ops = 0, fences_per_op = 0, combined_per_op = 0;
+};
+
+/// Renders BENCH_group_commit.json as a solo-vs-combine table: per
+/// (threads, workload) row the throughput speedup and the fences_per_op
+/// drop the flat-combining fence buys, plus how many fences per op were
+/// actually absorbed into another committer's drain (engagement — rows
+/// with 0.000 combined/op show the adaptive gate keeping solo latency).
+int render_group_markdown(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_report --group: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<GroupCell> cells;
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto num_field = [&line](const char* key) -> double {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const auto pos = line.find(needle);
+      if (pos == std::string::npos) return -1;
+      return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+    };
+    if (line.find("\"combine\": ") == std::string::npos) continue;
+    GroupCell c;
+    c.read_pct = static_cast<long long>(num_field("read_pct"));
+    c.threads = static_cast<long long>(num_field("threads"));
+    c.combine = line.find("\"combine\": true") != std::string::npos;
+    c.ops = num_field("ops_per_sec");
+    c.fences_per_op = num_field("fences_per_op");
+    c.combined_per_op = num_field("fences_combined_per_op");
+    cells.push_back(c);
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "bench_report --group: no cells in %s\n", path.c_str());
+    return 1;
+  }
+  const auto find = [&cells](long long threads, long long pct, bool combine) -> const GroupCell* {
+    for (const GroupCell& c : cells)
+      if (c.threads == threads && c.read_pct == pct && c.combine == combine) return &c;
+    return nullptr;
+  };
+  std::printf("# Group durable commit (%s)\n\n", path.c_str());
+  std::printf("NV-HALT / hashmap; solo = fence combining off, combine = flat-combining\n"
+              "fence + XPLine write combining. Speedup is ops(combine)/ops(solo).\n\n");
+  std::printf("| threads | workload | solo ops/s | combine ops/s | speedup "
+              "| solo fences/op | combine fences/op | combined/op |\n");
+  std::printf("|---:|---|---:|---:|---:|---:|---:|---:|\n");
+  for (const GroupCell& c : cells) {
+    if (c.combine) continue;
+    const GroupCell* on = find(c.threads, c.read_pct, true);
+    if (on == nullptr) continue;
+    std::printf("| %lld | %s | %.0f | %.0f | %.2fx | %.3f | %.3f | %.3f |\n", c.threads,
+                workload_name(static_cast<int>(c.read_pct)).c_str(), c.ops, on->ops,
+                c.ops > 0 ? on->ops / c.ops : 0, c.fences_per_op, on->fences_per_op,
+                on->combined_per_op);
+  }
   return 0;
 }
 
@@ -700,9 +834,11 @@ int main(int argc, char** argv) {
       return render_recovery_markdown(argv[i + 1]);
     if (std::strcmp(argv[i], "--contention") == 0 && i + 1 < argc)
       return render_contention_markdown(argv[i + 1]);
+    if (std::strcmp(argv[i], "--group") == 0 && i + 1 < argc)
+      return render_group_markdown(argv[i + 1]);
     std::fprintf(stderr,
                  "usage: bench_report [--taxonomy PATH] [--hw-hotpath PATH] [--gap PATH] "
-                 "[--recovery PATH] [--contention PATH]\n");
+                 "[--recovery PATH] [--contention PATH] [--group PATH]\n");
     return 2;
   }
   const BenchScale scale = read_scale_from_env();

@@ -12,7 +12,8 @@ SphtLog::SphtLog(PmemPool& pool, int nthreads, std::size_t words_per_thread)
 }
 
 bool SphtLog::append(int tid, std::uint64_t ts,
-                     std::span<const std::pair<gaddr_t, word_t>> writes) {
+                     std::span<const std::pair<gaddr_t, word_t>> writes,
+                     FenceGate gate) {
   const std::size_t need = 2 + 2 * writes.size();  // [ts][n][addr val]*
   const std::size_t used = pool_.raw_load(head_idx(tid));
   if (used + need > words_) return false;
@@ -29,7 +30,7 @@ bool SphtLog::append(int tid, std::uint64_t ts,
   // new head (record complete).
   for (std::size_t w = rec; w < rec + need; w += kWordsPerLine) pool_.flush_raw(tid, w);
   pool_.flush_raw(tid, rec + need - 1);
-  pool_.fence(tid);
+  pool_.fence(tid, gate);
   pool_.raw_store(head_idx(tid), used + need);
   pool_.flush_raw(tid, head_idx(tid));
   pool_.fence(tid);

@@ -30,8 +30,11 @@ class SphtLog {
 
   /// Appends one transaction record and makes it durable (flush + fence).
   /// Returns false if the log lacks space (caller must replay+truncate).
+  /// `gate` forwards the caller's group-commit hint to the record fence
+  /// (concurrent committers' log appends combine into one pool fence).
   bool append(int tid, std::uint64_t ts,
-              std::span<const std::pair<gaddr_t, word_t>> writes);
+              std::span<const std::pair<gaddr_t, word_t>> writes,
+              FenceGate gate = FenceGate::kAuto);
 
   /// Collects every whole record with ts <= max_ts from all threads' logs,
   /// reading the staged (crash-free) view.

@@ -207,10 +207,17 @@ void SphtTm::persist_committed(int tid, std::uint64_t ts_commit) {
   if constexpr (telemetry::kLevel >= 1) ack_t0 = telemetry::now_ticks();
 
   // 1. Append + persist the redo log record. The flight-recorder note
-  //    rides the append's internal fence.
+  //    rides the append's internal fence. Group-commit hint: a moving
+  //    contention clock means other committers are active and their log
+  //    appends can share one pool fence.
+  const std::uint64_t activity = contention_.activity();
+  const FenceGate gate = activity != ctx.last_contention_activity
+                             ? FenceGate::kPreferCombine
+                             : FenceGate::kAuto;
+  ctx.last_contention_activity = activity;
   ctx.fr(tid, telemetry::EventKind::kFence, 0xFF,
          static_cast<std::uint16_t>(std::min<std::size_t>(ctx.redo.size(), 0xFFFF)));
-  while (!log_.append(tid, ts_commit, ctx.redo)) replay_full_logs(tid);
+  while (!log_.append(tid, ts_commit, ctx.redo, gate)) replay_full_logs(tid);
 
   // 2. Publish "my log at ts_commit is durable".
   ts_pub_[tid].value.store(pub_pack(ts_commit, true), std::memory_order_seq_cst);

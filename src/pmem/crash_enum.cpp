@@ -91,6 +91,22 @@ CrashImage materialize_crash_image(std::span<const PersistEvent> trace, std::siz
       }
       case PersistEventKind::kAllocMark:
         break;  // annotation only: no durable effect
+      case PersistEventKind::kFenceJoin: {
+        // Member ev.tid hands its flushed lines to leader ev.value: splice
+        // the member queue onto the leader's, so the leader's upcoming
+        // kFence persists the union as one durable boundary. A crash here
+        // (before that fence) leaves every joined line dirty — the whole
+        // batch is lost together.
+        auto src = queues.find(ev.tid);
+        if (src == queues.end()) break;
+        // Move the member's lines out before touching queues[leader]:
+        // operator[] may rehash and invalidate `src`.
+        std::vector<std::uint64_t> moved = std::move(src->second);
+        src->second.clear();
+        auto& dst = queues[static_cast<std::int32_t>(ev.value)];
+        dst.insert(dst.end(), moved.begin(), moved.end());
+        break;
+      }
     }
   }
 

@@ -29,7 +29,8 @@ WorkloadResult run_mixed(KeyedOps& ops, const WorkloadSpec& spec) {
     workers.emplace_back([&, t] {
       pin_thread_round_robin(t);
       KeyGenerator gen(spec.dist, spec.key_range,
-                       spec.seed * 1000003 + static_cast<std::uint64_t>(t));
+                       spec.seed * 1000003 + static_cast<std::uint64_t>(t),
+                       spec.zipf_theta);
       barrier.arrive_and_wait();
       std::uint64_t n = 0;
       while (!stop.load(std::memory_order_relaxed)) {

@@ -19,12 +19,16 @@ namespace nvhalt::workload {
 
 enum class KeyDist { kUniform, kZipf };
 
-/// Per-thread key stream.
+/// Per-thread key stream. `zipf_theta` shapes the skew when dist is kZipf
+/// (larger = hotter head; 0.99 is the YCSB default, ~1.2 concentrates most
+/// draws on a handful of keys). Ignored for uniform draws.
 class KeyGenerator {
  public:
-  KeyGenerator(KeyDist dist, std::size_t key_range, std::uint64_t seed)
+  KeyGenerator(KeyDist dist, std::size_t key_range, std::uint64_t seed,
+               double zipf_theta = 0.99)
       : dist_(dist), range_(key_range), rng_(seed) {
-    if (dist_ == KeyDist::kZipf) zipf_ = std::make_unique<ZipfGenerator>(range_, 0.99, seed);
+    if (dist_ == KeyDist::kZipf)
+      zipf_ = std::make_unique<ZipfGenerator>(range_, zipf_theta, seed);
   }
 
   /// Keys are in [1, key_range] (0 is reserved by the structures).
@@ -71,6 +75,8 @@ struct WorkloadSpec {
   std::size_t key_range = 1 << 14;
   int duration_ms = 150;
   KeyDist dist = KeyDist::kUniform;
+  /// Skew exponent for kZipf key draws (unused for uniform).
+  double zipf_theta = 0.99;
   std::uint64_t seed = 1;
 };
 

@@ -331,6 +331,10 @@ TEST(MetricsRegistry, SnapshotExportsAllFiveTmsAndPool) {
               std::string::npos);
   EXPECT_NE(json.find("\"abort_taxonomy\""), std::string::npos);
   EXPECT_NE(json.find("\"nvhalt-pool\""), std::string::npos);
+  EXPECT_NE(json.find("\"fence_group_count\""), std::string::npos);
+  EXPECT_NE(json.find("\"fence_combined_count\""), std::string::npos);
+  EXPECT_NE(json.find("\"group_batch_fences\""), std::string::npos);
+  EXPECT_NE(json.find("\"combine_wait_spins\""), std::string::npos);
   // Balanced braces (strings in the report contain no escapes).
   long depth = 0;
   for (const char c : json) {
@@ -346,6 +350,15 @@ TEST(MetricsRegistry, SnapshotExportsAllFiveTmsAndPool) {
   EXPECT_NE(prom.find("cause=\"conflict\""), std::string::npos);
   EXPECT_NE(prom.find("nvhalt_write_set_words_count{tm=\"Trinity\"}"), std::string::npos);
   EXPECT_NE(prom.find("nvhalt_pool_fences_total{pool=\"nvhalt-pool\"}"), std::string::npos);
+  // Pool counter families must be declared, not scraped as untyped.
+  EXPECT_NE(prom.find("# TYPE nvhalt_pool_flushes_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nvhalt_pool_fences_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nvhalt_pool_flush_dedup_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nvhalt_fence_groups_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nvhalt_fence_combined_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_fence_combined_total{pool=\"nvhalt-pool\"}"), std::string::npos);
+  EXPECT_NE(prom.find("nvhalt_pool_group_batch_fences_count{pool=\"nvhalt-pool\"}"),
+            std::string::npos);
   EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
 }
 
